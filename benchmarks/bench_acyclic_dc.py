@@ -1,0 +1,31 @@
+"""Benchmark of Algorithm 3 under acyclic degree constraints (experiment E6)."""
+
+import pytest
+
+from repro.experiments.acyclic_dc import chain_instance, run_acyclic_dc
+from repro.joins.backtracking import backtracking_join
+from repro.joins.generic_join import generic_join
+
+
+@pytest.mark.experiment("E6")
+def test_acyclic_dc_vs_bound(benchmark, show_table):
+    table = benchmark(run_acyclic_dc, sizes=(50, 100, 200), fanout=3, seed=0)
+    show_table(table)
+    assert all(row["within bound"] for row in table.rows)
+
+
+CHAIN_QUERY, CHAIN_DB, CHAIN_DC = chain_instance(num_r=200, fanout=3, seed=1)
+
+
+@pytest.mark.experiment("E6")
+def test_backtracking_wall_clock(benchmark):
+    result = benchmark(backtracking_join, CHAIN_QUERY, CHAIN_DB, CHAIN_DC)
+    assert result == generic_join(CHAIN_QUERY, CHAIN_DB)
+
+
+@pytest.mark.experiment("E6")
+def test_generic_join_on_chain_wall_clock(benchmark):
+    """Reference point: Generic-Join (cardinality-only reasoning) on the same
+    chain instance Algorithm 3 handles with degree statistics."""
+    result = benchmark(generic_join, CHAIN_QUERY, CHAIN_DB)
+    assert len(result) > 0

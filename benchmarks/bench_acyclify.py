@@ -1,0 +1,40 @@
+"""Benchmark of constraint acyclification (experiment E9)."""
+
+import pytest
+
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.acyclify import acyclify, acyclify_simple_fds, best_acyclic_weakening
+from repro.experiments.acyclify_exp import (
+    query63_constraints,
+    run_acyclify,
+    simple_fd_cycle_constraints,
+)
+
+
+@pytest.mark.experiment("E9")
+def test_acyclify_experiment(benchmark, show_table):
+    table = benchmark(run_acyclify)
+    show_table(table)
+    assert table.rows[1]["bound preserved"]
+
+
+@pytest.mark.experiment("E9")
+def test_greedy_acyclify_speed(benchmark):
+    dc = query63_constraints()
+    result = benchmark(acyclify, dc)
+    assert result.is_acyclic()
+
+
+@pytest.mark.experiment("E9")
+def test_simple_fd_acyclify_speed(benchmark):
+    dc = simple_fd_cycle_constraints()
+    result = benchmark(acyclify_simple_fds, dc)
+    assert result.is_acyclic()
+
+
+@pytest.mark.experiment("E9")
+def test_exhaustive_acyclify_speed(benchmark):
+    dc = query63_constraints()
+    result = benchmark(
+        best_acyclic_weakening, dc, lambda d: polymatroid_bound(d).log2_bound)
+    assert result.is_acyclic()

@@ -1,0 +1,35 @@
+"""Benchmark of the AGM-bound LP regimes (experiment E3) and of the bound
+computation machinery itself (LP solve time per query shape)."""
+
+import pytest
+
+from repro.bounds.agm import agm_bound_from_sizes, rho_star
+from repro.experiments.triangle_bounds import run_triangle_bounds
+from repro.query.atoms import clique_query, cycle_query, loomis_whitney_query, triangle_query
+
+
+@pytest.mark.experiment("E3")
+def test_triangle_bound_regimes(benchmark, show_table):
+    table = benchmark(run_triangle_bounds, base=1000)
+    show_table(table)
+    assert table.rows[0]["LP vertex"] == "(1/2,1/2,1/2)"
+
+
+@pytest.mark.experiment("E3")
+@pytest.mark.parametrize("query,expected_rho", [
+    (triangle_query(), 1.5),
+    (cycle_query(6), 3.0),
+    (clique_query(5), 2.5),
+    (loomis_whitney_query(5), 1.25),
+])
+def test_edge_cover_lp_speed(benchmark, query, expected_rho):
+    value = benchmark(rho_star, query)
+    assert value == pytest.approx(expected_rho)
+
+
+@pytest.mark.experiment("E3")
+def test_agm_bound_from_sizes_speed(benchmark):
+    hypergraph = clique_query(5).hypergraph()
+    sizes = {key: 10_000 for key in hypergraph.edge_keys}
+    bound = benchmark(agm_bound_from_sizes, hypergraph, sizes)
+    assert bound.bound == pytest.approx(10_000 ** 2.5, rel=1e-6)

@@ -1,0 +1,32 @@
+"""Benchmark of the bound LPs (experiment E8): modular vs polymatroid LP
+optima and solve times as the variable count grows."""
+
+import pytest
+
+from repro.bounds.modular import modular_bound
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.experiments.bound_lps import random_acyclic_dc, run_bound_lps
+
+
+@pytest.mark.experiment("E8")
+def test_bound_lps_agree_for_acyclic(benchmark, show_table):
+    table = benchmark(run_bound_lps, ns=(3, 4, 5, 6), constraints_per_n=4, seed=0)
+    show_table(table)
+    acyclic_rows = [r for r in table.rows if r["acyclic"]]
+    assert all(r["equal"] for r in acyclic_rows)
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_modular_lp_solve_time(benchmark, n):
+    dc = random_acyclic_dc(n, num_constraints=n, seed=n)
+    result = benchmark(modular_bound, dc)
+    assert result.log2_bound >= 0
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("n", [4, 6, 8])
+def test_polymatroid_lp_solve_time(benchmark, n):
+    dc = random_acyclic_dc(n, num_constraints=n, seed=n)
+    result = benchmark(polymatroid_bound, dc)
+    assert result.log2_bound >= 0

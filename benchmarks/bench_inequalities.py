@@ -1,0 +1,43 @@
+"""Benchmark of the information-theoretic machinery (experiment E10):
+Shearer/Friedgut verification and the Shannon-inequality prover, including
+the Zhang–Yeung separation."""
+
+import pytest
+
+from repro.experiments.inequalities import run_inequalities
+from repro.infotheory.nonshannon import zhang_yeung_expression, zhang_yeung_is_non_shannon
+from repro.infotheory.shannon import is_shannon_valid
+from repro.infotheory.shearer import shearer_is_valid
+from repro.query.atoms import clique_query, triangle_query
+
+
+@pytest.mark.experiment("E10")
+def test_inequalities_experiment(benchmark, show_table):
+    table = benchmark(run_inequalities, num_random_distributions=5, seed=0)
+    show_table(table)
+    assert all(row["holds"] for row in table.rows)
+
+
+@pytest.mark.experiment("E10")
+def test_shearer_prover_speed_triangle(benchmark):
+    h = triangle_query().hypergraph()
+    assert benchmark(shearer_is_valid, h, {"R": 0.5, "S": 0.5, "T": 0.5})
+
+
+@pytest.mark.experiment("E10")
+def test_shearer_prover_speed_clique4(benchmark):
+    h = clique_query(4).hypergraph()
+    weights = {key: 1.0 / 3.0 for key in h.edge_keys}
+    assert benchmark(shearer_is_valid, h, weights)
+
+
+@pytest.mark.experiment("E10")
+def test_zhang_yeung_separation_speed(benchmark):
+    assert benchmark(zhang_yeung_is_non_shannon)
+
+
+@pytest.mark.experiment("E10")
+def test_shannon_prover_speed_on_zy_expression(benchmark):
+    expression = zhang_yeung_expression()
+    result = benchmark(is_shannon_valid, expression)
+    assert result is False

@@ -1,0 +1,32 @@
+"""Benchmark of the Loomis–Whitney experiment (E5): WCOJ vs pairwise plans on
+LW(k) instances, the separation Ngo et al. proved."""
+
+import pytest
+
+from repro.datagen.loomis_whitney import loomis_whitney_skew_instance
+from repro.experiments.loomis_whitney import run_loomis_whitney
+from repro.joins.binary_plans import best_left_deep_execution
+from repro.joins.generic_join import generic_join
+
+
+@pytest.mark.experiment("E5")
+def test_loomis_whitney_separation(benchmark, show_table):
+    table = benchmark(run_loomis_whitney, ks=(3, 4), sizes=(60, 120), family="skew")
+    show_table(table)
+    ratios = [float(row["pairwise/wcoj ratio"]) for row in table.rows]
+    assert all(ratio > 1.0 for ratio in ratios)
+
+
+LW4_QUERY, LW4_DB = loomis_whitney_skew_instance(4, 150)
+
+
+@pytest.mark.experiment("E5")
+def test_lw4_wcoj_wall_clock(benchmark):
+    result = benchmark(generic_join, LW4_QUERY, LW4_DB)
+    assert len(result) > 0
+
+
+@pytest.mark.experiment("E5")
+def test_lw4_best_pairwise_wall_clock(benchmark):
+    execution = benchmark(best_left_deep_execution, LW4_QUERY, LW4_DB)
+    assert execution.result is not None

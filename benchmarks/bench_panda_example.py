@@ -1,0 +1,40 @@
+"""Benchmark of PANDA on Example 1 (experiment E7): intermediate sizes vs the
+runtime bound (75), plus wall-clock against Generic-Join and the best
+pairwise plan on the same instances."""
+
+import pytest
+
+from repro.experiments.example1 import run_example1_experiment
+from repro.joins.binary_plans import best_left_deep_execution
+from repro.joins.generic_join import generic_join
+from repro.panda.example1 import example1_database, example1_query, run_example1
+
+
+@pytest.mark.experiment("E7")
+def test_example1_intermediates_vs_bound(benchmark, show_table):
+    table = benchmark(run_example1_experiment, scales=(100, 200, 400), seed=0)
+    show_table(table)
+    assert all(row["within bound"] for row in table.rows)
+    assert all(row["matches generic join"] for row in table.rows)
+
+
+EX1_DB = example1_database(scale=300, seed=2)
+EX1_QUERY = example1_query()
+
+
+@pytest.mark.experiment("E7")
+def test_panda_wall_clock(benchmark):
+    run = benchmark(run_example1, database=EX1_DB)
+    assert run.matches_generic_join
+
+
+@pytest.mark.experiment("E7")
+def test_generic_join_wall_clock(benchmark):
+    result = benchmark(generic_join, EX1_QUERY, EX1_DB)
+    assert len(result) >= 0
+
+
+@pytest.mark.experiment("E7")
+def test_best_pairwise_wall_clock(benchmark):
+    execution = benchmark(best_left_deep_execution, EX1_QUERY, EX1_DB, 24)
+    assert execution.result is not None

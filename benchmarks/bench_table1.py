@@ -1,0 +1,17 @@
+"""Benchmark / regeneration of Table 1 (experiment E1).
+
+Regenerates the entropic-vs-polymatroid bound taxonomy and times the bound
+computations that produce it.
+"""
+
+import pytest
+
+from repro.experiments.table1 import run_table1
+
+
+@pytest.mark.experiment("E1")
+def test_table1_regeneration(benchmark, show_table):
+    table = benchmark(run_table1, triangle_n=200, fd_m=12, example1_scale=100)
+    show_table(table)
+    assert len(table.rows) == 3
+    assert table.rows[0]["polymatroid tight (observed)"]

@@ -1,0 +1,23 @@
+"""Benchmark / regeneration of Table 2 (experiment E2): the PANDA program for
+Example 1, from proof sequence to executed partitions and joins."""
+
+import pytest
+
+from repro.experiments.table2 import run_table2
+from repro.panda.example1 import example1_database, run_example1
+
+
+@pytest.mark.experiment("E2")
+def test_table2_regeneration(benchmark, show_table):
+    table = benchmark(run_table2, scale=150, seed=0)
+    show_table(table)
+    assert len(table.rows) == 9
+    assert [row["operation"] for row in table.rows].count("join") == 4
+
+
+@pytest.mark.experiment("E2")
+def test_panda_execution_wall_clock(benchmark):
+    """Wall-clock of the PANDA execution itself on a fixed instance."""
+    database = example1_database(scale=300, seed=1)
+    result = benchmark(run_example1, database=database)
+    assert result.matches_generic_join

@@ -1,0 +1,14 @@
+"""Benchmark of AGM-bound tightness (experiment E11): actual output vs bound
+on product-structure instances across query shapes."""
+
+import pytest
+
+from repro.experiments.tightness import run_tightness
+
+
+@pytest.mark.experiment("E11")
+def test_tightness_table(benchmark, show_table):
+    table = benchmark(run_tightness, n=256)
+    show_table(table)
+    for row in table.rows:
+        assert row["actual / bound"] == pytest.approx(1.0, abs=0.05)

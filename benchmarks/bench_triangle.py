@@ -1,0 +1,71 @@
+"""Benchmark of the triangle scaling experiment (E4): WCOJ engines vs the
+best pairwise plan on skew and AGM-tight instances.
+
+The operation-count series (the paper's asymptotic claim) is printed as a
+table; pytest-benchmark additionally records wall-clock for each engine on a
+fixed mid-size instance.
+"""
+
+import pytest
+
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.experiments.runner import fit_exponent
+from repro.experiments.triangle_scaling import run_triangle_scaling
+from repro.joins.binary_plans import best_left_deep_execution
+from repro.joins.generic_join import generic_join
+from repro.joins.leapfrog import leapfrog_triejoin
+from repro.joins.triangle import triangle_algorithm1, triangle_algorithm2
+
+
+@pytest.mark.experiment("E4")
+def test_triangle_scaling_skew(benchmark, show_table):
+    table = benchmark(run_triangle_scaling, sizes=(100, 200, 400), family="skew")
+    show_table(table)
+    ns = [float(v) for v in table.column("N")]
+    pairwise_exp = fit_exponent(
+        ns, [float(v) for v in table.column("best pairwise max intermediate")])
+    wcoj_exp = fit_exponent(ns, [float(v) for v in table.column("generic join ops")])
+    assert pairwise_exp > 1.7  # quadratic blow-up
+    assert wcoj_exp < 1.3      # near-linear WCOJ work
+
+
+@pytest.mark.experiment("E4")
+def test_triangle_scaling_agm_tight(benchmark, show_table):
+    table = benchmark(run_triangle_scaling, sizes=(100, 225, 400), family="agm_tight")
+    show_table(table)
+    ns = [float(v) for v in table.column("N")]
+    output_exp = fit_exponent(ns, [float(v) for v in table.column("output")])
+    assert 1.3 < output_exp < 1.7  # Theta(N^{3/2}) output
+
+
+SKEW_QUERY, SKEW_DB = triangle_skew_instance(400)
+TIGHT_QUERY, TIGHT_DB = triangle_agm_tight_instance(400)
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("engine", ["generic_join", "leapfrog", "algorithm1",
+                                    "algorithm2", "best_pairwise"])
+def test_triangle_engine_wall_clock_skew(benchmark, engine):
+    r, s, t = SKEW_DB["R"], SKEW_DB["S"], SKEW_DB["T"]
+    runners = {
+        "generic_join": lambda: generic_join(SKEW_QUERY, SKEW_DB),
+        "leapfrog": lambda: leapfrog_triejoin(SKEW_QUERY, SKEW_DB),
+        "algorithm1": lambda: triangle_algorithm1(r, s, t),
+        "algorithm2": lambda: triangle_algorithm2(r, s, t),
+        "best_pairwise": lambda: best_left_deep_execution(SKEW_QUERY, SKEW_DB).result,
+    }
+    result = benchmark(runners[engine])
+    assert len(result) > 0
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("engine", ["generic_join", "leapfrog", "algorithm1"])
+def test_triangle_engine_wall_clock_tight(benchmark, engine):
+    r, s, t = TIGHT_DB["R"], TIGHT_DB["S"], TIGHT_DB["T"]
+    runners = {
+        "generic_join": lambda: generic_join(TIGHT_QUERY, TIGHT_DB),
+        "leapfrog": lambda: leapfrog_triejoin(TIGHT_QUERY, TIGHT_DB),
+        "algorithm1": lambda: triangle_algorithm1(r, s, t),
+    }
+    result = benchmark(runners[engine])
+    assert len(result) == 8000

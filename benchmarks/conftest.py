@@ -1,0 +1,31 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints the experiment table it regenerates (so the series the
+paper reports are visible directly in the benchmark output) and records the
+wall-clock of the underlying harness via pytest-benchmark.  Scales are kept
+laptop-friendly; pass ``--benchmark-only`` to run them without the unit
+tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a benchmark as regenerating a paper artifact"
+    )
+
+
+@pytest.fixture
+def show_table(capsys):
+    """Print an experiment table so it appears in the benchmark report."""
+
+    def _show(table):
+        with capsys.disabled():
+            print()
+            print(table)
+        return table
+
+    return _show

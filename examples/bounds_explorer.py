@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Exploring output-size bounds under degree constraints.
+
+An OLAP-style scenario: a fact table with key/foreign-key lookups into
+dimension tables, plus per-step fanout statistics.  The example shows how the
+three bound machineries relate (AGM vs modular vs polymatroid), how
+functional dependencies tighten the bound, what happens when constraints form
+a cycle, and how Algorithm 3 evaluates the query within the bound.
+
+Run with:  python examples/bounds_explorer.py
+"""
+
+from repro import DegreeConstraint, DegreeConstraintSet, OperationCounter
+from repro.bounds.modular import modular_bound, modular_bound_dual
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.acyclify import acyclify, all_variables_bound
+from repro.experiments.acyclic_dc import chain_instance
+from repro.joins.backtracking import backtracking_join
+from repro.joins.generic_join import generic_join
+
+
+def main() -> None:
+    # An "orders -> customers -> regions" style chain with fanout statistics:
+    # R(A, B) is the fact table, deg_S(C | B) <= 3 and deg_T(D | C) <= 3 are
+    # the lookup fanouts the catalog knows.
+    query, database, dc = chain_instance(num_r=120, fanout=3, seed=11)
+    print(f"query: {query}")
+    print(f"constraints: {dc}\n")
+
+    # 1. The three bounds.
+    modular = modular_bound(dc)
+    dual = modular_bound_dual(dc)
+    poly = polymatroid_bound(dc)
+    print("bounds with degree constraints (acyclic):")
+    print(f"  modular LP (54):     {modular.bound:,.0f}  "
+          f"({modular.num_lp_variables} vars, {modular.num_lp_constraints} rows)")
+    print(f"  dual LP (57):        {dual.bound:,.0f}")
+    print(f"  polymatroid LP (68): {poly.bound:,.0f}  "
+          f"({poly.num_lp_variables} vars, {poly.num_lp_constraints} rows)")
+    print("  (Proposition 4.4: all three agree because the constraints are acyclic)\n")
+
+    # 2. Adding an FD tightens the bound further.
+    with_fd = DegreeConstraintSet(dc.variables, dc.constraints)
+    with_fd.add(DegreeConstraint.functional_dependency(("B",), ("C",), guard="S"))
+    print(f"after adding the FD B -> C: bound drops to "
+          f"{polymatroid_bound(with_fd).bound:,.0f}\n")
+
+    # 3. A cyclic constraint set and its Proposition 5.2 weakening.
+    cyclic = DegreeConstraintSet(
+        ("A", "B", "C", "D"),
+        [
+            DegreeConstraint.cardinality(("A",), 100, guard="R"),
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=4, guard="S"),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=4, guard="T"),
+            DegreeConstraint(x=frozenset("C"), y=frozenset({"A", "C", "D"}), bound=4,
+                             guard="W"),
+        ],
+    )
+    print(f"the paper's query (63) constraints are cyclic: acyclic={cyclic.is_acyclic()}, "
+          f"bounded={all_variables_bound(cyclic)}")
+    weakened = acyclify(cyclic)
+    print(f"after the Proposition 5.2 weakening: acyclic={weakened.is_acyclic()}, "
+          f"bound={polymatroid_bound(weakened).bound:,.0f}\n")
+
+    # 4. Algorithm 3 evaluates within the bound.
+    counter = OperationCounter()
+    output = backtracking_join(query, database, dc, counter=counter)
+    expected = generic_join(query, database)
+    print("Algorithm 3 (backtracking search for acyclic constraints):")
+    print(f"  output tuples:      {len(output):,} (matches Generic-Join: {output == expected})")
+    print(f"  search-tree nodes:  {counter.search_nodes:,}")
+    print(f"  worst-case bound:   {modular.bound:,.0f} tuples")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""repro — worst-case optimal join algorithms, bounds, and benchmarks.
+
+A from-scratch reproduction of the systems described in
+
+    Hung Q. Ngo, "Worst-Case Optimal Join Algorithms: Techniques, Results,
+    and Open Problems", PODS 2018 (arXiv:1803.09930).
+
+The package is organized bottom-up:
+
+* :mod:`repro.relational`  — relations, indexes, relational algebra;
+* :mod:`repro.query`       — conjunctive queries, hypergraphs, parsing;
+* :mod:`repro.covers`      — LPs and fractional edge covers;
+* :mod:`repro.infotheory`  — entropy, polymatroids, Shannon inequalities;
+* :mod:`repro.constraints` — degree constraints and acyclification;
+* :mod:`repro.bounds`      — AGM, polymatroid, modular/acyclic bounds;
+* :mod:`repro.joins`       — Generic-Join, Leapfrog Triejoin, Algorithm 1-3,
+  pairwise-plan baselines;
+* :mod:`repro.panda`       — Shannon-flow inequalities, proof sequences,
+  the PANDA interpreter, Example 1 / Table 2;
+* :mod:`repro.datagen`     — synthetic workloads;
+* :mod:`repro.experiments` — one module per table / figure / claim.
+
+The most common entry points are re-exported here.
+"""
+
+from repro.relational import Database, Relation
+from repro.query import ConjunctiveQuery, Atom, parse_query
+from repro.query.atoms import (
+    triangle_query,
+    clique_query,
+    cycle_query,
+    path_query,
+    loomis_whitney_query,
+)
+from repro.constraints import DegreeConstraint, DegreeConstraintSet
+from repro.bounds import (
+    agm_bound,
+    polymatroid_bound,
+    modular_bound,
+    output_size_bound,
+)
+from repro.joins import (
+    generic_join,
+    leapfrog_triejoin,
+    nested_loop_join,
+    backtracking_join,
+    OperationCounter,
+)
+from repro.panda.interpreter import panda_evaluate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Relation",
+    "ConjunctiveQuery",
+    "Atom",
+    "parse_query",
+    "triangle_query",
+    "clique_query",
+    "cycle_query",
+    "path_query",
+    "loomis_whitney_query",
+    "DegreeConstraint",
+    "DegreeConstraintSet",
+    "agm_bound",
+    "polymatroid_bound",
+    "modular_bound",
+    "output_size_bound",
+    "generic_join",
+    "leapfrog_triejoin",
+    "nested_loop_join",
+    "backtracking_join",
+    "OperationCounter",
+    "panda_evaluate",
+    "__version__",
+]

@@ -1,0 +1,110 @@
+"""Command-line entry point: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list                 # list available experiments
+    python -m repro table1               # run one experiment and print its table
+    python -m repro all                  # run every experiment
+    python -m repro triangle --sizes 100 200 400 --family skew
+
+Experiments print the same tables the benchmark harness embeds, so this is
+the quickest way to regenerate a single paper artifact without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    run_acyclic_dc,
+    run_acyclify,
+    run_bound_lps,
+    run_example1_experiment,
+    run_inequalities,
+    run_loomis_whitney,
+    run_table1,
+    run_table2,
+    run_tightness,
+    run_triangle_bounds,
+    run_triangle_scaling,
+)
+from repro.experiments.runner import ExperimentTable
+
+# Registry: name -> (description, runner taking the parsed args).
+_EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], ExperimentTable]]] = {
+    "table1": ("Table 1: bound taxonomy",
+               lambda args: run_table1()),
+    "table2": ("Table 2: PANDA proof sequence for Example 1",
+               lambda args: run_table2(scale=args.scale)),
+    "triangle-bounds": ("AGM LP regimes for the triangle (E3)",
+                        lambda args: run_triangle_bounds()),
+    "triangle": ("Triangle scaling: WCOJ vs pairwise (E4)",
+                 lambda args: run_triangle_scaling(sizes=tuple(args.sizes),
+                                                   family=args.family)),
+    "loomis-whitney": ("Loomis-Whitney separation (E5)",
+                       lambda args: run_loomis_whitney(sizes=tuple(args.sizes))),
+    "acyclic-dc": ("Algorithm 3 vs Theorem 5.1 bound (E6)",
+                   lambda args: run_acyclic_dc(sizes=tuple(args.sizes))),
+    "example1": ("PANDA on Example 1 vs bound (75) (E7)",
+                 lambda args: run_example1_experiment(scales=tuple(args.sizes))),
+    "bound-lps": ("Modular vs polymatroid LPs (E8)",
+                  lambda args: run_bound_lps()),
+    "acyclify": ("Constraint acyclification (E9)",
+                 lambda args: run_acyclify()),
+    "inequalities": ("Shearer / Friedgut / Zhang-Yeung (E10)",
+                     lambda args: run_inequalities()),
+    "tightness": ("AGM tightness (E11)",
+                  lambda args: run_tightness()),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the experiments of 'Worst-Case Optimal Join "
+                    "Algorithms' (Ngo, PODS 2018).",
+    )
+    parser.add_argument("experiment",
+                        help="experiment name, 'all', or 'list'")
+    parser.add_argument("--sizes", type=int, nargs="+", default=[100, 200, 400],
+                        help="instance-size sweep for scaling experiments")
+    parser.add_argument("--scale", type=int, default=150,
+                        help="instance scale for the Table 2 / Example 1 run")
+    parser.add_argument("--family", choices=("skew", "agm_tight"), default="skew",
+                        help="instance family for the triangle scaling experiment")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (description, _) in _EXPERIMENTS.items():
+            print(f"{name:16s} {description}")
+        return 0
+
+    if args.experiment == "all":
+        names = list(_EXPERIMENTS.keys())
+    elif args.experiment in _EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; run 'python -m repro list'"
+        )
+        return 2  # pragma: no cover - parser.error raises SystemExit
+
+    for name in names:
+        _description, runner = _EXPERIMENTS[name]
+        table = runner(args)
+        print(table)
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Fractional and integral edge covers of query hypergraphs.
+
+The fractional edge cover polytope FECP(H) (Section 3.1) is
+
+    { delta >= 0 : sum_{F : v in F} delta_F >= 1  for every vertex v },
+
+and the fractional edge cover number rho*(H) is the minimum total weight of a
+point in FECP(H).  The AGM bound (Corollary 4.2) is the weighted variant in
+which edge F costs log |R_F| instead of 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Mapping
+
+from repro.covers.lp import LinearProgram
+from repro.errors import LPError
+from repro.query.hypergraph import Hypergraph
+
+
+@dataclass(frozen=True)
+class EdgeCover:
+    """A (fractional) edge cover together with its objective value.
+
+    Attributes
+    ----------
+    weights:
+        Edge key -> weight delta_F (non-negative).
+    total_weight:
+        The unweighted total sum of delta_F.
+    objective:
+        The value of the objective that was optimized (equals
+        ``total_weight`` for the unweighted cover, or the weighted sum for
+        :func:`weighted_fractional_edge_cover`).
+    """
+
+    weights: dict[str, float]
+    total_weight: float
+    objective: float
+
+
+def is_fractional_edge_cover(hypergraph: Hypergraph,
+                             weights: Mapping[str, float],
+                             tolerance: float = 1e-9) -> bool:
+    """True if ``weights`` is a valid fractional edge cover of ``hypergraph``."""
+    return hypergraph.is_cover(weights, tolerance=tolerance)
+
+
+def _cover_lp(hypergraph: Hypergraph, costs: Mapping[str, float]) -> EdgeCover:
+    lp = LinearProgram("fractional-edge-cover")
+    for key in hypergraph.edge_keys:
+        lp.add_variable(key, lower=0.0)
+    lp.minimize({key: costs[key] for key in hypergraph.edge_keys})
+    for vertex in hypergraph.vertices:
+        covering = hypergraph.edges_containing(vertex)
+        if not covering:
+            raise LPError(
+                f"vertex {vertex!r} is not covered by any edge; cover is infeasible"
+            )
+        lp.add_constraint(f"cover[{vertex}]", {key: 1.0 for key in covering}, ">=", 1.0)
+    solution = lp.solve()
+    weights = {key: max(0.0, solution.values[key]) for key in hypergraph.edge_keys}
+    return EdgeCover(
+        weights=weights,
+        total_weight=sum(weights.values()),
+        objective=solution.objective,
+    )
+
+
+def fractional_edge_cover(hypergraph: Hypergraph) -> EdgeCover:
+    """Minimize the total weight sum_F delta_F over FECP(H).
+
+    Returns the optimal cover; its ``objective`` equals rho*(H).
+    """
+    return _cover_lp(hypergraph, {key: 1.0 for key in hypergraph.edge_keys})
+
+
+def fractional_edge_cover_number(hypergraph: Hypergraph) -> float:
+    """The fractional edge cover number rho*(H)."""
+    return fractional_edge_cover(hypergraph).objective
+
+
+def weighted_fractional_edge_cover(hypergraph: Hypergraph,
+                                   costs: Mapping[str, float]) -> EdgeCover:
+    """Minimize ``sum_F costs[F] * delta_F`` over FECP(H).
+
+    With ``costs[F] = log |R_F|`` this is exactly the AGM-bound LP (eq. 5 for
+    the triangle, Corollary 4.2 in general).  Negative costs are rejected:
+    they would make the LP unbounded below only if a vertex could be
+    over-covered for free, which never corresponds to a meaningful instance.
+    """
+    for key in hypergraph.edge_keys:
+        if key not in costs:
+            raise LPError(f"no cost provided for edge {key!r}")
+        if costs[key] < 0:
+            raise LPError(f"negative cost for edge {key!r}: {costs[key]}")
+    return _cover_lp(hypergraph, costs)
+
+
+def integral_edge_cover(hypergraph: Hypergraph) -> EdgeCover:
+    """The minimum *integral* edge cover (each delta_F in {0, 1}).
+
+    Solved by brute force over subsets of edges, which is fine for query-size
+    hypergraphs (the paper's integral edge cover number appears only as the
+    endpoint of the chain M_n ⊆ ... ⊆ SA_n).
+    """
+    keys = hypergraph.edge_keys
+    vertices = set(hypergraph.vertices)
+    best: tuple[int, tuple[str, ...]] | None = None
+    for size in range(1, len(keys) + 1):
+        for subset in combinations(keys, size):
+            covered: set[str] = set()
+            for key in subset:
+                covered |= hypergraph.edge(key)
+            if covered == vertices:
+                best = (size, subset)
+                break
+        if best is not None:
+            break
+    if best is None:
+        raise LPError("hypergraph has an uncoverable vertex")
+    size, subset = best
+    weights = {key: (1.0 if key in subset else 0.0) for key in keys}
+    return EdgeCover(weights=weights, total_weight=float(size), objective=float(size))
+
+
+def fractional_vertex_cover_number(hypergraph: Hypergraph) -> float:
+    """The fractional *vertex* cover number tau*(H) (LP dual of fractional
+    matching).  Included for completeness of the cover toolbox; not used by
+    the bounds themselves."""
+    lp = LinearProgram("fractional-vertex-cover")
+    for vertex in hypergraph.vertices:
+        lp.add_variable(vertex, lower=0.0)
+    lp.minimize({vertex: 1.0 for vertex in hypergraph.vertices})
+    for key, edge in hypergraph.edges.items():
+        lp.add_constraint(f"edge[{key}]", {v: 1.0 for v in edge}, ">=", 1.0)
+    return lp.solve().objective

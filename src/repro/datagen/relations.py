@@ -1,0 +1,125 @@
+"""Random relations under cardinality, degree, and FD constraints.
+
+These generators feed the degree-constraint experiments (Algorithm 3, PANDA,
+the bound-tightness checks): they produce relations that *provably* satisfy a
+requested maximum degree or functional dependency, so constraint sets built
+from the generator parameters are guaranteed to validate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.relational.relation import Relation
+
+
+def random_relation(name: str, attributes: Sequence[str], num_tuples: int,
+                    domain_size: int, seed: int = 0) -> Relation:
+    """A relation of ``num_tuples`` distinct tuples drawn uniformly from
+    ``[domain_size]^arity``."""
+    rng = random.Random(seed)
+    arity = len(attributes)
+    possible = domain_size ** arity
+    target = min(num_tuples, possible)
+    tuples: set[tuple] = set()
+    while len(tuples) < target:
+        tuples.add(tuple(rng.randrange(domain_size) for _ in range(arity)))
+    return Relation(name, attributes, tuples)
+
+
+def relation_with_degree_bound(name: str, attributes: Sequence[str],
+                               key: Sequence[str], max_degree: int,
+                               num_keys: int, domain_size: int,
+                               seed: int = 0) -> Relation:
+    """A relation in which every ``key``-value has at most ``max_degree``
+    distinct extensions on the remaining attributes.
+
+    ``num_keys`` distinct key values are generated; each receives between 1
+    and ``max_degree`` extensions.  The result therefore guards the degree
+    constraint (key, attributes, max_degree) by construction.
+    """
+    rng = random.Random(seed)
+    key = tuple(key)
+    rest = tuple(a for a in attributes if a not in key)
+    key_positions = {a: i for i, a in enumerate(attributes)}
+    tuples: set[tuple] = set()
+    seen_keys: set[tuple] = set()
+    while len(seen_keys) < num_keys:
+        key_value = tuple(rng.randrange(domain_size) for _ in key)
+        if key_value in seen_keys:
+            continue
+        seen_keys.add(key_value)
+        extensions = rng.randint(1, max_degree)
+        chosen: set[tuple] = set()
+        attempts = 0
+        while len(chosen) < extensions and attempts < 20 * extensions + 10:
+            chosen.add(tuple(rng.randrange(domain_size) for _ in rest))
+            attempts += 1
+        for ext in chosen:
+            row = [None] * len(attributes)
+            for i, a in enumerate(key):
+                row[key_positions[a]] = key_value[i]
+            for i, a in enumerate(rest):
+                row[key_positions[a]] = ext[i]
+            tuples.add(tuple(row))
+    return Relation(name, attributes, tuples)
+
+
+def relation_with_fd(name: str, attributes: Sequence[str], determinant: Sequence[str],
+                     num_tuples: int, domain_size: int, seed: int = 0) -> Relation:
+    """A relation satisfying the FD ``determinant -> attributes``.
+
+    Every determinant value maps to exactly one combination of the remaining
+    attributes (a degree bound of 1), so key/foreign-key style schemas can be
+    assembled from these.
+    """
+    rng = random.Random(seed)
+    determinant = tuple(determinant)
+    rest = tuple(a for a in attributes if a not in determinant)
+    positions = {a: i for i, a in enumerate(attributes)}
+    assignment: dict[tuple, tuple] = {}
+    tuples: set[tuple] = set()
+    attempts = 0
+    while len(tuples) < num_tuples and attempts < 50 * num_tuples + 100:
+        attempts += 1
+        det_value = tuple(rng.randrange(domain_size) for _ in determinant)
+        if det_value not in assignment:
+            assignment[det_value] = tuple(rng.randrange(domain_size) for _ in rest)
+        rest_value = assignment[det_value]
+        row = [None] * len(attributes)
+        for i, a in enumerate(determinant):
+            row[positions[a]] = det_value[i]
+        for i, a in enumerate(rest):
+            row[positions[a]] = rest_value[i]
+        tuples.add(tuple(row))
+    return Relation(name, attributes, tuples)
+
+
+def functional_chain_database(chain_length: int, fanout: int, num_roots: int,
+                              seed: int = 0) -> dict[str, Relation]:
+    """Relations forming a chain R1(X1), R2(X1, X2), ..., each R_{i+1}
+    mapping X_i to at most ``fanout`` values of X_{i+1}.
+
+    This is the shape of the paper's query (63):
+    Q(A,B,C,D) <- R(A), S(A,B), T(B,C), W(C,A,D), where only per-step degree
+    bounds (not cardinalities) are known for the later relations.
+    """
+    rng = random.Random(seed)
+    relations: dict[str, Relation] = {}
+    roots = list(range(num_roots))
+    relations["R1"] = Relation("R1", ("X1",), [(r,) for r in roots])
+    current_values = roots
+    for step in range(1, chain_length):
+        name = f"R{step + 1}"
+        attrs = (f"X{step}", f"X{step + 1}")
+        tuples = []
+        next_values: set[int] = set()
+        for value in current_values:
+            for _ in range(rng.randint(1, fanout)):
+                nxt = rng.randrange(num_roots * fanout * 2)
+                tuples.append((value, nxt))
+                next_values.add(nxt)
+        relations[name] = Relation(name, attrs, set(tuples))
+        current_values = sorted(next_values)
+    return relations

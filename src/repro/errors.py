@@ -1,0 +1,62 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of the library with a single ``except`` clause
+while still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """A relation or query was constructed with an inconsistent schema.
+
+    Examples: duplicate attribute names, tuples whose arity does not match
+    the schema, or joining relations on attributes that do not exist.
+    """
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed or cannot be evaluated as asked."""
+
+
+class ParseError(QueryError):
+    """The textual (datalog-style) query representation could not be parsed."""
+
+
+class ConstraintError(ReproError):
+    """A degree constraint set is malformed or violated.
+
+    Raised, for instance, when a constraint has no guard among the query
+    atoms, when a database fails validation against a constraint set, or when
+    an operation requires acyclic constraints but the set is cyclic.
+    """
+
+
+class UnboundedQueryError(ConstraintError):
+    """The worst-case output size is unbounded under the given constraints.
+
+    Per Claim 1 in the paper's Proposition 5.2, this happens exactly when
+    some output variable is not "bound" by any chain of degree constraints
+    starting from a cardinality constraint.
+    """
+
+
+class BoundError(ReproError):
+    """An output-size bound could not be computed (e.g. an LP failed)."""
+
+
+class LPError(BoundError):
+    """The underlying linear program solver reported failure."""
+
+
+class ProofError(ReproError):
+    """A PANDA proof sequence is invalid or could not be constructed."""
+
+
+class NotEntropicError(ReproError):
+    """A set function claimed to be entropic/polymatroidal fails the axioms."""

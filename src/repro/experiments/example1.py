@@ -1,0 +1,49 @@
+"""Experiment E7 — PANDA on Example 1: intermediates vs the bound (75).
+
+For increasing instance scales, run the Table 2 PANDA program with the
+paper's threshold theta and record every intermediate size, the output size,
+and the runtime bound sqrt(N_BC N_CD N_ABD|BD N_AB N_ACD|AC).  The paper's
+claim is that the two branch intermediates are each bounded by (76), hence by
+(75); the "within bound" column checks it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentTable
+from repro.panda.example1 import run_example1
+
+
+def run_example1_experiment(scales: tuple[int, ...] = (100, 200, 400),
+                            seed: int = 0) -> ExperimentTable:
+    """Sweep Example 1 instance scales and compare intermediates to bound (75)."""
+    table = ExperimentTable(
+        experiment_id="E7",
+        title="PANDA on Example 1: intermediate sizes vs the runtime bound (75)",
+        columns=(
+            "scale", "N_AB", "N_BC", "N_CD", "N_ACD|AC", "N_ABD|BD",
+            "theta", "bound (75)", "max intermediate", "output",
+            "matches generic join", "within bound",
+        ),
+    )
+    for scale in scales:
+        run = run_example1(scale=scale, seed=seed)
+        stats = run.statistics
+        table.add_row(**{
+            "scale": scale,
+            "N_AB": stats["N_AB"],
+            "N_BC": stats["N_BC"],
+            "N_CD": stats["N_CD"],
+            "N_ACD|AC": stats["N_ACD|AC"],
+            "N_ABD|BD": stats["N_ABD|BD"],
+            "theta": run.theta,
+            "bound (75)": run.runtime_bound,
+            "max intermediate": run.result.max_intermediate,
+            "output": len(run.result.output),
+            "matches generic join": run.matches_generic_join,
+            "within bound": run.result.max_intermediate <= run.runtime_bound + 1e-9,
+        })
+    table.add_note(
+        "bound (75) = sqrt(N_BC * N_CD * N_ABD|BD * N_AB * N_ACD|AC); the paper "
+        "proves each branch intermediate is at most this (eq. 76)."
+    )
+    return table

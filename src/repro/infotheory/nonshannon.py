@@ -1,0 +1,103 @@
+"""The Zhang–Yeung non-Shannon inequality and the gap Gamma*_4 != Gamma_4.
+
+Zhang and Yeung (1998) proved that, for any four jointly distributed random
+variables A, B, C, D, the inequality
+
+    2 I(C;D) <= I(A;B) + I(A;CD) + 3 I(C;D|A) + I(C;D|B)
+
+holds, yet it is *not* implied by the Shannon-type (polymatroid) inequalities:
+there is a polymatroid in Gamma_4 violating it.  This is the fact the paper
+uses (Section 4.2) to prove that the polymatroid bound is not tight under
+general degree constraints.
+
+This module builds the inequality as a :class:`LinearEntropyExpression`,
+exposes the classical violating polymatroid, and verifies the inequality on
+entropic functions coming from concrete distributions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.infotheory.entropy import entropy_function_of_distribution
+from repro.infotheory.set_functions import SetFunction
+from repro.infotheory.shannon import (
+    LinearEntropyExpression,
+    find_polymatroid_counterexample,
+    is_shannon_valid,
+)
+
+_DEFAULT_VARS = ("A", "B", "C", "D")
+
+
+def _mutual_information_coefficients(ground: frozenset[str], x: frozenset[str],
+                                     y: frozenset[str], z: frozenset[str]
+                                     ) -> dict[frozenset[str], float]:
+    """Coefficients of I(X;Y|Z) = h(XZ) + h(YZ) - h(XYZ) - h(Z)."""
+    return {
+        x | z: 1.0,
+        y | z: 1.0,
+        x | y | z: -1.0,
+        z: -1.0,
+    }
+
+
+def _add(target: dict[frozenset[str], float], source: dict[frozenset[str], float],
+         factor: float) -> None:
+    for key, value in source.items():
+        target[key] = target.get(key, 0.0) + factor * value
+
+
+def zhang_yeung_expression(variables: Sequence[str] = _DEFAULT_VARS
+                           ) -> LinearEntropyExpression:
+    """The Zhang–Yeung inequality as ``expression >= 0``.
+
+    The expression is RHS - LHS of
+
+        2 I(C;D) <= I(A;B) + I(A;CD) + 3 I(C;D|A) + I(C;D|B)
+
+    so the inequality holds for a set function h iff the returned expression
+    evaluates to >= 0 on h.
+    """
+    if len(variables) != 4:
+        raise ValueError("the Zhang-Yeung inequality is a statement about 4 variables")
+    a, b, c, d = (frozenset([v]) for v in variables)
+    ground = frozenset(variables)
+    empty: frozenset[str] = frozenset()
+
+    coefficients: dict[frozenset[str], float] = {}
+    # RHS terms.
+    _add(coefficients, _mutual_information_coefficients(ground, a, b, empty), 1.0)
+    _add(coefficients, _mutual_information_coefficients(ground, a, c | d, empty), 1.0)
+    _add(coefficients, _mutual_information_coefficients(ground, c, d, a), 3.0)
+    _add(coefficients, _mutual_information_coefficients(ground, c, d, b), 1.0)
+    # Minus LHS.
+    _add(coefficients, _mutual_information_coefficients(ground, c, d, empty), -2.0)
+    return LinearEntropyExpression.from_dict(variables, coefficients)
+
+
+def zhang_yeung_is_non_shannon(variables: Sequence[str] = _DEFAULT_VARS) -> bool:
+    """True if the Zhang–Yeung inequality is *not* Shannon-provable, i.e.
+    there is a polymatroid violating it.  (This is the Zhang–Yeung theorem;
+    the function re-derives it with the LP prover.)"""
+    return not is_shannon_valid(zhang_yeung_expression(variables))
+
+
+def zhang_yeung_violating_polymatroid(variables: Sequence[str] = _DEFAULT_VARS
+                                      ) -> SetFunction | None:
+    """A polymatroid in Gamma_4 violating the Zhang–Yeung inequality.
+
+    Returns None only if (contrary to the theorem) no violator exists, which
+    would indicate a bug in the prover.
+    """
+    return find_polymatroid_counterexample(zhang_yeung_expression(variables))
+
+
+def verify_zhang_yeung_on_entropic(variables: Sequence[str],
+                                   distribution: dict[tuple, float],
+                                   tolerance: float = 1e-9) -> bool:
+    """Check the Zhang–Yeung inequality on the entropy function of a concrete
+    4-variable distribution (it must hold: the inequality is valid on
+    Gamma*_4)."""
+    h = entropy_function_of_distribution(variables, distribution)
+    return zhang_yeung_expression(tuple(variables)).evaluate(h) >= -tolerance

@@ -1,0 +1,262 @@
+"""Set functions on a finite ground set and the polymatroid axioms.
+
+A set function h : 2^V -> R_+ with h(emptyset) = 0 is
+
+* *modular*      if h(S) = sum_{v in S} h({v}),
+* *monotone*     if h(X) <= h(Y) whenever X subseteq Y,
+* *subadditive*  if h(X u Y) <= h(X) + h(Y),
+* *submodular*   if h(X u Y) + h(X n Y) <= h(X) + h(Y),
+* a *polymatroid* if it is non-negative, monotone, submodular and h(0) = 0.
+
+These are exactly the cones M_n ⊆ Γ*_n ⊆ closure(Γ*_n) ⊆ Γ_n ⊆ SA_n of
+Definition 2 in the paper (Γ*_n, the entropic functions, is handled in
+:mod:`repro.infotheory.entropy`).
+"""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import NotEntropicError
+
+Subset = frozenset
+
+
+def all_subsets(ground_set: Iterable[str]) -> Iterator[frozenset[str]]:
+    """Yield every subset of ``ground_set`` (including the empty set)."""
+    items = tuple(ground_set)
+    return (
+        frozenset(c)
+        for c in chain.from_iterable(combinations(items, r) for r in range(len(items) + 1))
+    )
+
+
+class SetFunction:
+    """A real-valued set function over subsets of a ground set.
+
+    Values are stored for every subset; the constructor fills in missing
+    subsets only if ``require_complete`` is False, in which case the value 0
+    is used (useful when building functions incrementally).
+
+    Parameters
+    ----------
+    ground_set:
+        The variables V.
+    values:
+        Mapping from subsets (any iterable of variable names) to values.
+        The empty set defaults to 0 and must map to 0 if present.
+    """
+
+    __slots__ = ("_ground_set", "_values")
+
+    def __init__(self, ground_set: Iterable[str],
+                 values: Mapping[Iterable[str] | frozenset[str], float],
+                 require_complete: bool = True):
+        self._ground_set = frozenset(ground_set)
+        normalized: dict[frozenset[str], float] = {}
+        for key, value in values.items():
+            subset = frozenset(key)
+            if not subset <= self._ground_set:
+                raise NotEntropicError(
+                    f"subset {sorted(subset)} is not contained in the ground set "
+                    f"{sorted(self._ground_set)}"
+                )
+            normalized[subset] = float(value)
+        normalized.setdefault(frozenset(), 0.0)
+        if abs(normalized[frozenset()]) > 1e-12:
+            raise NotEntropicError("a set function must have h(emptyset) = 0")
+        if require_complete:
+            missing = [s for s in all_subsets(self._ground_set) if s not in normalized]
+            if missing:
+                raise NotEntropicError(
+                    f"missing values for {len(missing)} subsets, e.g. "
+                    f"{sorted(missing[0])}"
+                )
+        else:
+            for subset in all_subsets(self._ground_set):
+                normalized.setdefault(subset, 0.0)
+        self._values = normalized
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def ground_set(self) -> frozenset[str]:
+        """The ground set V."""
+        return self._ground_set
+
+    def __call__(self, subset: Iterable[str]) -> float:
+        """Value h(S) for a subset S."""
+        return self._values[frozenset(subset)]
+
+    def value(self, subset: Iterable[str]) -> float:
+        """Alias of :meth:`__call__`."""
+        return self(subset)
+
+    def conditional(self, y: Iterable[str], x: Iterable[str]) -> float:
+        """Conditional value h(Y | X) = h(Y u X) - h(X) (chain rule, eq. 29)."""
+        x_set = frozenset(x)
+        y_set = frozenset(y) | x_set
+        return self._values[y_set] - self._values[x_set]
+
+    def items(self) -> Iterator[tuple[frozenset[str], float]]:
+        """Iterate (subset, value) pairs."""
+        return iter(self._values.items())
+
+    def as_dict(self) -> dict[frozenset[str], float]:
+        """A copy of the underlying subset -> value mapping."""
+        return dict(self._values)
+
+    def total(self) -> float:
+        """h(V), the value on the full ground set."""
+        return self._values[self._ground_set]
+
+    # ------------------------------------------------------------------
+    # Axioms
+    # ------------------------------------------------------------------
+    def is_nonnegative(self, tolerance: float = 1e-9) -> bool:
+        """True if h(S) >= 0 for every S."""
+        return all(v >= -tolerance for v in self._values.values())
+
+    def is_monotone(self, tolerance: float = 1e-9) -> bool:
+        """True if h(X) <= h(Y) whenever X subseteq Y (checked on covers:
+        X and X u {v})."""
+        for subset, value in self._values.items():
+            for v in self._ground_set - subset:
+                if value > self._values[subset | {v}] + tolerance:
+                    return False
+        return True
+
+    def is_submodular(self, tolerance: float = 1e-9) -> bool:
+        """True if h satisfies all elemental submodularity inequalities
+        h(S+i) + h(S+j) >= h(S+i+j) + h(S), which imply the general form."""
+        elements = sorted(self._ground_set)
+        for i_idx in range(len(elements)):
+            for j_idx in range(i_idx + 1, len(elements)):
+                i, j = elements[i_idx], elements[j_idx]
+                rest = self._ground_set - {i, j}
+                for s in all_subsets(rest):
+                    lhs = self._values[s | {i}] + self._values[s | {j}]
+                    rhs = self._values[s | {i, j}] + self._values[s]
+                    if lhs + tolerance < rhs:
+                        return False
+        return True
+
+    def is_subadditive(self, tolerance: float = 1e-9) -> bool:
+        """True if h(X u Y) <= h(X) + h(Y) for all X, Y."""
+        subsets = list(all_subsets(self._ground_set))
+        for x in subsets:
+            for y in subsets:
+                if self._values[x | y] > self._values[x] + self._values[y] + tolerance:
+                    return False
+        return True
+
+    def is_modular(self, tolerance: float = 1e-9) -> bool:
+        """True if h(S) = sum of singleton values for every S."""
+        for subset, value in self._values.items():
+            expected = sum(self._values[frozenset([v])] for v in subset)
+            if abs(value - expected) > tolerance:
+                return False
+        return True
+
+    def is_polymatroid(self, tolerance: float = 1e-9) -> bool:
+        """True if h is a polymatroid (non-negative, monotone, submodular)."""
+        return (
+            self.is_nonnegative(tolerance)
+            and self.is_monotone(tolerance)
+            and self.is_submodular(tolerance)
+        )
+
+    # ------------------------------------------------------------------
+    # Arithmetic (the cones are closed under these)
+    # ------------------------------------------------------------------
+    def scale(self, factor: float) -> "SetFunction":
+        """The function factor * h."""
+        return SetFunction(
+            self._ground_set,
+            {s: factor * v for s, v in self._values.items()},
+        )
+
+    def add(self, other: "SetFunction") -> "SetFunction":
+        """Pointwise sum h + g (ground sets must match)."""
+        if other.ground_set != self._ground_set:
+            raise NotEntropicError("cannot add set functions over different ground sets")
+        return SetFunction(
+            self._ground_set,
+            {s: v + other._values[s] for s, v in self._values.items()},
+        )
+
+    def __add__(self, other: "SetFunction") -> "SetFunction":
+        return self.add(other)
+
+    def __mul__(self, factor: float) -> "SetFunction":
+        return self.scale(factor)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SetFunction):
+            return NotImplemented
+        if other.ground_set != self._ground_set:
+            return False
+        return all(
+            abs(v - other._values[s]) <= 1e-12 for s, v in self._values.items()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - rarely needed
+        return hash((self._ground_set, tuple(sorted(
+            (tuple(sorted(s)), round(v, 12)) for s, v in self._values.items()
+        ))))
+
+    def __repr__(self) -> str:
+        entries = ", ".join(
+            f"{{{','.join(sorted(s))}}}: {v:.4g}"
+            for s, v in sorted(self._values.items(), key=lambda kv: (len(kv[0]), sorted(kv[0])))
+            if s
+        )
+        return f"SetFunction({entries})"
+
+
+def modular_from_singletons(ground_set: Iterable[str],
+                            singleton_values: Mapping[str, float]) -> SetFunction:
+    """Build the modular function f(S) = sum_{v in S} singleton_values[v].
+
+    This is the construction used in the proof of Proposition 4.4 (eq. 46).
+    """
+    ground = frozenset(ground_set)
+    missing = ground - set(singleton_values)
+    if missing:
+        raise NotEntropicError(f"missing singleton values for {sorted(missing)}")
+    negative = [v for v in ground if singleton_values[v] < 0]
+    if negative:
+        raise NotEntropicError(f"negative singleton values for {sorted(negative)}")
+    values = {
+        s: sum(singleton_values[v] for v in s)
+        for s in all_subsets(ground)
+    }
+    return SetFunction(ground, values)
+
+
+def uniform_step_function(ground_set: Iterable[str], threshold: int,
+                          height: float = 1.0) -> SetFunction:
+    """The "step" polymatroid h(S) = height * min(|S|, threshold).
+
+    These step functions are the classic extreme rays of the polymatroid
+    cone and are useful for exercising the Shannon-inequality prover.
+    """
+    ground = frozenset(ground_set)
+    if threshold < 0:
+        raise NotEntropicError("threshold must be non-negative")
+    values = {
+        s: height * min(len(s), threshold)
+        for s in all_subsets(ground)
+    }
+    return SetFunction(ground, values)
+
+
+def from_callable(ground_set: Iterable[str], func) -> SetFunction:
+    """Materialize a set function from a Python callable on frozensets."""
+    ground = frozenset(ground_set)
+    values = {s: float(func(s)) for s in all_subsets(ground)}
+    return SetFunction(ground, values)

@@ -1,0 +1,88 @@
+"""Heavy/light partitioning — the data-structure move behind Algorithm 2 and
+PANDA's decomposition steps.
+
+Partitioning a relation R on the degree of a variable set X (tuples whose
+X-value has more than ``threshold`` extensions are "heavy", the rest "light")
+is the operational counterpart of the entropy chain-rule step
+h(Y) -> h(X) + h(Y | X): the heavy part has few distinct X-values
+(<= |R| / threshold) and the light part has bounded degree (<= threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.joins.instrumentation import OperationCounter
+from repro.relational.relation import Relation
+from repro.relational.statistics import degree as relation_degree
+
+
+@dataclass(frozen=True)
+class HeavyLightSplit:
+    """The result of a heavy/light partition.
+
+    Attributes
+    ----------
+    heavy:
+        Tuples whose key value has degree > threshold.
+    light:
+        Tuples whose key value has degree <= threshold.
+    threshold:
+        The threshold used.
+    key:
+        The partitioning attributes X.
+    """
+
+    heavy: Relation
+    light: Relation
+    threshold: float
+    key: tuple[str, ...]
+
+    def verify(self) -> bool:
+        """Check the two defining properties of the partition:
+
+        * the heavy part has at most |R| / threshold distinct key values,
+        * every key value of the light part has degree <= threshold.
+        """
+        total = len(self.heavy) + len(self.light)
+        if self.threshold > 0:
+            heavy_keys = len(self.heavy.columns(self.key))
+            if heavy_keys > total / self.threshold + 1e-9:
+                return False
+        if len(self.light) > 0:
+            rest = tuple(a for a in self.light.attributes if a not in self.key)
+            if rest:
+                if relation_degree(self.light, self.key, rest) > self.threshold + 1e-9:
+                    return False
+        return True
+
+
+def heavy_light_partition(relation: Relation, key: Sequence[str], threshold: float,
+                          counter: OperationCounter | None = None) -> HeavyLightSplit:
+    """Split ``relation`` into heavy and light parts on the degree of ``key``.
+
+    A tuple is *heavy* when its key value appears in more than ``threshold``
+    tuples of the relation, *light* otherwise.  The scan is a single pass
+    plus a counting pass and is charged to the counter as tuples scanned.
+    """
+    key = tuple(key)
+    positions = relation.schema.positions(key)
+    counts: dict[tuple, int] = {}
+    for tup in relation:
+        k = tuple(tup[p] for p in positions)
+        counts[k] = counts.get(k, 0) + 1
+    if counter is not None:
+        counter.charge(tuples_scanned=2 * len(relation))
+
+    heavy_tuples = []
+    light_tuples = []
+    for tup in relation:
+        k = tuple(tup[p] for p in positions)
+        if counts[k] > threshold:
+            heavy_tuples.append(tup)
+        else:
+            light_tuples.append(tup)
+    heavy = Relation(f"{relation.name}_heavy", relation.schema, heavy_tuples)
+    light = Relation(f"{relation.name}_light", relation.schema, light_tuples)
+    return HeavyLightSplit(heavy=heavy, light=light, threshold=threshold, key=key)

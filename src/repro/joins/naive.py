@@ -1,0 +1,59 @@
+"""A naive nested-loop join used as the ground-truth oracle in tests.
+
+Every other engine in this package (Generic-Join, Leapfrog Triejoin, the
+triangle algorithms, Algorithm 3, binary plans, PANDA) is checked against
+this implementation on small instances: they must all produce exactly the
+same set of output tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.joins.instrumentation import OperationCounter
+from repro.query.atoms import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def nested_loop_join(query: ConjunctiveQuery, database: Database,
+                     counter: OperationCounter | None = None) -> Relation:
+    """Evaluate the query by brute-force backtracking over atom tuples.
+
+    The algorithm picks atoms one at a time (in body order) and extends a
+    partial variable binding with every compatible tuple; it is exponential
+    but obviously correct, which is the point.
+    """
+    bound_relations = query.bind(database)
+    atoms = [(query.edge_key(i), atom) for i, atom in enumerate(query.atoms)]
+    variables = query.variables
+    results: set[tuple] = set()
+
+    def extend(index: int, binding: dict[str, Any]) -> None:
+        if index == len(atoms):
+            results.add(tuple(binding[v] for v in variables))
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+            return
+        edge_key, atom = atoms[index]
+        relation = bound_relations[edge_key]
+        for tup in relation:
+            if counter is not None:
+                counter.charge(tuples_scanned=1)
+            consistent = True
+            for var, value in zip(atom.variables, tup):
+                if var in binding and binding[var] != value:
+                    consistent = False
+                    break
+            if not consistent:
+                continue
+            new_binding = dict(binding)
+            new_binding.update(zip(atom.variables, tup))
+            extend(index + 1, new_binding)
+
+    extend(0, {})
+    head = query.head
+    output = Relation(query.name, variables, results)
+    if tuple(head) != tuple(variables):
+        output = output.project(head, name=query.name)
+    return output

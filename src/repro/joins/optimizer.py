@@ -1,0 +1,77 @@
+"""A small strategy chooser: pairwise plans for acyclic queries, WCOJ for
+cyclic ones.
+
+This is deliberately minimal — the paper's Open Problem 8 is precisely that a
+principled multiway-join optimizer does not exist yet.  The rule implemented
+here captures the actionable part of the theory:
+
+* alpha-acyclic queries are handled optimally (output-linear after a
+  semijoin pass) by classical plans, so a greedy left-deep plan is used;
+* cyclic queries are exactly where pairwise plans can be asymptotically
+  suboptimal, so Generic-Join is used.
+
+The chooser also reports the AGM bound it computed, so callers can log the
+evidence behind the decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bounds.agm import AGMBound, agm_bound
+from repro.joins.binary_plans import greedy_left_deep_plan
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.plan import execute_plan
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.decomposition import is_alpha_acyclic
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class StrategyChoice:
+    """The optimizer's decision and the evidence used to make it.
+
+    Attributes
+    ----------
+    strategy:
+        ``"binary"`` or ``"wcoj"``.
+    acyclic:
+        Whether the query hypergraph is alpha-acyclic.
+    agm:
+        The AGM bound of the query on the given database.
+    """
+
+    strategy: str
+    acyclic: bool
+    agm: AGMBound
+
+
+def choose_strategy(query: ConjunctiveQuery, database: Database) -> StrategyChoice:
+    """Pick an evaluation strategy for the query on this database."""
+    acyclic = is_alpha_acyclic(query.hypergraph())
+    bound = agm_bound(query, database)
+    strategy = "binary" if acyclic else "wcoj"
+    return StrategyChoice(strategy=strategy, acyclic=acyclic, agm=bound)
+
+
+def evaluate(query: ConjunctiveQuery, database: Database,
+             strategy: str | None = None,
+             counter: OperationCounter | None = None) -> Relation:
+    """Evaluate the query with the chosen (or automatically chosen) strategy.
+
+    Parameters
+    ----------
+    strategy:
+        ``"binary"``, ``"wcoj"`` or None (auto-choose).
+    """
+    if strategy is None:
+        strategy = choose_strategy(query, database).strategy
+    if strategy == "binary":
+        plan = greedy_left_deep_plan(query, database)
+        execution = execute_plan(plan, query, database, counter=counter)
+        return execution.result
+    if strategy == "wcoj":
+        return generic_join(query, database, counter=counter)
+    raise ValueError(f"unknown strategy {strategy!r}")

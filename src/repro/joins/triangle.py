@@ -1,0 +1,154 @@
+"""The two triangle algorithms of Section 2, implemented verbatim.
+
+Both evaluate Q(A,B,C) <- R(A,B), S(B,C), T(A,C) in time
+O~(N + sqrt(|R| |S| |T|)):
+
+* :func:`triangle_algorithm1` follows the Hölder/Bollobás–Thomason proof —
+  it is the three nested intersection loops of Algorithm 1 (a special case
+  of Generic-Join with order A, B, C).
+* :func:`triangle_algorithm2` follows the entropy proof (eq. 20–24) — it
+  partitions R into heavy and light parts at the threshold
+  theta = sqrt(|R| |S| / |T|) and takes the union of two binary-join plans
+  (Algorithm 2).
+
+:func:`triangle_binary_plan` is the traditional (R JOIN S) JOIN T pairwise
+plan used as the baseline in the scaling experiment.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.joins.instrumentation import OperationCounter
+from repro.relational.operators import natural_join, semijoin
+from repro.relational.relation import Relation
+
+
+def _check_triangle_schemas(r: Relation, s: Relation, t: Relation) -> None:
+    expected = {("A", "B"): r, ("B", "C"): s, ("A", "C"): t}
+    for attrs, rel in expected.items():
+        if tuple(rel.attributes) != attrs:
+            raise ValueError(
+                f"relation {rel.name!r} must have schema {attrs}, got {rel.attributes}; "
+                "rename columns before calling the triangle algorithms"
+            )
+
+
+def triangle_algorithm1(r: Relation, s: Relation, t: Relation,
+                        counter: OperationCounter | None = None) -> Relation:
+    """Algorithm 1: nested intersections following the Hölder-inequality proof.
+
+    ``r``, ``s``, ``t`` must have schemas (A, B), (B, C), (A, C) respectively.
+    Returns the triangle relation over (A, B, C).
+    """
+    _check_triangle_schemas(r, s, t)
+
+    def charge(**kw: int) -> None:
+        if counter is not None:
+            counter.charge(**kw)
+
+    # Index R and S by their first attribute, T by A; store sets of second
+    # attribute values so intersections iterate the smaller side.
+    r_by_a: dict[object, set] = {}
+    for a, b in r:
+        r_by_a.setdefault(a, set()).add(b)
+    s_by_b: dict[object, set] = {}
+    for b, c in s:
+        s_by_b.setdefault(b, set()).add(c)
+    t_by_a: dict[object, set] = {}
+    for a, c in t:
+        t_by_a.setdefault(a, set()).add(c)
+    charge(tuples_scanned=len(r) + len(s) + len(t),
+           hash_inserts=len(r) + len(s) + len(t))
+
+    pi_a_r = set(r_by_a.keys())
+    pi_a_t = set(t_by_a.keys())
+    pi_b_s = set(s_by_b.keys())
+
+    results = []
+    outer = pi_a_r if len(pi_a_r) <= len(pi_a_t) else pi_a_t
+    other = pi_a_t if outer is pi_a_r else pi_a_r
+    charge(intersection_steps=len(outer))
+    for a in outer:
+        if a not in other:
+            continue
+        r_a = r_by_a[a]
+        t_a = t_by_a[a]
+        inner_b = r_a if len(r_a) <= len(pi_b_s) else pi_b_s
+        other_b = pi_b_s if inner_b is r_a else r_a
+        charge(intersection_steps=len(inner_b))
+        for b in inner_b:
+            if b not in other_b:
+                continue
+            s_b = s_by_b[b]
+            inner_c = s_b if len(s_b) <= len(t_a) else t_a
+            other_c = t_a if inner_c is s_b else s_b
+            charge(intersection_steps=len(inner_c))
+            for c in inner_c:
+                if c in other_c:
+                    results.append((a, b, c))
+                    charge(tuples_emitted=1)
+    return Relation("Q_triangle", ("A", "B", "C"), results)
+
+
+def triangle_algorithm2(r: Relation, s: Relation, t: Relation,
+                        counter: OperationCounter | None = None,
+                        theta: float | None = None) -> Relation:
+    """Algorithm 2: the heavy/light partition join from the entropy proof.
+
+    theta defaults to sqrt(|R| * |S| / |T|) as in the paper.  Returns the
+    triangle relation over (A, B, C); the two branches' intermediate sizes
+    are charged to ``counter`` as ``intermediate_tuples``.
+    """
+    _check_triangle_schemas(r, s, t)
+    if len(r) == 0 or len(s) == 0 or len(t) == 0:
+        return Relation("Q_triangle", ("A", "B", "C"), ())
+    if theta is None:
+        theta = math.sqrt(len(r) * len(s) / len(t))
+
+    # Degree of each A-value in R decides heavy vs light.
+    degree_a: dict[object, int] = {}
+    for a, _ in r:
+        degree_a[a] = degree_a.get(a, 0) + 1
+    if counter is not None:
+        counter.charge(tuples_scanned=len(r))
+
+    heavy_tuples = [(a, b) for a, b in r if degree_a[a] > theta]
+    light_tuples = [(a, b) for a, b in r if degree_a[a] <= theta]
+    r_heavy = Relation("R_heavy", ("A", "B"), heavy_tuples)
+    r_light = Relation("R_light", ("A", "B"), light_tuples)
+
+    # Heavy branch: (R_heavy JOIN S) SEMIJOIN T.
+    heavy_join = natural_join(r_heavy, s, counter=counter)
+    if counter is not None:
+        counter.charge(intermediate_tuples=len(heavy_join))
+    heavy_result = semijoin(heavy_join, t, counter=counter)
+
+    # Light branch: (R_light JOIN T) SEMIJOIN S.
+    light_join = natural_join(r_light, t, counter=counter)
+    if counter is not None:
+        counter.charge(intermediate_tuples=len(light_join))
+    light_result = semijoin(light_join, s, counter=counter)
+
+    combined = {
+        tuple(row) for row in heavy_result.reorder(("A", "B", "C"))
+    } | {
+        tuple(row) for row in light_result.reorder(("A", "B", "C"))
+    }
+    return Relation("Q_triangle", ("A", "B", "C"), combined)
+
+
+def triangle_binary_plan(r: Relation, s: Relation, t: Relation,
+                         counter: OperationCounter | None = None) -> Relation:
+    """The traditional pairwise plan (R JOIN S) JOIN T.
+
+    Its intermediate result R JOIN S can be as large as |R| * |S| even when
+    the final output is small, which is exactly the behaviour the WCOJ
+    algorithms avoid; ``intermediate_tuples`` records it.
+    """
+    _check_triangle_schemas(r, s, t)
+    first = natural_join(r, s, counter=counter)
+    if counter is not None:
+        counter.charge(intermediate_tuples=len(first))
+    second = natural_join(first, t, counter=counter)
+    return second.reorder(("A", "B", "C"), name="Q_triangle")

@@ -1,0 +1,129 @@
+"""Yannakakis' algorithm for alpha-acyclic queries.
+
+The classical counterpoint to WCOJ algorithms: when the query hypergraph is
+alpha-acyclic, a full semijoin reduction along a join tree followed by joins
+in reverse order evaluates the query in O(|D| + |output|) — no pairwise plan
+pathology, no need for multiway intersection.  The paper's separation results
+are precisely about the *cyclic* queries where this classical route is
+unavailable; having Yannakakis in the library lets the optimizer (and the
+experiments) treat the acyclic case with the right tool and makes the
+"cyclic is where WCOJ matters" story executable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.joins.instrumentation import OperationCounter
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.decomposition import gyo_reduction
+from repro.relational.database import Database
+from repro.relational.operators import natural_join, semijoin
+from repro.relational.relation import Relation
+
+
+def yannakakis(query: ConjunctiveQuery, database: Database,
+               counter: OperationCounter | None = None) -> Relation:
+    """Evaluate an alpha-acyclic full conjunctive query with Yannakakis'
+    algorithm.
+
+    Phases:
+
+    1. build a join tree from the GYO reduction;
+    2. bottom-up semijoin pass (children reduce their parents);
+    3. top-down semijoin pass (parents reduce their children);
+    4. join bottom-up; after the two passes every intermediate join result
+       is no larger than the final output times the subtree's contribution,
+       giving the classical O(|D| + |output|) guarantee for full queries.
+
+    Raises
+    ------
+    QueryError
+        If the query hypergraph is not alpha-acyclic.
+    """
+    hypergraph = query.hypergraph()
+    reduction = gyo_reduction(hypergraph)
+    if not reduction.acyclic:
+        raise QueryError(
+            f"query {query.name!r} is not alpha-acyclic; use a WCOJ algorithm instead"
+        )
+
+    relations = dict(query.bind(database))
+    parent = dict(reduction.parent)
+    # Children lists per node, and a bottom-up order (the GYO elimination
+    # order visits leaves before the nodes that absorbed them).
+    order = list(reduction.elimination_order)
+    children: dict[str, list[str]] = {key: [] for key in parent}
+    root = None
+    for child, par in parent.items():
+        if par is None:
+            root = child
+        else:
+            children[par].append(child)
+    if root is None:
+        # Single-edge query: the only edge is its own root.
+        root = order[-1]
+
+    # Phase 2: bottom-up semijoins (each node reduces its parent).
+    for node in order:
+        par = parent.get(node)
+        if par is None:
+            continue
+        relations[par] = semijoin(relations[par], relations[node], counter=counter)
+
+    # Phase 3: top-down semijoins (each parent reduces its children).
+    for node in reversed(order):
+        for child in children.get(node, ()):
+            relations[child] = semijoin(relations[child], relations[node],
+                                        counter=counter)
+
+    # Phase 4: join bottom-up.
+    for node in order:
+        par = parent.get(node)
+        if par is None:
+            continue
+        joined = natural_join(relations[par], relations[node], counter=counter)
+        if counter is not None:
+            counter.charge(intermediate_tuples=len(joined))
+        relations[par] = joined
+
+    result = relations[root]
+    variables = query.variables
+    missing = [v for v in variables if v not in result.schema]
+    if missing:
+        raise QueryError(
+            f"internal error: join tree result is missing variables {missing}"
+        )
+    ordered = result.reorder(variables, name=query.name)
+    if tuple(query.head) != tuple(variables):
+        ordered = ordered.project(query.head, name=query.name)
+    return ordered
+
+
+def semijoin_reduce(query: ConjunctiveQuery, database: Database,
+                    counter: OperationCounter | None = None) -> dict[str, Relation]:
+    """The full (bottom-up + top-down) semijoin reduction only.
+
+    Returns the reduced relation per edge key.  After this pass every
+    remaining tuple participates in at least one output tuple (for acyclic
+    queries), which is the precondition for output-linear join evaluation.
+    """
+    hypergraph = query.hypergraph()
+    reduction = gyo_reduction(hypergraph)
+    if not reduction.acyclic:
+        raise QueryError("semijoin reduction to a consistent state requires acyclicity")
+    relations = dict(query.bind(database))
+    parent = dict(reduction.parent)
+    order = list(reduction.elimination_order)
+    children: dict[str, list[str]] = {key: [] for key in parent}
+    for child, par in parent.items():
+        if par is not None:
+            children[par].append(child)
+    for node in order:
+        par = parent.get(node)
+        if par is not None:
+            relations[par] = semijoin(relations[par], relations[node], counter=counter)
+    for node in reversed(order):
+        for child in children.get(node, ()):
+            relations[child] = semijoin(relations[child], relations[node],
+                                        counter=counter)
+    return relations

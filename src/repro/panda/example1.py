@@ -1,0 +1,274 @@
+"""The paper's Example 1 and Table 2, reproduced end to end.
+
+Example 1 (Section 5.2.3):
+
+    Q(A,B,C,D) <- R(A,B), S(B,C), T(C,D), W(A,C,D), V(A,B,D)
+
+with degree constraints
+
+    (emptyset, AB,  N_AB)        guarded by R,
+    (emptyset, BC,  N_BC)        guarded by S,
+    (emptyset, CD,  N_CD)        guarded by T,
+    (AC,       ACD, N_ACD|AC)    guarded by W,
+    (BD,       ABD, N_ABD|BD)    guarded by V.
+
+The Shannon-flow inequality
+
+    h(ABCD) <= 1/2 [ h(AB) + h(BC) + h(CD) + h(ACD|AC) + h(ABD|BD) ]
+
+admits the 9-step proof sequence of Table 2, and PANDA evaluates the query in
+time O~( sqrt(N_BC N_CD N_ABD|BD N_AB N_ACD|AC) ) using the threshold
+
+    theta = sqrt( N_BC N_CD N_ABD|BD / (N_AB N_ACD|AC) ).
+
+This module builds all of these objects, generates databases satisfying the
+constraints, runs the interpreter, and regenerates the rows of Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.datagen.relations import random_relation, relation_with_degree_bound
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.panda.interpreter import PandaInterpreter, PandaResult
+from repro.panda.proof_sequence import (
+    CompositionStep,
+    DecompositionStep,
+    ProofSequence,
+    SubmodularityStep,
+    step_kind,
+)
+from repro.panda.shannon_flow import ShannonFlowInequality
+from repro.panda.terms import ConditionalTerm
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.statistics import degree as relation_degree
+
+_HALF = Fraction(1, 2)
+
+
+def example1_query() -> ConjunctiveQuery:
+    """The Example 1 query Q(A,B,C,D) <- R(A,B), S(B,C), T(C,D), W(A,C,D), V(A,B,D)."""
+    return ConjunctiveQuery(
+        [
+            Atom("R", ("A", "B")),
+            Atom("S", ("B", "C")),
+            Atom("T", ("C", "D")),
+            Atom("W", ("A", "C", "D")),
+            Atom("V", ("A", "B", "D")),
+        ],
+        name="Q_example1",
+    )
+
+
+def example1_constraints(n_ab: int, n_bc: int, n_cd: int,
+                         n_acd_given_ac: int, n_abd_given_bd: int
+                         ) -> DegreeConstraintSet:
+    """The five degree constraints of Example 1 with the given statistics."""
+    return DegreeConstraintSet(
+        ("A", "B", "C", "D"),
+        [
+            DegreeConstraint.cardinality(("A", "B"), n_ab, guard="R"),
+            DegreeConstraint.cardinality(("B", "C"), n_bc, guard="S"),
+            DegreeConstraint.cardinality(("C", "D"), n_cd, guard="T"),
+            DegreeConstraint(x=frozenset("AC"), y=frozenset("ACD"),
+                             bound=n_acd_given_ac, guard="W"),
+            DegreeConstraint(x=frozenset("BD"), y=frozenset("ABD"),
+                             bound=n_abd_given_bd, guard="V"),
+        ],
+    )
+
+
+def example1_inequality() -> ShannonFlowInequality:
+    """The Shannon-flow inequality of Example 1 (all coefficients 1/2)."""
+    return ShannonFlowInequality.from_terms(
+        ("A", "B", "C", "D"),
+        {
+            ConditionalTerm.unconditional(frozenset("AB")): _HALF,
+            ConditionalTerm.unconditional(frozenset("BC")): _HALF,
+            ConditionalTerm.unconditional(frozenset("CD")): _HALF,
+            ConditionalTerm(y=frozenset("ACD"), x=frozenset("AC")): _HALF,
+            ConditionalTerm(y=frozenset("ABD"), x=frozenset("BD")): _HALF,
+        },
+    )
+
+
+def example1_proof_sequence() -> ProofSequence:
+    """The 9-step proof sequence of Table 2 (all weights 1/2)."""
+    f = frozenset
+    steps = [
+        DecompositionStep(y=f("BC"), x=f("B"), weight=_HALF),
+        SubmodularityStep(i_set=f("CD"), j_set=f("B"), weight=_HALF),
+        CompositionStep(y=f("BCD"), x=f("B"), weight=_HALF),
+        SubmodularityStep(i_set=f("ABD"), j_set=f("BCD"), weight=_HALF),
+        CompositionStep(y=f("ABCD"), x=f("BCD"), weight=_HALF),
+        SubmodularityStep(i_set=f("BC"), j_set=f("AB"), weight=_HALF),
+        CompositionStep(y=f("ABC"), x=f("AB"), weight=_HALF),
+        SubmodularityStep(i_set=f("ACD"), j_set=f("ABC"), weight=_HALF),
+        CompositionStep(y=f("ABCD"), x=f("ABC"), weight=_HALF),
+    ]
+    return ProofSequence(example1_inequality(), steps)
+
+
+def example1_theta(n_ab: int, n_bc: int, n_cd: int,
+                   n_acd_given_ac: int, n_abd_given_bd: int) -> float:
+    """The paper's partition threshold theta (footnote of Table 2)."""
+    numerator = n_bc * n_cd * n_abd_given_bd
+    denominator = max(1, n_ab * n_acd_given_ac)
+    return math.sqrt(numerator / denominator)
+
+
+def example1_runtime_bound(n_ab: int, n_bc: int, n_cd: int,
+                           n_acd_given_ac: int, n_abd_given_bd: int) -> float:
+    """The PANDA runtime bound (75): sqrt(N_BC N_CD N_ABD|BD N_AB N_ACD|AC)."""
+    return math.sqrt(
+        float(n_bc) * n_cd * n_abd_given_bd * n_ab * n_acd_given_ac
+    )
+
+
+def example1_database(scale: int = 200, domain_size: int | None = None,
+                      degree_bound: int = 4, seed: int = 0) -> Database:
+    """A random database for Example 1 that satisfies its constraint shapes.
+
+    ``scale`` controls the cardinalities of R, S, T; W and V are generated
+    with bounded degree (``degree_bound``) over their conditioning pairs so
+    that the two proper degree constraints hold by construction.
+    """
+    if domain_size is None:
+        domain_size = max(4, int(round(math.sqrt(scale))))
+    r = random_relation("R", ("A", "B"), scale, domain_size, seed=seed)
+    s = random_relation("S", ("B", "C"), scale, domain_size, seed=seed + 1)
+    t = random_relation("T", ("C", "D"), scale, domain_size, seed=seed + 2)
+    w = relation_with_degree_bound(
+        "W", ("A", "C", "D"), key=("A", "C"), max_degree=degree_bound,
+        num_keys=min(scale, domain_size * domain_size), domain_size=domain_size,
+        seed=seed + 3,
+    )
+    v = relation_with_degree_bound(
+        "V", ("A", "B", "D"), key=("B", "D"), max_degree=degree_bound,
+        num_keys=min(scale, domain_size * domain_size), domain_size=domain_size,
+        seed=seed + 4,
+    )
+    return Database([r, s, t, w, v])
+
+
+def observed_statistics(database: Database) -> dict[str, int]:
+    """Read the Example 1 statistics (N_AB, ..., N_ABD|BD) off a database."""
+    w = database["W"]
+    v = database["V"]
+    return {
+        "N_AB": len(database["R"]),
+        "N_BC": len(database["S"]),
+        "N_CD": len(database["T"]),
+        "N_ACD|AC": relation_degree(w, ("A", "C"), ("D",)) if len(w) else 0,
+        "N_ABD|BD": relation_degree(v, ("B", "D"), ("A",)) if len(v) else 0,
+    }
+
+
+@dataclass
+class Example1Run:
+    """Everything the Example 1 / Table 2 experiment reports.
+
+    Attributes
+    ----------
+    result:
+        The PANDA execution result.
+    statistics:
+        The observed N_AB, ..., N_ABD|BD statistics.
+    runtime_bound:
+        The bound (75) evaluated on those statistics.
+    theta:
+        The partition threshold used.
+    matches_generic_join:
+        Whether PANDA's output equals Generic-Join's on the same instance.
+    """
+
+    result: PandaResult
+    statistics: dict[str, int]
+    runtime_bound: float
+    theta: float
+    matches_generic_join: bool
+
+
+def run_example1(database: Database | None = None, scale: int = 200,
+                 seed: int = 0) -> Example1Run:
+    """Run PANDA on Example 1 (Table 2's program) and cross-check the output."""
+    if database is None:
+        database = example1_database(scale=scale, seed=seed)
+    stats = observed_statistics(database)
+    dc = example1_constraints(
+        stats["N_AB"], stats["N_BC"], stats["N_CD"],
+        max(1, stats["N_ACD|AC"]), max(1, stats["N_ABD|BD"]),
+    )
+    query = example1_query()
+    sequence = example1_proof_sequence()
+    theta = example1_theta(
+        stats["N_AB"], stats["N_BC"], stats["N_CD"],
+        max(1, stats["N_ACD|AC"]), max(1, stats["N_ABD|BD"]),
+    )
+    # The only decomposition step is step 0 (partition of S on B).
+    interpreter = PandaInterpreter(query, database, dc, sequence,
+                                   thresholds={0: theta},
+                                   counter=OperationCounter())
+    result = interpreter.run()
+    expected = generic_join(query, database)
+    bound = example1_runtime_bound(
+        stats["N_AB"], stats["N_BC"], stats["N_CD"],
+        max(1, stats["N_ACD|AC"]), max(1, stats["N_ABD|BD"]),
+    )
+    return Example1Run(
+        result=result,
+        statistics=stats,
+        runtime_bound=bound,
+        theta=theta,
+        matches_generic_join=(result.output == expected),
+    )
+
+
+# The operation and action columns of Table 2, keyed by step index.
+_TABLE2_OPERATIONS = {
+    "decomposition": "partition",
+    "submodularity": "NOOP",
+    "composition": "join",
+}
+
+_TABLE2_ACTIONS = [
+    "S -> S_heavy ∪ S_light at threshold theta on B",
+    "T(C,D) now affiliated with h(BCD|B)",
+    "I1(B,C,D) <- S_heavy(B,C), T(C,D)",
+    "V(A,B,D) now affiliated with h(ABCD|BCD)",
+    "output_1(A,B,C,D) <- V(A,B,D), I1(B,C,D)",
+    "S_light now affiliated with h(ABC|AB)",
+    "I2(A,B,C) <- R(A,B), S_light(B,C)",
+    "W(A,C,D) now affiliated with h(ABCD|ABC)",
+    "output_2(A,B,C,D) <- I2(A,B,C), W(A,C,D)",
+]
+
+
+def table2_rows(run: Example1Run | None = None) -> list[dict[str, str]]:
+    """Regenerate the rows of Table 2.
+
+    The "Name", "proof step" and "operation" columns are generated from the
+    proof-sequence objects; the "action" column uses the paper's phrasing
+    and, when an :class:`Example1Run` is supplied, is augmented with the
+    measured action log (relation sizes included).
+    """
+    sequence = example1_proof_sequence()
+    rows = []
+    for index, step in enumerate(sequence):
+        kind = step_kind(step)
+        row = {
+            "name": kind,
+            "proof_step": step.describe(),
+            "operation": _TABLE2_OPERATIONS[kind],
+            "action": _TABLE2_ACTIONS[index],
+        }
+        if run is not None and index < len(run.result.log):
+            row["measured"] = run.result.log[index]
+        rows.append(row)
+    return rows

@@ -1,0 +1,293 @@
+"""The PANDA interpreter: executing a proof sequence on a database.
+
+Section 5.2.3 / Table 2 of the paper: once a proof sequence for the
+Shannon-flow inequality h(V) <= <delta, h> is in hand, every step is read as
+a symbolic instruction over relations *affiliated* with the conditional
+terms:
+
+* a **decomposition** h(Y) -> h(X) + h(Y|X) partitions the relation
+  affiliated with h(Y) at a degree threshold theta on X: the *heavy* part
+  (few distinct X-values) becomes the affiliation of h(X), the *light* part
+  (X-degree <= theta) the affiliation of h(Y|X);
+* a **submodularity** step h(I|I n J) -> h(I u J|J) moves the affiliation to
+  the new term without touching data (a NOOP);
+* a **composition** h(X) + h(Y|X) -> h(Y) joins the two affiliated
+  relations; when Y is the full variable set the join result is one output
+  branch.
+
+The union of all output branches, semijoin-filtered against every original
+atom, is the query answer.  Correctness does not depend on the thresholds
+(they only control intermediate sizes); the Example 1 experiment verifies the
+intermediate sizes stay within the paper's bound (75) when the paper's theta
+is used.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.constraints.degree import DegreeConstraintSet
+from repro.errors import ProofError
+from repro.joins.heavy_light import heavy_light_partition
+from repro.joins.instrumentation import OperationCounter
+from repro.panda.proof_sequence import (
+    CompositionStep,
+    DecompositionStep,
+    ProofSequence,
+    SubmodularityStep,
+    step_kind,
+)
+from repro.panda.shannon_flow import ShannonFlowInequality
+from repro.panda.terms import ConditionalTerm
+from repro.query.atoms import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.operators import natural_join
+from repro.relational.relation import Relation
+
+
+@dataclass
+class PandaResult:
+    """Result of a PANDA execution.
+
+    Attributes
+    ----------
+    output:
+        The exact query output.
+    branch_outputs:
+        The candidate relations produced by each composition that reached the
+        full variable set (before the final filtering against all atoms).
+    intermediate_sizes:
+        Sizes of every relation materialized by a composition step.
+    counter:
+        Operation counter covering partitions, joins and the final filter.
+    log:
+        One human-readable action per proof step (the Table 2 "action"
+        column), plus the final union/filter step.
+    """
+
+    output: Relation
+    branch_outputs: list[Relation] = field(default_factory=list)
+    intermediate_sizes: list[int] = field(default_factory=list)
+    counter: OperationCounter = field(default_factory=OperationCounter)
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def max_intermediate(self) -> int:
+        """The largest materialized intermediate (0 if none)."""
+        return max(self.intermediate_sizes, default=0)
+
+
+class PandaInterpreter:
+    """Executes a proof sequence against a database.
+
+    Parameters
+    ----------
+    query:
+        The conjunctive query being evaluated.
+    database:
+        Its input relations.
+    dc:
+        The degree constraints; every term of the inequality must match a
+        constraint (same X and Y) that has a guard among the query atoms.
+    proof_sequence:
+        A verified proof sequence for the Shannon-flow inequality.
+    thresholds:
+        Optional mapping from decomposition step index (position in the proof
+        sequence) to the partition threshold theta; defaults to
+        sqrt(|affiliated relation|), which preserves correctness and gives a
+        balanced split.
+    counter:
+        Optional shared operation counter.
+    """
+
+    def __init__(self, query: ConjunctiveQuery, database: Database,
+                 dc: DegreeConstraintSet, proof_sequence: ProofSequence,
+                 thresholds: Mapping[int, float] | None = None,
+                 counter: OperationCounter | None = None):
+        self.query = query
+        self.database = database
+        self.dc = dc
+        self.proof_sequence = proof_sequence
+        self.thresholds = dict(thresholds or {})
+        self.counter = counter or OperationCounter()
+
+    # ------------------------------------------------------------------
+    # Setup: affiliate every inequality term with its guard relation
+    # ------------------------------------------------------------------
+    def _initial_affiliations(self) -> dict[ConditionalTerm, Relation]:
+        bound_relations = self.query.bind(self.database)
+        guards_by_shape: dict[tuple[frozenset, frozenset], Relation] = {}
+        for constraint in self.dc:
+            if constraint.guard is None:
+                continue
+            if constraint.guard in bound_relations:
+                relation = bound_relations[constraint.guard]
+            else:
+                matches = [
+                    self.query.edge_key(i)
+                    for i, atom in enumerate(self.query.atoms)
+                    if atom.relation == constraint.guard
+                ]
+                if not matches:
+                    continue
+                relation = bound_relations[matches[0]]
+            shape = (constraint.x, constraint.y)
+            if shape not in guards_by_shape or len(relation) < len(guards_by_shape[shape]):
+                guards_by_shape[shape] = relation
+
+        affiliations: dict[ConditionalTerm, Relation] = {}
+        inequality: ShannonFlowInequality = self.proof_sequence.inequality
+        for term, _weight in inequality.coefficients:
+            shape = (term.x, term.y)
+            if shape not in guards_by_shape:
+                raise ProofError(
+                    f"no guarded degree constraint matches inequality term {term}"
+                )
+            guard = guards_by_shape[shape]
+            keep = [a for a in guard.attributes if a in term.y]
+            affiliations[term] = guard.project(keep, name=f"guard[{term}]")
+            self.counter.charge(tuples_scanned=len(guard))
+        return affiliations
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> PandaResult:
+        """Execute the proof sequence and return the query output."""
+        affiliations = self._initial_affiliations()
+        result = PandaResult(output=None, counter=self.counter)  # type: ignore[arg-type]
+        full = frozenset(self.query.variables)
+
+        for index, step in enumerate(self.proof_sequence):
+            kind = step_kind(step)
+            if isinstance(step, DecompositionStep):
+                source = ConditionalTerm.unconditional(step.y)
+                relation = affiliations.pop(source, None)
+                if relation is None:
+                    raise ProofError(
+                        f"decomposition step {index} needs an affiliation for {source}"
+                    )
+                key = tuple(sorted(step.x & set(relation.attributes)))
+                theta = self.thresholds.get(index, math.sqrt(max(1, len(relation))))
+                split = heavy_light_partition(relation, key, theta, counter=self.counter)
+                heavy_term = ConditionalTerm.unconditional(step.x)
+                light_term = ConditionalTerm(y=step.y, x=step.x)
+                affiliations[heavy_term] = split.heavy
+                affiliations[light_term] = split.light
+                result.log.append(
+                    f"partition {relation.name} at theta={theta:.3g} on "
+                    f"{','.join(key)}: heavy={len(split.heavy)} -> {heavy_term}, "
+                    f"light={len(split.light)} -> {light_term}"
+                )
+            elif isinstance(step, SubmodularityStep):
+                source = step.source
+                target = step.target
+                relation = affiliations.pop(source, None)
+                if relation is None:
+                    raise ProofError(
+                        f"submodularity step {index} needs an affiliation for {source}"
+                    )
+                affiliations[target] = relation
+                result.log.append(
+                    f"NOOP: {relation.name} now affiliated with {target}"
+                )
+            elif isinstance(step, CompositionStep):
+                conditional = ConditionalTerm(y=step.y, x=step.x)
+                unconditional = ConditionalTerm.unconditional(step.x)
+                left = affiliations.pop(unconditional, None)
+                right = affiliations.pop(conditional, None)
+                if left is None or right is None:
+                    missing = unconditional if left is None else conditional
+                    raise ProofError(
+                        f"composition step {index} needs an affiliation for {missing}"
+                    )
+                joined = natural_join(left, right, counter=self.counter,
+                                      name=f"I{index}")
+                result.intermediate_sizes.append(len(joined))
+                self.counter.charge(intermediate_tuples=len(joined))
+                target = ConditionalTerm.unconditional(step.y)
+                affiliations[target] = joined
+                result.log.append(
+                    f"join {left.name} and {right.name} -> {target} ({len(joined)} tuples)"
+                )
+                if step.y == full:
+                    result.branch_outputs.append(joined)
+            else:  # pragma: no cover - exhaustive over step kinds
+                raise ProofError(f"unknown proof step kind {kind!r}")
+
+        if not result.branch_outputs:
+            raise ProofError(
+                "the proof sequence never produced the full variable set; "
+                "no output branches to combine"
+            )
+        result.output = self._combine_branches(result.branch_outputs)
+        result.log.append(
+            f"union of {len(result.branch_outputs)} branches filtered against "
+            f"{len(self.query.atoms)} atoms -> {len(result.output)} output tuples"
+        )
+        return result
+
+    def _combine_branches(self, branches: Sequence[Relation]) -> Relation:
+        """Union the branch outputs and filter against every query atom."""
+        variables = self.query.variables
+        bound_relations = self.query.bind(self.database)
+        memberships = []
+        for i, atom in enumerate(self.query.atoms):
+            relation = bound_relations[self.query.edge_key(i)]
+            memberships.append((atom.variables, relation.columns(atom.variables)))
+            self.counter.charge(hash_inserts=len(relation))
+
+        candidates: set[tuple] = set()
+        for branch in branches:
+            missing = [v for v in variables if v not in branch.schema]
+            if missing:
+                raise ProofError(
+                    f"branch output {branch.name} is missing variables {missing}"
+                )
+            reordered = branch.reorder(variables)
+            candidates |= set(reordered.tuples)
+            self.counter.charge(tuples_scanned=len(branch))
+
+        position = {v: i for i, v in enumerate(variables)}
+        kept = []
+        for tup in candidates:
+            self.counter.charge(hash_probes=len(memberships))
+            ok = True
+            for atom_vars, atom_tuples in memberships:
+                if tuple(tup[position[v]] for v in atom_vars) not in atom_tuples:
+                    ok = False
+                    break
+            if ok:
+                kept.append(tup)
+        output = Relation(self.query.name, variables, kept)
+        if tuple(self.query.head) != tuple(variables):
+            output = output.project(self.query.head, name=self.query.name)
+        return output
+
+
+def panda_evaluate(query: ConjunctiveQuery, database: Database,
+                   dc: DegreeConstraintSet,
+                   counter: OperationCounter | None = None) -> PandaResult:
+    """End-to-end PANDA: bound LP -> delta -> proof sequence -> execution.
+
+    This automates the three PANDA phases for the class of inequalities the
+    bounded proof search handles (see :mod:`repro.panda.proof_search`); a
+    :class:`ProofError` is raised when the search cannot find a proof
+    sequence within budget.
+    """
+    from repro.panda.proof_search import derive_proof_sequence
+    from repro.panda.shannon_flow import extract_flow_from_polymatroid_dual
+
+    inequality = extract_flow_from_polymatroid_dual(dc)
+    if not inequality.coefficients:
+        raise ProofError("the polymatroid dual produced an empty coefficient vector")
+    sequence = derive_proof_sequence(inequality)
+    if sequence is None:
+        raise ProofError(
+            "could not construct a proof sequence for the extracted Shannon-flow "
+            "inequality within the search budget"
+        )
+    interpreter = PandaInterpreter(query, database, dc, sequence, counter=counter)
+    return interpreter.run()

@@ -1,0 +1,232 @@
+"""Proof steps and proof sequences for Shannon-flow inequalities.
+
+Section 5.2.3 of the paper: a *(weighted) proof sequence* for the inequality
+h([n]) <= <delta, h> is a series of weighted rule applications transforming
+the right-hand-side term bag, such that no weight ever goes negative and, at
+the end, h([n]) carries weight at least 1.  The three rules are
+
+* decomposition   h(Y)      ->  h(Y|X) + h(X)        (chain rule, one way)
+* composition     h(Y|X) + h(X)  ->  h(Y)            (chain rule, other way)
+* submodularity   h(I | I n J)   ->  h(I u J | J)    (eq. 70)
+
+Each rule is sound: applying it can only *decrease* the bag's value on any
+polymatroid (decomposition and composition keep it equal, submodularity can
+only lower it).  Hence a verified proof sequence certifies the Shannon-flow
+inequality — :meth:`ProofSequence.verify` checks exactly this, with exact
+Fraction arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.errors import ProofError
+from repro.panda.shannon_flow import ShannonFlowInequality
+from repro.panda.terms import ConditionalTerm, TermBag
+
+
+@dataclass(frozen=True)
+class DecompositionStep:
+    """h(Y) -> h(Y|X) + h(X) with a given weight (X non-empty, X < Y)."""
+
+    y: frozenset[str]
+    x: frozenset[str]
+    weight: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", frozenset(self.y))
+        object.__setattr__(self, "x", frozenset(self.x))
+        object.__setattr__(self, "weight", Fraction(self.weight))
+        if not self.x or not self.x < self.y:
+            raise ProofError(
+                f"decomposition requires a non-empty X strictly inside Y, got "
+                f"X={sorted(self.x)}, Y={sorted(self.y)}"
+            )
+        if self.weight <= 0:
+            raise ProofError("decomposition weight must be positive")
+
+    def apply(self, bag: TermBag) -> None:
+        """Apply in place, raising if the source term lacks weight."""
+        source = ConditionalTerm.unconditional(self.y)
+        if bag.weight(source) < self.weight:
+            raise ProofError(
+                f"decomposition of {source} needs weight {self.weight} but only "
+                f"{bag.weight(source)} is available"
+            )
+        bag.remove(source, self.weight)
+        bag.add(ConditionalTerm(y=self.y, x=self.x), self.weight)
+        bag.add(ConditionalTerm.unconditional(self.x), self.weight)
+
+    def describe(self) -> str:
+        """A human-readable "proof step" column, matching Table 2's style."""
+        y, x = "".join(sorted(self.y)), "".join(sorted(self.x))
+        return f"h({y}) -> h({x}) + h({y}|{x})"
+
+
+@dataclass(frozen=True)
+class CompositionStep:
+    """h(Y|X) + h(X) -> h(Y) with a given weight."""
+
+    y: frozenset[str]
+    x: frozenset[str]
+    weight: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", frozenset(self.y))
+        object.__setattr__(self, "x", frozenset(self.x))
+        object.__setattr__(self, "weight", Fraction(self.weight))
+        if not self.x or not self.x < self.y:
+            raise ProofError(
+                f"composition requires a non-empty X strictly inside Y, got "
+                f"X={sorted(self.x)}, Y={sorted(self.y)}"
+            )
+        if self.weight <= 0:
+            raise ProofError("composition weight must be positive")
+
+    def apply(self, bag: TermBag) -> None:
+        """Apply in place, raising if either source term lacks weight."""
+        conditional = ConditionalTerm(y=self.y, x=self.x)
+        unconditional = ConditionalTerm.unconditional(self.x)
+        if bag.weight(conditional) < self.weight:
+            raise ProofError(
+                f"composition needs {self.weight} of {conditional} but only "
+                f"{bag.weight(conditional)} is available"
+            )
+        if bag.weight(unconditional) < self.weight:
+            raise ProofError(
+                f"composition needs {self.weight} of {unconditional} but only "
+                f"{bag.weight(unconditional)} is available"
+            )
+        bag.remove(conditional, self.weight)
+        bag.remove(unconditional, self.weight)
+        bag.add(ConditionalTerm.unconditional(self.y), self.weight)
+
+    def describe(self) -> str:
+        """A human-readable "proof step" column, matching Table 2's style."""
+        y, x = "".join(sorted(self.y)), "".join(sorted(self.x))
+        return f"h({x}) + h({y}|{x}) -> h({y})"
+
+
+@dataclass(frozen=True)
+class SubmodularityStep:
+    """h(I | I n J) -> h(I u J | J) with a given weight.
+
+    ``i_set`` and ``j_set`` are the I and J of inequality (70); the rule is
+    stated for I ⊥ J (incomparable), and when they are comparable it is a
+    no-op or a plain monotonicity move, which remains sound.
+    """
+
+    i_set: frozenset[str]
+    j_set: frozenset[str]
+    weight: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "i_set", frozenset(self.i_set))
+        object.__setattr__(self, "j_set", frozenset(self.j_set))
+        object.__setattr__(self, "weight", Fraction(self.weight))
+        if self.weight <= 0:
+            raise ProofError("submodularity weight must be positive")
+        if self.i_set <= self.j_set:
+            raise ProofError(
+                "submodularity with I inside J would produce the empty term "
+                f"h(J|J): I={sorted(self.i_set)}, J={sorted(self.j_set)}"
+            )
+
+    @property
+    def source(self) -> ConditionalTerm:
+        """The consumed term h(I | I n J)."""
+        intersection = self.i_set & self.j_set
+        return ConditionalTerm(y=self.i_set, x=intersection)
+
+    @property
+    def target(self) -> ConditionalTerm:
+        """The produced term h(I u J | J)."""
+        return ConditionalTerm(y=self.i_set | self.j_set, x=self.j_set)
+
+    def apply(self, bag: TermBag) -> None:
+        """Apply in place, raising if the source term lacks weight."""
+        source = self.source
+        if bag.weight(source) < self.weight:
+            raise ProofError(
+                f"submodularity needs {self.weight} of {source} but only "
+                f"{bag.weight(source)} is available"
+            )
+        bag.remove(source, self.weight)
+        bag.add(self.target, self.weight)
+
+    def describe(self) -> str:
+        """A human-readable "proof step" column, matching Table 2's style."""
+        return f"{self.source} -> {self.target}"
+
+
+ProofStep = DecompositionStep | CompositionStep | SubmodularityStep
+
+
+class ProofSequence:
+    """A proof sequence for a Shannon-flow inequality.
+
+    Parameters
+    ----------
+    inequality:
+        The Shannon-flow inequality being proved (its RHS is the initial
+        term bag).
+    steps:
+        The weighted rule applications, in order.
+    """
+
+    def __init__(self, inequality: ShannonFlowInequality,
+                 steps: Iterable[ProofStep] = ()):
+        self.inequality = inequality
+        self.steps: list[ProofStep] = list(steps)
+
+    def append(self, step: ProofStep) -> None:
+        """Add one more step."""
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def run(self) -> TermBag:
+        """Apply every step to the inequality's RHS bag and return the final
+        bag; raises :class:`ProofError` on the first invalid step."""
+        bag = self.inequality.term_bag()
+        for index, step in enumerate(self.steps):
+            try:
+                step.apply(bag)
+            except ProofError as exc:
+                raise ProofError(f"step {index} ({step.describe()}) failed: {exc}") from exc
+        return bag
+
+    def verify(self, target_weight: Fraction | int = 1) -> bool:
+        """True if the sequence is valid and ends with at least
+        ``target_weight`` on the full-set term h(V)."""
+        try:
+            final = self.run()
+        except ProofError:
+            return False
+        goal = ConditionalTerm.unconditional(frozenset(self.inequality.variables))
+        return final.weight(goal) >= Fraction(target_weight)
+
+    def final_weight_on_goal(self) -> Fraction:
+        """The weight the sequence places on h(V)."""
+        final = self.run()
+        goal = ConditionalTerm.unconditional(frozenset(self.inequality.variables))
+        return final.weight(goal)
+
+    def describe(self) -> list[str]:
+        """One description line per step (the Table 2 "proof step" column)."""
+        return [step.describe() for step in self.steps]
+
+
+def step_kind(step: ProofStep) -> str:
+    """The Table 2 "Name" column for a step."""
+    if isinstance(step, DecompositionStep):
+        return "decomposition"
+    if isinstance(step, CompositionStep):
+        return "composition"
+    return "submodularity"

@@ -1,0 +1,185 @@
+"""Shannon-flow inequalities (Definition 5) and their extraction from LPs.
+
+A Shannon-flow inequality is
+
+    h([n]) <= sum_{(X,Y)} delta_{Y|X} * h(Y | X)      for all polymatroids h,
+
+with delta >= 0.  Two facts from the paper drive how we use them:
+
+* Proposition 5.4: validity is equivalent to the existence of a feasible
+  dual solution of LP (72); here we *decide* validity with the Shannon
+  inequality prover of :mod:`repro.infotheory.shannon` (the LP over the
+  polymatroid cone), which is an equivalent check.
+* Strong duality (eq. 73): at the optimum of the polymatroid-bound LP the
+  dual values of the degree constraints form exactly such a delta with
+  ``bound = <delta, n>``, so the coefficient vector PANDA needs falls out of
+  the bound computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Sequence
+
+from repro.bounds.polymatroid import PolymatroidBound, polymatroid_bound
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.errors import ProofError
+from repro.infotheory.set_functions import SetFunction
+from repro.infotheory.shannon import LinearEntropyExpression, is_shannon_valid
+from repro.panda.terms import ConditionalTerm, TermBag
+
+
+@dataclass(frozen=True)
+class ShannonFlowInequality:
+    """The inequality h(V) <= sum delta_{Y|X} h(Y|X).
+
+    Attributes
+    ----------
+    variables:
+        The ground set V (ordered, for reporting).
+    coefficients:
+        Mapping from :class:`ConditionalTerm` to its (non-negative) weight.
+    """
+
+    variables: tuple[str, ...]
+    coefficients: tuple[tuple[ConditionalTerm, Fraction], ...]
+
+    @classmethod
+    def from_terms(cls, variables: Sequence[str],
+                   coefficients: Mapping[ConditionalTerm, Fraction | int | str]
+                   ) -> "ShannonFlowInequality":
+        """Build an inequality from a term -> weight mapping."""
+        ground = set(variables)
+        items = []
+        for term, weight in coefficients.items():
+            weight = Fraction(weight)
+            if weight < 0:
+                raise ProofError(f"negative coefficient for {term}")
+            if not term.y <= ground:
+                raise ProofError(f"term {term} uses variables outside {sorted(ground)}")
+            if weight > 0:
+                items.append((term, weight))
+        items.sort(key=lambda kv: (len(kv[0].y), str(kv[0])))
+        return cls(variables=tuple(variables), coefficients=tuple(items))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def term_bag(self) -> TermBag:
+        """The right-hand side as a weighted term bag (a fresh copy)."""
+        return TermBag(dict(self.coefficients))
+
+    def expression(self) -> LinearEntropyExpression:
+        """RHS - LHS as a linear entropy expression (>= 0 iff the inequality
+        holds for a given h)."""
+        coefficients: dict[frozenset[str], float] = {}
+        for term, weight in self.coefficients:
+            coefficients[term.y] = coefficients.get(term.y, 0.0) + float(weight)
+            if term.x:
+                coefficients[term.x] = coefficients.get(term.x, 0.0) - float(weight)
+        full = frozenset(self.variables)
+        coefficients[full] = coefficients.get(full, 0.0) - 1.0
+        return LinearEntropyExpression.from_dict(self.variables, coefficients)
+
+    def holds_for(self, h: SetFunction, tolerance: float = 1e-9) -> bool:
+        """Check the inequality on one concrete set function."""
+        return self.expression().evaluate(h) >= -tolerance
+
+    def is_valid(self) -> bool:
+        """Decide whether the inequality holds for every polymatroid."""
+        return is_shannon_valid(self.expression())
+
+    def weighted_log_bound(self, log_bounds: Mapping[ConditionalTerm, float]) -> float:
+        """<delta, n>: the runtime/bound exponent sum delta_{Y|X} log2 N_{Y|X}."""
+        total = 0.0
+        for term, weight in self.coefficients:
+            if term not in log_bounds:
+                raise ProofError(f"no statistic provided for term {term}")
+            total += float(weight) * log_bounds[term]
+        return total
+
+    def __str__(self) -> str:
+        rhs = " + ".join(f"{weight}*{term}" for term, weight in self.coefficients)
+        return f"h({''.join(sorted(self.variables))}) <= {rhs}"
+
+
+def shannon_flow_from_constraints(dc: DegreeConstraintSet,
+                                  weights: Mapping[int, Fraction | float | int]
+                                  ) -> ShannonFlowInequality:
+    """Build the Shannon-flow inequality whose terms are DC's constraints.
+
+    ``weights`` maps the index of each constraint in ``dc`` to its
+    coefficient delta_{Y|X}; constraints with zero weight are dropped.
+    """
+    coefficients: dict[ConditionalTerm, Fraction] = {}
+    for index, weight in weights.items():
+        if index < 0 or index >= len(dc):
+            raise ProofError(f"constraint index {index} out of range")
+        weight = Fraction(weight).limit_denominator(10**6)
+        if weight == 0:
+            continue
+        constraint = dc.constraints[index]
+        term = ConditionalTerm(y=constraint.y, x=constraint.x)
+        coefficients[term] = coefficients.get(term, Fraction(0)) + weight
+    return ShannonFlowInequality.from_terms(dc.variables, coefficients)
+
+
+def constraint_log_bounds(dc: DegreeConstraintSet) -> dict[ConditionalTerm, float]:
+    """Map each constraint's term to log2 of its numeric bound (n_{Y|X})."""
+    bounds: dict[ConditionalTerm, float] = {}
+    for constraint in dc:
+        term = ConditionalTerm(y=constraint.y, x=constraint.x)
+        existing = bounds.get(term)
+        value = constraint.log_bound
+        # Multiple guards for the same (X, Y): keep the tightest statistic.
+        bounds[term] = value if existing is None else min(existing, value)
+    return bounds
+
+
+def extract_flow_from_polymatroid_dual(dc: DegreeConstraintSet,
+                                       result: PolymatroidBound | None = None,
+                                       ) -> ShannonFlowInequality:
+    """Extract the delta vector from the polymatroid-bound LP duals (eq. 73).
+
+    Solves the polymatroid bound if ``result`` is not supplied, reads the
+    dual value of every degree constraint, and returns the corresponding
+    Shannon-flow inequality.  By LP duality the inequality is valid and its
+    weighted log bound equals the polymatroid bound; both facts are verified
+    by the caller-facing tests rather than assumed here.
+    """
+    if result is None:
+        result = polymatroid_bound(dc)
+    # Re-solve to obtain dual values when the provided result lacks them.
+    weights: dict[int, Fraction] = {}
+    # Dual values are keyed "dc[i]" by the polymatroid LP.
+    # polymatroid_bound stores only the *names* of tight constraints, so we
+    # recompute duals through a fresh solve here when necessary.
+    from repro.bounds.polymatroid import _key  # reuse the subset-key helper
+    from repro.covers.lp import LinearProgram
+    from repro.infotheory.set_functions import all_subsets
+    from repro.infotheory.shannon import elemental_inequalities
+
+    lp = LinearProgram("polymatroid-bound-dual-extraction")
+    variables = dc.variables
+    for subset in all_subsets(variables):
+        if subset:
+            lp.add_variable(_key(subset), lower=0.0, upper=None)
+    full = frozenset(variables)
+    lp.maximize({_key(full): 1.0})
+    for i, constraint in enumerate(dc):
+        coeffs: dict[str, float] = {_key(constraint.y): 1.0}
+        if constraint.x:
+            coeffs[_key(constraint.x)] = coeffs.get(_key(constraint.x), 0.0) - 1.0
+        lp.add_constraint(f"dc[{i}]", coeffs, "<=", constraint.log_bound)
+    count = 0
+    for ineq in elemental_inequalities(variables):
+        coeffs = {_key(s): c for s, c in ineq.coefficients if s}
+        lp.add_constraint(f"shannon[{count}]", coeffs, ">=", 0.0)
+        count += 1
+    solution = lp.solve()
+    for i in range(len(dc)):
+        dual = solution.dual_values.get(f"dc[{i}]", 0.0)
+        if abs(dual) > 1e-9:
+            weights[i] = Fraction(abs(dual)).limit_denominator(10**4)
+    return shannon_flow_from_constraints(dc, weights)

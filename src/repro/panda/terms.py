@@ -1,0 +1,136 @@
+"""Conditional polymatroid terms h(Y | X) and weighted term bags.
+
+Definition 4 of the paper re-parameterizes polymatroids into the space of
+"conditional polymatroids" (h(Y|X))_{(X,Y) in P}: syntactic shortcuts for
+h(Y) - h(X).  A Shannon-flow proof manipulates a *weighted bag* of such
+terms, so this module provides an exact-arithmetic (Fraction-weighted)
+multiset over :class:`ConditionalTerm`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import ProofError
+from repro.infotheory.set_functions import SetFunction
+
+
+@dataclass(frozen=True)
+class ConditionalTerm:
+    """The term h(Y | X), with X a (possibly empty) proper subset of Y.
+
+    ``h(Y | emptyset)`` is written/printed as the unconditional ``h(Y)``.
+    """
+
+    y: frozenset[str]
+    x: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "y", frozenset(self.y))
+        object.__setattr__(self, "x", frozenset(self.x))
+        if not self.x < self.y:
+            raise ProofError(
+                f"conditional term requires X to be a proper subset of Y, got "
+                f"X={sorted(self.x)}, Y={sorted(self.y)}"
+            )
+
+    @classmethod
+    def unconditional(cls, y: Iterable[str]) -> "ConditionalTerm":
+        """The term h(Y) = h(Y | emptyset)."""
+        return cls(y=frozenset(y), x=frozenset())
+
+    @property
+    def is_unconditional(self) -> bool:
+        """True when X is empty."""
+        return not self.x
+
+    @property
+    def free_variables(self) -> frozenset[str]:
+        """Y - X."""
+        return self.y - self.x
+
+    def evaluate(self, h: SetFunction) -> float:
+        """h(Y) - h(X) on a concrete set function."""
+        return h(self.y) - h(self.x)
+
+    def __str__(self) -> str:
+        y_text = "".join(sorted(self.y))
+        if self.is_unconditional:
+            return f"h({y_text})"
+        x_text = "".join(sorted(self.x))
+        return f"h({y_text}|{x_text})"
+
+
+class TermBag:
+    """A non-negative, Fraction-weighted multiset of conditional terms."""
+
+    def __init__(self, weights: Mapping[ConditionalTerm, Fraction | int | str] | None = None):
+        self._weights: dict[ConditionalTerm, Fraction] = {}
+        if weights:
+            for term, weight in weights.items():
+                self.add(term, weight)
+
+    def copy(self) -> "TermBag":
+        """A deep copy of the bag."""
+        bag = TermBag()
+        bag._weights = dict(self._weights)
+        return bag
+
+    def weight(self, term: ConditionalTerm) -> Fraction:
+        """Current weight of ``term`` (0 if absent)."""
+        return self._weights.get(term, Fraction(0))
+
+    def add(self, term: ConditionalTerm, amount: Fraction | int | str) -> None:
+        """Add ``amount`` (may not drive the weight negative)."""
+        amount = Fraction(amount)
+        new_weight = self.weight(term) + amount
+        if new_weight < 0:
+            raise ProofError(
+                f"weight of {term} would become negative ({new_weight})"
+            )
+        if new_weight == 0:
+            self._weights.pop(term, None)
+        else:
+            self._weights[term] = new_weight
+
+    def remove(self, term: ConditionalTerm, amount: Fraction | int | str) -> None:
+        """Remove ``amount`` of ``term`` (errors if not enough weight)."""
+        self.add(term, -Fraction(amount))
+
+    def items(self) -> Iterator[tuple[ConditionalTerm, Fraction]]:
+        """Iterate (term, weight) pairs with positive weight."""
+        return iter(self._weights.items())
+
+    def terms(self) -> tuple[ConditionalTerm, ...]:
+        """Terms with positive weight."""
+        return tuple(self._weights.keys())
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._weights
+
+    def total_weight(self) -> Fraction:
+        """Sum of all weights."""
+        return sum(self._weights.values(), Fraction(0))
+
+    def evaluate(self, h: SetFunction) -> float:
+        """The weighted sum sum_t w_t * (h(Y_t) - h(X_t)) on a set function."""
+        return sum(float(w) * term.evaluate(h) for term, w in self._weights.items())
+
+    def as_dict(self) -> dict[ConditionalTerm, Fraction]:
+        """A copy of the underlying mapping."""
+        return dict(self._weights)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TermBag):
+            return NotImplemented
+        return self._weights == other._weights
+
+    def __repr__(self) -> str:
+        parts = [f"{w} * {term}" for term, w in sorted(
+            self._weights.items(), key=lambda kv: (len(kv[0].y), str(kv[0])))]
+        return "TermBag(" + " + ".join(parts) + ")"

@@ -1,0 +1,38 @@
+"""Conjunctive-query model: atoms, queries, hypergraphs, parsing, orderings."""
+
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.hypergraph import Hypergraph
+from repro.query.parser import parse_query
+from repro.query.variable_order import (
+    natural_order,
+    greedy_min_domain_order,
+    min_degree_order,
+)
+from repro.query.decomposition import (
+    gyo_reduction,
+    is_alpha_acyclic,
+    join_tree,
+)
+from repro.query.widths import (
+    TreeDecomposition,
+    decomposition_from_elimination_order,
+    fractional_hypertree_width,
+    min_fill_order,
+)
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Hypergraph",
+    "parse_query",
+    "natural_order",
+    "greedy_min_domain_order",
+    "min_degree_order",
+    "gyo_reduction",
+    "is_alpha_acyclic",
+    "join_tree",
+    "TreeDecomposition",
+    "decomposition_from_elimination_order",
+    "fractional_hypertree_width",
+    "min_fill_order",
+]

@@ -1,0 +1,164 @@
+"""Multi-hypergraphs associated with conjunctive queries.
+
+A query's hypergraph H = ([n], E) has one vertex per variable and one edge
+per atom (Section 3.1).  Because the same variable set may appear in several
+atoms (a multi-hypergraph), edges are keyed by a label rather than stored as
+a set of sets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+
+
+class Hypergraph:
+    """A labelled multi-hypergraph.
+
+    Parameters
+    ----------
+    vertices:
+        Vertex names in a fixed order.
+    edges:
+        Mapping from edge key (e.g. atom/relation name) to the frozenset of
+        vertices the edge covers.  Every edge must be a subset of the vertex
+        set and non-empty.
+    """
+
+    __slots__ = ("_vertices", "_edges")
+
+    def __init__(self, vertices: Sequence[str], edges: Mapping[str, Iterable[str]]):
+        self._vertices = tuple(vertices)
+        if len(set(self._vertices)) != len(self._vertices):
+            raise QueryError(f"duplicate vertices: {self._vertices}")
+        vertex_set = set(self._vertices)
+        normalized: dict[str, frozenset[str]] = {}
+        for key, members in edges.items():
+            edge = frozenset(members)
+            if not edge:
+                raise QueryError(f"edge {key!r} is empty")
+            extra = edge - vertex_set
+            if extra:
+                raise QueryError(f"edge {key!r} mentions unknown vertices {sorted(extra)}")
+            normalized[key] = edge
+        if not normalized:
+            raise QueryError("a hypergraph needs at least one edge")
+        self._edges = normalized
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def vertices(self) -> tuple[str, ...]:
+        """Vertex names in order."""
+        return self._vertices
+
+    @property
+    def edges(self) -> dict[str, frozenset[str]]:
+        """Edge key -> vertex set (a copy)."""
+        return dict(self._edges)
+
+    @property
+    def edge_keys(self) -> tuple[str, ...]:
+        """All edge keys."""
+        return tuple(self._edges.keys())
+
+    def edge(self, key: str) -> frozenset[str]:
+        """The vertex set of edge ``key``."""
+        try:
+            return self._edges[key]
+        except KeyError:
+            raise QueryError(f"no edge with key {key!r}") from None
+
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    def num_edges(self) -> int:
+        """Number of edges (counting multiplicity)."""
+        return len(self._edges)
+
+    def edges_containing(self, vertex: str) -> tuple[str, ...]:
+        """Keys of edges containing ``vertex`` (the set ∂(v) of the paper)."""
+        if vertex not in self._vertices:
+            raise QueryError(f"unknown vertex {vertex!r}")
+        return tuple(k for k, e in self._edges.items() if vertex in e)
+
+    def vertex_degree(self, vertex: str) -> int:
+        """Number of edges containing ``vertex``."""
+        return len(self.edges_containing(vertex))
+
+    def is_cover(self, weights: Mapping[str, float], tolerance: float = 1e-9) -> bool:
+        """Check whether non-negative edge weights form a fractional edge
+        cover: every vertex is covered with total weight >= 1."""
+        for key, w in weights.items():
+            if key not in self._edges:
+                raise QueryError(f"weight given for unknown edge {key!r}")
+            if w < -tolerance:
+                return False
+        for v in self._vertices:
+            total = sum(w for key, w in weights.items() if v in self._edges[key])
+            if total < 1 - tolerance:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Structural operations
+    # ------------------------------------------------------------------
+    def remove_vertex(self, vertex: str) -> "Hypergraph":
+        """The hypergraph obtained by deleting ``vertex`` from every edge and
+        dropping edges that become empty.
+
+        This is the H' construction used in the inductive proof of
+        Friedgut's inequality (Theorem 4.1): edges containing the removed
+        vertex are replaced by their projections.  If every edge becomes
+        empty a :class:`QueryError` is raised.
+        """
+        if vertex not in self._vertices:
+            raise QueryError(f"unknown vertex {vertex!r}")
+        new_vertices = tuple(v for v in self._vertices if v != vertex)
+        new_edges = {}
+        for key, edge in self._edges.items():
+            reduced = edge - {vertex}
+            if reduced:
+                new_edges[key] = reduced
+        if not new_edges:
+            raise QueryError("removing vertex would leave no edges")
+        return Hypergraph(new_vertices, new_edges)
+
+    def restrict_to(self, vertices: Iterable[str]) -> "Hypergraph":
+        """Induced sub-hypergraph on ``vertices`` (edges intersected, empties
+        dropped)."""
+        keep = set(vertices)
+        unknown = keep - set(self._vertices)
+        if unknown:
+            raise QueryError(f"unknown vertices {sorted(unknown)}")
+        new_vertices = tuple(v for v in self._vertices if v in keep)
+        new_edges = {}
+        for key, edge in self._edges.items():
+            reduced = edge & keep
+            if reduced:
+                new_edges[key] = reduced
+        if not new_edges:
+            raise QueryError("restriction would leave no edges")
+        return Hypergraph(new_vertices, new_edges)
+
+    def covers_all_vertices(self) -> bool:
+        """True if every vertex appears in at least one edge."""
+        covered = set()
+        for edge in self._edges.values():
+            covered |= edge
+        return covered == set(self._vertices)
+
+    def __repr__(self) -> str:
+        edges = {k: sorted(v) for k, v in self._edges.items()}
+        return f"Hypergraph(vertices={list(self._vertices)!r}, edges={edges!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hypergraph):
+            return NotImplemented
+        return set(self._vertices) == set(other._vertices) and self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self._vertices), frozenset(self._edges.items())))

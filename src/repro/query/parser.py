@@ -1,0 +1,83 @@
+"""A tiny datalog-style parser for conjunctive queries.
+
+The accepted grammar is a single rule of the form::
+
+    Q(A, B, C) :- R(A, B), S(B, C), T(A, C).
+
+or, with the head omitted (a full CQ over every body variable)::
+
+    R(A, B), S(B, C), T(A, C)
+
+Whitespace is insignificant; the trailing period is optional; ``<-`` is
+accepted as a synonym of ``:-``.  Relation and variable names must match
+``[A-Za-z_][A-Za-z0-9_]*``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ParseError
+from repro.query.atoms import Atom, ConjunctiveQuery
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_ATOM_RE = re.compile(rf"\s*({_IDENT})\s*\(\s*([^)]*)\)\s*")
+
+
+def _parse_atom_list(text: str) -> list[Atom]:
+    atoms = []
+    position = 0
+    text = text.strip()
+    if text.endswith("."):
+        text = text[:-1]
+    while position < len(text):
+        match = _ATOM_RE.match(text, position)
+        if not match:
+            raise ParseError(f"could not parse atom at: {text[position:]!r}")
+        relation, var_text = match.group(1), match.group(2)
+        variables = [v.strip() for v in var_text.split(",") if v.strip()]
+        if not variables:
+            raise ParseError(f"atom {relation!r} has no variables")
+        for v in variables:
+            if not re.fullmatch(_IDENT, v):
+                raise ParseError(f"invalid variable name {v!r} in atom {relation!r}")
+        atoms.append(Atom(relation, variables))
+        position = match.end()
+        if position < len(text):
+            if text[position] != ",":
+                raise ParseError(
+                    f"expected ',' between atoms at: {text[position:]!r}"
+                )
+            position += 1
+    if not atoms:
+        raise ParseError("no atoms found")
+    return atoms
+
+
+def parse_query(text: str) -> ConjunctiveQuery:
+    """Parse a datalog-style rule into a :class:`ConjunctiveQuery`.
+
+    Examples
+    --------
+    >>> q = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C).")
+    >>> q.variables
+    ('A', 'B', 'C')
+    >>> len(q.atoms)
+    3
+    """
+    text = text.strip()
+    if not text:
+        raise ParseError("empty query text")
+    for arrow in (":-", "<-"):
+        if arrow in text:
+            head_text, body_text = text.split(arrow, 1)
+            head_match = _ATOM_RE.fullmatch(head_text)
+            if not head_match:
+                raise ParseError(f"could not parse query head: {head_text!r}")
+            name = head_match.group(1)
+            head_vars = [v.strip() for v in head_match.group(2).split(",") if v.strip()]
+            atoms = _parse_atom_list(body_text)
+            return ConjunctiveQuery(atoms, head=head_vars or None, name=name)
+    # No head: full CQ over the body variables.
+    atoms = _parse_atom_list(text)
+    return ConjunctiveQuery(atoms)

@@ -1,0 +1,77 @@
+"""Variable-ordering heuristics for WCOJ algorithms.
+
+Generic-Join, Leapfrog Triejoin and the backtracking-search algorithm all fix
+a global variable order and then compute one variable at a time.  Worst-case
+optimality does not depend on the order (any order achieves the AGM bound for
+cardinality constraints), but practical performance does; these heuristics
+are the standard ones used by engines built on these algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.query.atoms import ConjunctiveQuery
+from repro.relational.database import Database
+
+
+def natural_order(query: ConjunctiveQuery) -> tuple[str, ...]:
+    """Variables in order of first occurrence in the query body."""
+    return query.variables
+
+
+def min_degree_order(query: ConjunctiveQuery) -> tuple[str, ...]:
+    """Order variables by decreasing atom-degree (number of atoms containing
+    them), breaking ties by first occurrence.
+
+    Variables shared by many atoms are intersected against many relations,
+    which tends to shrink the search space early.
+    """
+    occurrence = {v: i for i, v in enumerate(query.variables)}
+    return tuple(
+        sorted(
+            query.variables,
+            key=lambda v: (-len(query.atoms_containing(v)), occurrence[v]),
+        )
+    )
+
+
+def greedy_min_domain_order(query: ConjunctiveQuery, database: Database
+                            ) -> tuple[str, ...]:
+    """Order variables by increasing estimated domain size.
+
+    The estimate for a variable is the minimum, over atoms containing it, of
+    the number of distinct values the corresponding relation column takes —
+    i.e. the size of the smallest set that will ever be intersected for that
+    variable.  Smaller domains first keeps the top of the search tree narrow.
+    """
+    query.validate_against(database)
+    estimates: dict[str, int] = {}
+    for variable in query.variables:
+        sizes = []
+        for atom in query.atoms_containing(variable):
+            relation = database.get(atom.relation)
+            column = relation.attributes[atom.variables.index(variable)]
+            sizes.append(len(relation.column(column)))
+        estimates[variable] = min(sizes) if sizes else 0
+    occurrence = {v: i for i, v in enumerate(query.variables)}
+    return tuple(
+        sorted(query.variables, key=lambda v: (estimates[v], occurrence[v]))
+    )
+
+
+def validate_order(query: ConjunctiveQuery, order: Sequence[str]) -> tuple[str, ...]:
+    """Check that ``order`` is a permutation of the query variables and return
+    it as a tuple.
+
+    Raises
+    ------
+    ValueError
+        If the order misses or repeats variables.
+    """
+    order = tuple(order)
+    if sorted(order) != sorted(query.variables):
+        raise ValueError(
+            f"variable order {order} is not a permutation of {query.variables}"
+        )
+    return order

@@ -1,0 +1,51 @@
+"""Relational storage and algebra substrate.
+
+This subpackage implements the "database engine" the paper assumes as given:
+relations with named attributes, hash and trie indexes whose intersections
+run in time proportional to the smaller argument, the classical relational
+algebra operators, and the statistics extraction (cardinalities and degrees)
+needed to state degree constraints.
+"""
+
+from repro.relational.schema import Schema
+from repro.relational.relation import Relation
+from repro.relational.database import Database
+from repro.relational.index import HashIndex, TrieIndex
+from repro.relational.operators import (
+    select,
+    project,
+    rename,
+    natural_join,
+    semijoin,
+    union,
+    difference,
+    intersect_sorted,
+    cartesian_product,
+)
+from repro.relational.statistics import (
+    cardinality,
+    degree,
+    max_degree,
+    relation_statistics,
+)
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "Database",
+    "HashIndex",
+    "TrieIndex",
+    "select",
+    "project",
+    "rename",
+    "natural_join",
+    "semijoin",
+    "union",
+    "difference",
+    "intersect_sorted",
+    "cartesian_product",
+    "cardinality",
+    "degree",
+    "max_degree",
+    "relation_statistics",
+]

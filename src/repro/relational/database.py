@@ -1,0 +1,100 @@
+"""The :class:`Database` catalog: a named collection of relations.
+
+A database instance ``D`` in the paper is an assignment of a concrete
+relation to every atom of the query.  Here the catalog maps relation names to
+:class:`Relation` objects and offers convenience accessors plus overall size
+statistics (``|D|`` = total number of tuples, the data-size term every WCOJ
+runtime bound carries).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+
+class Database:
+    """A catalog of relations indexed by name.
+
+    Parameters
+    ----------
+    relations:
+        Relations to register.  Names must be unique.
+    """
+
+    __slots__ = ("_relations",)
+
+    def __init__(self, relations: Iterable[Relation] = ()):
+        self._relations: dict[str, Relation] = {}
+        for rel in relations:
+            self.add(rel)
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, Relation]) -> "Database":
+        """Build a database from a name -> relation mapping.
+
+        Each relation is re-registered under the mapping key (renaming it if
+        its own name differs), which is convenient when binding the same
+        physical relation to several query atoms.
+        """
+        db = cls()
+        for name, rel in mapping.items():
+            db.add(rel.with_name(name) if rel.name != name else rel)
+        return db
+
+    def add(self, relation: Relation) -> None:
+        """Register a relation; raises if the name is already used."""
+        if relation.name in self._relations:
+            raise SchemaError(f"relation {relation.name!r} already registered")
+        self._relations[relation.name] = relation
+
+    def replace(self, relation: Relation) -> None:
+        """Register a relation, overwriting any existing one with that name."""
+        self._relations[relation.name] = relation
+
+    def get(self, name: str) -> Relation:
+        """Return the relation registered under ``name``."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"no relation named {name!r} in database") from None
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    @property
+    def relation_names(self) -> tuple[str, ...]:
+        """Names of all registered relations."""
+        return tuple(self._relations.keys())
+
+    def total_tuples(self) -> int:
+        """``|D|``: the total number of tuples across all relations."""
+        return sum(len(r) for r in self._relations.values())
+
+    def max_relation_size(self) -> int:
+        """``N = max_F |R_F|``, the largest relation size (0 if empty)."""
+        if not self._relations:
+            return 0
+        return max(len(r) for r in self._relations.values())
+
+    def active_domain(self) -> set:
+        """Union of the active domains of all relations."""
+        domain: set = set()
+        for rel in self._relations.values():
+            domain.update(rel.active_domain())
+        return domain
+
+    def summary(self) -> dict[str, int]:
+        """Mapping of relation name to cardinality (for reports/logs)."""
+        return {name: len(rel) for name, rel in self._relations.items()}

@@ -1,0 +1,228 @@
+"""Indexes over relations.
+
+Two index families are provided, matching the two ways WCOJ engines satisfy
+the paper's single algorithmic assumption ("we can loop through the
+intersection of two sets X and Y in time O(min(|X|, |Y|))", Section 2):
+
+* :class:`HashIndex` — a hash map from key-attribute values to the set of
+  matching tuples.  Intersections iterate the smaller set and probe the
+  other, as in hash-based Generic-Join.
+* :class:`TrieIndex` — a sorted nested-dictionary trie over a fixed
+  attribute order, exposing sorted value lists per prefix.  This is the
+  storage layout assumed by Leapfrog Triejoin.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+Value = Any
+
+
+class HashIndex:
+    """Hash index on a relation keyed by a subset of its attributes.
+
+    Parameters
+    ----------
+    relation:
+        The indexed relation.
+    key:
+        Attribute names forming the key.  May be empty, in which case the
+        index has a single bucket containing every tuple.
+
+    The index maps each distinct key-value combination to the frozenset of
+    full tuples sharing it.
+    """
+
+    __slots__ = ("_relation", "_key", "_buckets")
+
+    def __init__(self, relation: Relation, key: Sequence[str]):
+        self._relation = relation
+        self._key = tuple(key)
+        positions = relation.schema.positions(self._key)
+        buckets: dict[tuple, set] = {}
+        for t in relation:
+            k = tuple(t[p] for p in positions)
+            buckets.setdefault(k, set()).add(t)
+        self._buckets = {k: frozenset(v) for k, v in buckets.items()}
+
+    @property
+    def relation(self) -> Relation:
+        """The indexed relation."""
+        return self._relation
+
+    @property
+    def key(self) -> tuple[str, ...]:
+        """The key attributes."""
+        return self._key
+
+    def lookup(self, key_values: Sequence[Value]) -> frozenset[tuple]:
+        """All tuples whose key attributes equal ``key_values``."""
+        return self._buckets.get(tuple(key_values), frozenset())
+
+    def lookup_dict(self, bindings: Mapping[str, Value]) -> frozenset[tuple]:
+        """Like :meth:`lookup`, but the key is given as attr -> value."""
+        key_values = tuple(bindings[a] for a in self._key)
+        return self._buckets.get(key_values, frozenset())
+
+    def contains(self, key_values: Sequence[Value]) -> bool:
+        """True if any tuple matches ``key_values``."""
+        return tuple(key_values) in self._buckets
+
+    def count(self, key_values: Sequence[Value]) -> int:
+        """Number of tuples matching ``key_values``."""
+        return len(self._buckets.get(tuple(key_values), ()))
+
+    def keys(self) -> Iterable[tuple]:
+        """All distinct key combinations present."""
+        return self._buckets.keys()
+
+    def max_bucket_size(self) -> int:
+        """The largest number of tuples sharing a key (0 for empty index)."""
+        if not self._buckets:
+            return 0
+        return max(len(v) for v in self._buckets.values())
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+class TrieNode:
+    """A node of a :class:`TrieIndex`: sorted children keyed by value."""
+
+    __slots__ = ("children", "sorted_keys", "count")
+
+    def __init__(self) -> None:
+        self.children: dict[Value, "TrieNode"] = {}
+        self.sorted_keys: list[Value] = []
+        self.count: int = 0
+
+    def freeze(self) -> None:
+        """Sort child keys (called once after construction) and recurse."""
+        self.sorted_keys = sorted(self.children.keys())
+        for child in self.children.values():
+            child.freeze()
+
+
+class TrieIndex:
+    """Sorted trie over a relation in a fixed attribute order.
+
+    The trie has one level per attribute of ``order``; a path from the root
+    to depth k spells out a binding of the first k attributes, and the node
+    reached stores the sorted list of values the (k+1)-st attribute takes
+    among matching tuples.  This is the data layout used by Leapfrog Triejoin
+    and by the backtracking-search algorithm (Algorithm 3).
+
+    Parameters
+    ----------
+    relation:
+        The relation to index.
+    order:
+        Attribute order for trie levels.  Must be a subset (usually all) of
+        the relation's attributes; tuples are first projected onto ``order``.
+    """
+
+    __slots__ = ("_relation", "_order", "_root")
+
+    def __init__(self, relation: Relation, order: Sequence[str]):
+        self._relation = relation
+        self._order = tuple(order)
+        for attr in self._order:
+            if attr not in relation.schema:
+                raise SchemaError(
+                    f"attribute {attr!r} not in relation {relation.name!r} "
+                    f"schema {relation.attributes}"
+                )
+        positions = relation.schema.positions(self._order)
+        root = TrieNode()
+        for t in relation:
+            node = root
+            node.count += 1
+            for p in positions:
+                value = t[p]
+                child = node.children.get(value)
+                if child is None:
+                    child = TrieNode()
+                    node.children[value] = child
+                child.count += 1
+                node = child
+        root.freeze()
+        self._root = root
+
+    @property
+    def relation(self) -> Relation:
+        """The indexed relation."""
+        return self._relation
+
+    @property
+    def order(self) -> tuple[str, ...]:
+        """The attribute order of the trie levels."""
+        return self._order
+
+    def _node(self, prefix: Sequence[Value]) -> TrieNode | None:
+        node = self._root
+        for value in prefix:
+            node = node.children.get(value)
+            if node is None:
+                return None
+        return node
+
+    def values(self, prefix: Sequence[Value] = ()) -> list[Value]:
+        """Sorted distinct values at the level after ``prefix``.
+
+        ``prefix`` binds the first ``len(prefix)`` attributes of the trie
+        order; an unknown prefix yields an empty list.
+        """
+        node = self._node(prefix)
+        if node is None:
+            return []
+        return node.sorted_keys
+
+    def count(self, prefix: Sequence[Value] = ()) -> int:
+        """Number of (projected) tuples extending ``prefix``."""
+        node = self._node(prefix)
+        return 0 if node is None else node.count
+
+    def num_children(self, prefix: Sequence[Value] = ()) -> int:
+        """Number of distinct next-level values under ``prefix``."""
+        node = self._node(prefix)
+        return 0 if node is None else len(node.sorted_keys)
+
+    def contains_prefix(self, prefix: Sequence[Value]) -> bool:
+        """True if some tuple extends ``prefix``."""
+        return self._node(prefix) is not None
+
+    def seek(self, prefix: Sequence[Value], lower_bound: Value) -> Value | None:
+        """Least next-level value >= ``lower_bound`` under ``prefix``.
+
+        This is the primitive Leapfrog Triejoin uses for galloping; returns
+        ``None`` when no such value exists.
+        """
+        node = self._node(prefix)
+        if node is None:
+            return None
+        keys = node.sorted_keys
+        i = bisect.bisect_left(keys, lower_bound)
+        if i >= len(keys):
+            return None
+        return keys[i]
+
+
+def build_tries(relations: Iterable[Relation], global_order: Sequence[str]
+                ) -> dict[str, TrieIndex]:
+    """Build a trie per relation, each ordered consistently with ``global_order``.
+
+    The per-relation attribute order is the restriction of the global
+    variable order to the relation's attributes, which is the precondition
+    Leapfrog Triejoin requires of its inputs.
+    """
+    tries = {}
+    for rel in relations:
+        order = [a for a in global_order if a in rel.schema]
+        remaining = [a for a in rel.attributes if a not in order]
+        tries[rel.name] = TrieIndex(rel, order + remaining)
+    return tries

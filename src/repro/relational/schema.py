@@ -1,0 +1,133 @@
+"""Relation schemas: ordered collections of uniquely named attributes.
+
+Attributes are plain strings (e.g. ``"A"``, ``"B"``); a :class:`Schema` is an
+ordered, duplicate-free tuple of attribute names.  Schemas are immutable and
+hashable so they can be used as dictionary keys and set members.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+
+class Schema:
+    """An ordered, duplicate-free sequence of attribute names.
+
+    Parameters
+    ----------
+    attributes:
+        The attribute names in positional order.
+
+    Raises
+    ------
+    SchemaError
+        If the attribute list contains duplicates or non-string entries.
+    """
+
+    __slots__ = ("_attributes", "_positions")
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        for attr in attrs:
+            if not isinstance(attr, str) or not attr:
+                raise SchemaError(f"attribute names must be non-empty strings, got {attr!r}")
+        if len(set(attrs)) != len(attrs):
+            raise SchemaError(f"duplicate attribute names in schema: {attrs}")
+        self._attributes = attrs
+        self._positions = {attr: i for i, attr in enumerate(attrs)}
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attribute names in positional order."""
+        return self._attributes
+
+    @property
+    def arity(self) -> int:
+        """Number of attributes in the schema."""
+        return len(self._attributes)
+
+    def position(self, attribute: str) -> int:
+        """Return the position of ``attribute`` in the schema.
+
+        Raises
+        ------
+        SchemaError
+            If the attribute is not part of the schema.
+        """
+        try:
+            return self._positions[attribute]
+        except KeyError:
+            raise SchemaError(
+                f"attribute {attribute!r} not in schema {self._attributes}"
+            ) from None
+
+    def positions(self, attributes: Sequence[str]) -> tuple[int, ...]:
+        """Return positions of several attributes, in the order given."""
+        return tuple(self.position(a) for a in attributes)
+
+    def __contains__(self, attribute: object) -> bool:
+        return attribute in self._positions
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._attributes)
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __getitem__(self, index: int) -> str:
+        return self._attributes[index]
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Schema):
+            return self._attributes == other._attributes
+        if isinstance(other, tuple):
+            return self._attributes == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({list(self._attributes)!r})"
+
+    # ------------------------------------------------------------------
+    # Derived schemas
+    # ------------------------------------------------------------------
+    def project(self, attributes: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``attributes`` (given order).
+
+        All requested attributes must exist in this schema.
+        """
+        for attr in attributes:
+            self.position(attr)
+        return Schema(attributes)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Return a schema with attributes renamed according to ``mapping``.
+
+        Attributes not mentioned in the mapping keep their names.
+        """
+        return Schema(tuple(mapping.get(a, a) for a in self._attributes))
+
+    def union(self, other: "Schema") -> "Schema":
+        """Schema of the natural join: this schema's attributes followed by
+        the attributes of ``other`` that are not already present."""
+        extra = tuple(a for a in other.attributes if a not in self)
+        return Schema(self._attributes + extra)
+
+    def intersection(self, other: "Schema") -> tuple[str, ...]:
+        """Attributes common to both schemas, in this schema's order."""
+        return tuple(a for a in self._attributes if a in other)
+
+    def is_prefix_of(self, other: "Schema") -> bool:
+        """True if this schema is a positional prefix of ``other``."""
+        return other.attributes[: len(self._attributes)] == self._attributes
+
+
+def as_schema(value: "Schema | Sequence[str]") -> Schema:
+    """Coerce a schema-like value (Schema or sequence of names) to a Schema."""
+    if isinstance(value, Schema):
+        return value
+    return Schema(value)

@@ -1,0 +1,133 @@
+"""Statistics extraction: cardinalities and degrees.
+
+Degree constraints (Definition 1 in the paper) are statements about
+
+    deg_F(A_Y | A_X) = max_t |pi_{A_Y} sigma_{A_X = t}(R_F)|,
+
+the maximum number of distinct Y-bindings per X-binding in a relation R_F.
+This module computes these statistics directly from data so that constraint
+sets can be *derived from* instances as well as validated against them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+
+def cardinality(relation: Relation) -> int:
+    """Number of tuples in the relation (|R|)."""
+    return len(relation)
+
+
+def degree(relation: Relation, x_attrs: Sequence[str], y_attrs: Sequence[str]) -> int:
+    """Compute ``deg_R(A_Y | A_X)``: the max number of distinct Y-projections
+    per X-binding.
+
+    ``x_attrs`` may be empty, in which case the degree is simply the number
+    of distinct Y-projections (a cardinality-style statistic).  ``y_attrs``
+    must be non-empty and every named attribute must exist in the relation.
+    An empty relation has degree 0.
+    """
+    x_attrs = tuple(x_attrs)
+    y_attrs = tuple(y_attrs)
+    if not y_attrs:
+        raise SchemaError("degree requires at least one Y attribute")
+    for attr in (*x_attrs, *y_attrs):
+        if attr not in relation.schema:
+            raise SchemaError(
+                f"attribute {attr!r} not in relation {relation.name!r}"
+            )
+    if len(relation) == 0:
+        return 0
+    x_pos = relation.schema.positions(x_attrs)
+    y_pos = relation.schema.positions(y_attrs)
+    groups: dict[tuple, set[tuple]] = {}
+    for t in relation:
+        x_val = tuple(t[p] for p in x_pos)
+        y_val = tuple(t[p] for p in y_pos)
+        groups.setdefault(x_val, set()).add(y_val)
+    return max(len(v) for v in groups.values())
+
+
+def max_degree(relation: Relation, attribute: str) -> int:
+    """Maximum number of tuples sharing a single value of ``attribute``.
+
+    For an edge relation E(A, B) this is the maximum out-degree when
+    ``attribute == "A"`` and the maximum in-degree when ``attribute == "B"``.
+    """
+    pos = relation.schema.position(attribute)
+    counts: dict[object, int] = {}
+    for t in relation:
+        counts[t[pos]] = counts.get(t[pos], 0) + 1
+    return max(counts.values()) if counts else 0
+
+
+def is_functional_dependency(relation: Relation, x_attrs: Sequence[str],
+                             y_attrs: Sequence[str]) -> bool:
+    """True if the relation satisfies the FD ``A_X -> A_Y``.
+
+    Equivalent to ``degree(relation, x_attrs, y_attrs) <= 1``.
+    """
+    if len(relation) == 0:
+        return True
+    return degree(relation, x_attrs, y_attrs) <= 1
+
+
+@dataclass(frozen=True)
+class RelationStatistics:
+    """A summary of the statistics of one relation.
+
+    Attributes
+    ----------
+    name:
+        Relation name.
+    cardinality:
+        Number of tuples.
+    attribute_cardinalities:
+        Distinct count per attribute.
+    degrees:
+        Mapping ``(X, Y) -> deg(A_Y | A_X)`` over all single-attribute X and
+        the remaining attributes Y (the statistics a simple catalog would
+        maintain).
+    """
+
+    name: str
+    cardinality: int
+    attribute_cardinalities: dict[str, int]
+    degrees: dict[tuple[tuple[str, ...], tuple[str, ...]], int]
+
+    def degree_of(self, x_attrs: Sequence[str], y_attrs: Sequence[str]) -> int | None:
+        """Look up a collected degree statistic, or None if absent."""
+        return self.degrees.get((tuple(x_attrs), tuple(y_attrs)))
+
+
+def relation_statistics(relation: Relation, max_key_size: int = 1) -> RelationStatistics:
+    """Collect cardinality and degree statistics from a relation.
+
+    Degrees are collected for every key set X of size at most ``max_key_size``
+    (including the empty key) and, for each X, the Y set of all remaining
+    attributes.  This mirrors what a practical catalog (or the "degree
+    constraints" a query planner would know) looks like.
+    """
+    attrs = relation.attributes
+    attribute_cardinalities = {a: len(relation.column(a)) for a in attrs}
+    degrees: dict[tuple[tuple[str, ...], tuple[str, ...]], int] = {}
+    degrees[((), attrs)] = len(relation)
+    for size in range(1, min(max_key_size, len(attrs) - 1) + 1):
+        for x in combinations(attrs, size):
+            y = tuple(a for a in attrs if a not in x)
+            if not y:
+                continue
+            degrees[(x, attrs)] = degree(relation, x, attrs)
+            degrees[(x, y)] = degree(relation, x, y)
+    return RelationStatistics(
+        name=relation.name,
+        cardinality=len(relation),
+        attribute_cardinalities=attribute_cardinalities,
+        degrees=degrees,
+    )

@@ -1,0 +1,121 @@
+"""Tests for the AGM bound."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.agm import agm_bound, agm_bound_from_sizes, rho_star
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.errors import BoundError
+from repro.joins.generic_join import generic_join
+from repro.query.atoms import (
+    clique_query,
+    cycle_query,
+    loomis_whitney_query,
+    triangle_query,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestRhoStar:
+    def test_known_values(self):
+        assert rho_star(triangle_query()) == pytest.approx(1.5)
+        assert rho_star(cycle_query(4)) == pytest.approx(2.0)
+        assert rho_star(clique_query(4)) == pytest.approx(2.0)
+        assert rho_star(loomis_whitney_query(4)) == pytest.approx(4.0 / 3.0)
+
+
+class TestAgmFromSizes:
+    def test_balanced_triangle(self):
+        bound = agm_bound_from_sizes(triangle_query().hypergraph(),
+                                     {"R": 100, "S": 100, "T": 100})
+        assert bound.bound == pytest.approx(1000.0)
+        assert bound.log2_bound == pytest.approx(math.log2(1000.0))
+
+    def test_skewed_sizes_use_vertex_cover(self):
+        bound = agm_bound_from_sizes(triangle_query().hypergraph(),
+                                     {"R": 10, "S": 10, "T": 100000})
+        # Optimal is alpha=beta=1, gamma=0: bound = 100.
+        assert bound.bound == pytest.approx(100.0)
+
+    def test_empty_relation_gives_zero(self):
+        bound = agm_bound_from_sizes(triangle_query().hypergraph(),
+                                     {"R": 0, "S": 100, "T": 100})
+        assert bound.bound == 0.0
+        assert not bound.permits(1)
+        assert bound.permits(0)
+
+    def test_size_one_relations(self):
+        bound = agm_bound_from_sizes(triangle_query().hypergraph(),
+                                     {"R": 1, "S": 1, "T": 1})
+        assert bound.bound == pytest.approx(1.0)
+
+    def test_missing_size_rejected(self):
+        with pytest.raises(BoundError):
+            agm_bound_from_sizes(triangle_query().hypergraph(), {"R": 10})
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(BoundError):
+            agm_bound_from_sizes(triangle_query().hypergraph(),
+                                 {"R": -1, "S": 1, "T": 1})
+
+    def test_permits(self):
+        bound = agm_bound_from_sizes(triangle_query().hypergraph(),
+                                     {"R": 100, "S": 100, "T": 100})
+        assert bound.permits(1000)
+        assert not bound.permits(1001)
+
+
+class TestAgmOnDatabases:
+    def test_tight_instance_achieves_bound(self):
+        query, database = triangle_agm_tight_instance(100)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual == pytest.approx(bound.bound, rel=1e-9)
+
+    def test_skew_instance_far_below_bound(self):
+        query, database = triangle_skew_instance(100)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual <= bound.bound
+        assert actual < bound.bound / 3
+
+    def test_cover_is_reported(self):
+        query, database = triangle_agm_tight_instance(100)
+        bound = agm_bound(query, database)
+        assert set(bound.cover.keys()) == {"R", "S", "T"}
+        assert query.hypergraph().is_cover(bound.cover)
+
+    def test_self_join_uses_each_atom_size(self):
+        # Triangle counting on one edge relation: all three atoms same size.
+        edges = [(i, (i + 1) % 5) for i in range(5)]
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), edges),
+            Relation("S", ("B", "C"), edges),
+            Relation("T", ("A", "C"), edges),
+        ])
+        bound = agm_bound(query, database)
+        assert bound.bound == pytest.approx(len(edges) ** 1.5)
+
+
+class TestAgmUpperBoundsOutputProperty:
+    @given(
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20),
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20),
+        st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_output_never_exceeds_bound(self, r_tuples, s_tuples, t_tuples):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), r_tuples),
+            Relation("S", ("B", "C"), s_tuples),
+            Relation("T", ("A", "C"), t_tuples),
+        ])
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert bound.permits(actual)

@@ -1,0 +1,41 @@
+"""Tests for the entropic-bound estimate."""
+
+import pytest
+
+from repro.bounds.entropic import entropic_bound_estimate
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.panda.example1 import example1_constraints
+
+
+def triangle_dc(n=100):
+    return DegreeConstraintSet(("A", "B", "C"), [
+        DegreeConstraint.cardinality(("A", "B"), n, guard="R"),
+        DegreeConstraint.cardinality(("B", "C"), n, guard="S"),
+        DegreeConstraint.cardinality(("A", "C"), n, guard="T"),
+    ])
+
+
+class TestEntropicEstimate:
+    def test_exact_for_three_variables(self):
+        estimate = entropic_bound_estimate(triangle_dc())
+        assert estimate.exact
+        assert not estimate.used_zhang_yeung
+        assert estimate.upper_log2 == pytest.approx(
+            polymatroid_bound(triangle_dc()).log2_bound)
+
+    def test_not_exact_for_four_variables(self):
+        dc = example1_constraints(64, 64, 64, 4, 4)
+        estimate = entropic_bound_estimate(dc)
+        assert not estimate.exact
+        assert estimate.used_zhang_yeung
+
+    def test_zy_strengthening_never_looser(self):
+        dc = example1_constraints(64, 64, 64, 4, 4)
+        with_zy = entropic_bound_estimate(dc, use_zhang_yeung=True)
+        without = entropic_bound_estimate(dc, use_zhang_yeung=False)
+        assert with_zy.upper_log2 <= without.upper_log2 + 1e-6
+
+    def test_upper_property(self):
+        estimate = entropic_bound_estimate(triangle_dc(256))
+        assert estimate.upper == pytest.approx(2 ** estimate.upper_log2)

@@ -1,0 +1,107 @@
+"""Tests for the modular LP (54), its dual (57), and Proposition 4.4."""
+
+import pytest
+
+from repro.bounds.modular import modular_bound, modular_bound_dual
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.errors import UnboundedQueryError
+from repro.experiments.bound_lps import random_acyclic_dc
+
+
+def chain_dc(n_r=64, fanout=4):
+    return DegreeConstraintSet(("A", "B", "C", "D"), [
+        DegreeConstraint.cardinality(("A", "B"), n_r, guard="R"),
+        DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=fanout, guard="S"),
+        DegreeConstraint(x=frozenset("C"), y=frozenset("CD"), bound=fanout, guard="T"),
+    ])
+
+
+class TestModularPrimal:
+    def test_chain_bound_is_product(self):
+        bound = modular_bound(chain_dc(64, 4))
+        assert bound.bound == pytest.approx(64 * 4 * 4, rel=1e-6)
+
+    def test_vertex_values_sum_to_bound(self):
+        bound = modular_bound(chain_dc(64, 4))
+        assert sum(bound.vertex_values.values()) == pytest.approx(bound.log2_bound)
+
+    def test_modular_function_is_modular(self):
+        dc = chain_dc()
+        bound = modular_bound(dc)
+        f = bound.modular_function(dc.variables)
+        assert f.is_modular()
+        assert f.total() == pytest.approx(bound.log2_bound)
+
+    def test_unbounded_rejected(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=4, guard="S"),
+        ])
+        with pytest.raises(UnboundedQueryError):
+            modular_bound(dc)
+
+    def test_lp_size_is_polynomial(self):
+        dc = chain_dc()
+        bound = modular_bound(dc)
+        assert bound.num_lp_variables == len(dc.variables)
+        assert bound.num_lp_constraints == len(dc)
+
+
+class TestDual:
+    def test_strong_duality(self):
+        dc = chain_dc(128, 3)
+        primal = modular_bound(dc)
+        dual = modular_bound_dual(dc)
+        assert primal.log2_bound == pytest.approx(dual.log2_bound, abs=1e-6)
+
+    def test_dual_weights_cover_every_variable(self):
+        dc = chain_dc()
+        dual = modular_bound_dual(dc)
+        for variable in dc.variables:
+            total = sum(
+                dual.dual_weights[i]
+                for i, constraint in enumerate(dc)
+                if variable in constraint.free_variables
+            )
+            assert total >= 1.0 - 1e-6
+
+    def test_dual_generalizes_agm_for_cardinalities(self):
+        # With only cardinality constraints the dual LP (57) is the AGM LP.
+        n = 100
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), n, guard="R"),
+            DegreeConstraint.cardinality(("B", "C"), n, guard="S"),
+            DegreeConstraint.cardinality(("A", "C"), n, guard="T"),
+        ])
+        dual = modular_bound_dual(dc)
+        assert dual.bound == pytest.approx(n ** 1.5, rel=1e-6)
+        assert all(w == pytest.approx(0.5, abs=1e-6) for w in dual.dual_weights.values())
+
+    def test_uncovered_variable_rejected(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A",), 4, guard="R"),
+        ])
+        with pytest.raises(UnboundedQueryError):
+            modular_bound_dual(dc)
+
+
+class TestProposition44:
+    @pytest.mark.parametrize("n", [3, 4, 5])
+    def test_modular_equals_polymatroid_for_acyclic(self, n):
+        dc = random_acyclic_dc(n, num_constraints=4, seed=100 + n)
+        assert dc.is_acyclic()
+        assert modular_bound(dc).log2_bound == pytest.approx(
+            polymatroid_bound(dc).log2_bound, abs=1e-5)
+
+    def test_cyclic_dc_modular_can_differ(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A",), 16, guard="GA"),
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=4, guard="G1"),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("AB"), bound=2, guard="G2"),
+        ])
+        assert not dc.is_acyclic()
+        modular = modular_bound(dc).log2_bound
+        poly = polymatroid_bound(dc).log2_bound
+        # For cyclic DC the modular LP may undercut the polymatroid bound.
+        assert modular <= poly + 1e-9
+        assert poly - modular > 0.5

@@ -1,0 +1,107 @@
+"""Tests for the polymatroid bound LP (68)."""
+
+import math
+
+import pytest
+
+from repro.bounds.agm import agm_bound
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.degree import (
+    DegreeConstraint,
+    DegreeConstraintSet,
+    cardinality_constraints,
+)
+from repro.datagen.worstcase import triangle_agm_tight_instance
+from repro.errors import UnboundedQueryError
+from repro.panda.example1 import example1_constraints
+
+
+class TestCardinalityOnly:
+    def test_matches_agm_on_triangle(self):
+        query, database = triangle_agm_tight_instance(144)
+        dc = cardinality_constraints(query, database)
+        poly = polymatroid_bound(dc)
+        agm = agm_bound(query, database)
+        assert poly.log2_bound == pytest.approx(agm.log2_bound, abs=1e-6)
+
+    def test_single_relation(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A", "B"), 50, guard="R"),
+        ])
+        assert polymatroid_bound(dc).bound == pytest.approx(50.0)
+
+    def test_cartesian_product_of_two_relations(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A",), 10, guard="R"),
+            DegreeConstraint.cardinality(("B",), 20, guard="S"),
+        ])
+        assert polymatroid_bound(dc).bound == pytest.approx(200.0)
+
+
+class TestFunctionalDependencies:
+    def test_fd_tightens_triangle_bound(self):
+        n = 100
+        base = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), n, guard="R"),
+            DegreeConstraint.cardinality(("B", "C"), n, guard="S"),
+            DegreeConstraint.cardinality(("A", "C"), n, guard="T"),
+        ])
+        with_fd = DegreeConstraintSet(("A", "B", "C"), list(base.constraints) + [
+            DegreeConstraint.functional_dependency(("B",), ("C",), guard="S"),
+        ])
+        loose = polymatroid_bound(base)
+        tight = polymatroid_bound(with_fd)
+        assert loose.bound == pytest.approx(n ** 1.5, rel=1e-6)
+        # With B -> C the output is at most |R| = n.
+        assert tight.bound == pytest.approx(n, rel=1e-6)
+
+    def test_key_constraint_gives_linear_bound(self):
+        # R(A,B) with A a key joined with S(B,C): |output| <= |R| * deg_S(C|B).
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 64, guard="R"),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=4, guard="S"),
+        ])
+        assert polymatroid_bound(dc).bound == pytest.approx(64 * 4, rel=1e-6)
+
+
+class TestGeneralDegreeConstraints:
+    def test_example1_bound_matches_equation_75(self):
+        n = 128
+        deg = 4
+        dc = example1_constraints(n, n, n, deg, deg)
+        poly = polymatroid_bound(dc)
+        expected_log = 0.5 * (3 * math.log2(n) + 2 * math.log2(deg))
+        assert poly.log2_bound == pytest.approx(expected_log, abs=1e-6)
+
+    def test_tight_constraints_reported(self):
+        dc = example1_constraints(128, 128, 128, 4, 4)
+        poly = polymatroid_bound(dc)
+        assert len(poly.tight_constraints) >= 1
+
+    def test_optimal_h_is_polymatroid_in_hdc(self):
+        dc = example1_constraints(64, 64, 64, 4, 4)
+        poly = polymatroid_bound(dc)
+        h = poly.optimal_h
+        assert h.is_polymatroid(tolerance=1e-6)
+        for constraint in dc:
+            assert (h(constraint.y) - h(constraint.x)
+                    <= constraint.log_bound + 1e-6)
+
+    def test_zhang_yeung_strengthening_never_increases(self):
+        dc = example1_constraints(64, 64, 64, 4, 4)
+        plain = polymatroid_bound(dc, use_zhang_yeung=False)
+        strengthened = polymatroid_bound(dc, use_zhang_yeung=True)
+        assert strengthened.log2_bound <= plain.log2_bound + 1e-6
+
+    def test_unbounded_constraints_rejected(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=4, guard="S"),
+        ])
+        with pytest.raises(UnboundedQueryError):
+            polymatroid_bound(dc)
+
+    def test_lp_sizes_reported(self):
+        dc = example1_constraints(64, 64, 64, 4, 4)
+        poly = polymatroid_bound(dc)
+        assert poly.num_lp_variables == 2 ** 4 - 1
+        assert poly.num_lp_constraints > poly.num_lp_variables

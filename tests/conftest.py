@@ -1,0 +1,54 @@
+"""Shared fixtures: small canonical instances used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.degree import cardinality_constraints
+from repro.datagen.worstcase import (
+    triangle_agm_tight_instance,
+    triangle_skew_instance,
+)
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def small_triangle_instance():
+    """A tiny hand-written triangle instance with a known answer.
+
+    R = {(1,1), (1,2), (2,1)}, S = {(1,1), (2,1), (1,3)}, T = {(1,1), (2,3), (1,3)}.
+    Triangles (a, b, c) with (a,b) in R, (b,c) in S, (a,c) in T:
+      (1,1,1): R ok, S ok, T ok          -> yes
+      (1,2,1): R ok, S(2,1) ok, T(1,1)   -> yes
+      (2,1,1): R ok, S(1,1) ok, T(2,1)?  -> no
+      (1,1,3): R ok, S(1,3) ok, T(1,3)   -> yes
+      (2,1,3): R ok, S(1,3) ok, T(2,3)   -> yes
+    """
+    r = Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 1)])
+    s = Relation("S", ("B", "C"), [(1, 1), (2, 1), (1, 3)])
+    t = Relation("T", ("A", "C"), [(1, 1), (2, 3), (1, 3)])
+    query = triangle_query()
+    database = Database([r, s, t])
+    expected = {(1, 1, 1), (1, 2, 1), (1, 1, 3), (2, 1, 3)}
+    return query, database, expected
+
+
+@pytest.fixture
+def tight_triangle_100():
+    """The AGM-tight triangle instance with ~100 tuples per relation."""
+    return triangle_agm_tight_instance(100)
+
+
+@pytest.fixture
+def skew_triangle_100():
+    """The skewed (star) triangle instance with ~100 tuples per relation."""
+    return triangle_skew_instance(100)
+
+
+@pytest.fixture
+def tight_triangle_dc(tight_triangle_100):
+    """Cardinality constraints derived from the tight triangle instance."""
+    query, database = tight_triangle_100
+    return cardinality_constraints(query, database)

@@ -1,0 +1,142 @@
+"""Tests for boundedness and acyclification (Proposition 5.2, Corollary 5.3)."""
+
+import pytest
+
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.acyclify import (
+    acyclify,
+    acyclify_simple_fds,
+    all_variables_bound,
+    best_acyclic_weakening,
+    bound_variables,
+    require_bounded,
+)
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.errors import ConstraintError, UnboundedQueryError
+from repro.experiments.acyclify_exp import query63_constraints, simple_fd_cycle_constraints
+
+
+class TestBoundVariables:
+    def test_cardinality_binds_its_variables(self):
+        dc = DegreeConstraintSet(("A", "B"), [DegreeConstraint.cardinality(("A", "B"), 4)])
+        assert bound_variables(dc) == frozenset({"A", "B"})
+        assert all_variables_bound(dc)
+
+    def test_chase_through_degree_constraints(self):
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A",), 4),
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=2),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=2),
+        ])
+        assert all_variables_bound(dc)
+
+    def test_unreachable_variable_unbound(self):
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A",), 4),
+            # C is only bounded given B, but B is never bounded.
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=2),
+        ])
+        assert bound_variables(dc) == frozenset({"A"})
+        assert not all_variables_bound(dc)
+        with pytest.raises(UnboundedQueryError):
+            require_bounded(dc)
+
+    def test_query63_is_bounded_despite_cycle(self):
+        dc = query63_constraints()
+        assert all_variables_bound(dc)
+        assert not dc.is_acyclic()
+
+    def test_query63_naive_removal_breaks_boundedness(self):
+        dc = query63_constraints()
+        for constraint in dc:
+            assert not all_variables_bound(dc.without(constraint))
+
+
+class TestAcyclify:
+    def test_acyclify_query63(self):
+        dc = query63_constraints()
+        weakened = acyclify(dc)
+        assert weakened.is_acyclic()
+        assert all_variables_bound(weakened)
+        # Every weakened constraint is implied by some original constraint.
+        for constraint in weakened:
+            assert any(
+                constraint.x == original.x and constraint.y <= original.y
+                and constraint.bound == original.bound
+                for original in dc
+            )
+
+    def test_acyclify_is_identity_on_acyclic(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A",), 4),
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=2),
+        ])
+        assert acyclify(dc).constraints == dc.constraints
+
+    def test_acyclify_rejects_unbounded(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=2),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("AB"), bound=2),
+        ])
+        with pytest.raises(UnboundedQueryError):
+            acyclify(dc)
+
+    def test_acyclified_bound_never_smaller(self):
+        dc = query63_constraints()
+        before = polymatroid_bound(dc).log2_bound
+        after = polymatroid_bound(acyclify(dc)).log2_bound
+        assert after >= before - 1e-9
+
+
+class TestSimpleFdAcyclify:
+    def test_preserves_bound_on_fd_cycle(self):
+        dc = simple_fd_cycle_constraints(n=256)
+        reduced = acyclify_simple_fds(dc)
+        assert reduced.is_acyclic()
+        before = polymatroid_bound(dc).log2_bound
+        after = polymatroid_bound(reduced).log2_bound
+        assert after == pytest.approx(before, abs=1e-6)
+
+    def test_result_is_subset(self):
+        dc = simple_fd_cycle_constraints()
+        reduced = acyclify_simple_fds(dc)
+        assert set(reduced.constraints) <= set(dc.constraints)
+
+    def test_rejects_general_constraints(self):
+        dc = query63_constraints()
+        with pytest.raises(ConstraintError):
+            acyclify_simple_fds(dc)
+
+    def test_two_element_fd_cycle(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A", "B"), 64, guard="R"),
+            DegreeConstraint.functional_dependency(("A",), ("B",), guard="R"),
+            DegreeConstraint.functional_dependency(("B",), ("A",), guard="R"),
+        ])
+        reduced = acyclify_simple_fds(dc)
+        assert reduced.is_acyclic()
+        assert polymatroid_bound(reduced).log2_bound == pytest.approx(
+            polymatroid_bound(dc).log2_bound, abs=1e-6)
+
+
+class TestBestAcyclicWeakening:
+    def test_finds_optimal_for_query63(self):
+        dc = query63_constraints()
+        best = best_acyclic_weakening(
+            dc, objective=lambda d: polymatroid_bound(d).log2_bound)
+        assert best.is_acyclic()
+        # The brute-force optimum is at least as good as the greedy one.
+        greedy = polymatroid_bound(acyclify(dc)).log2_bound
+        assert polymatroid_bound(best).log2_bound <= greedy + 1e-9
+
+    def test_rejects_unbounded_input(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=2),
+        ])
+        with pytest.raises(UnboundedQueryError):
+            best_acyclic_weakening(dc, objective=lambda d: 0.0)
+
+    def test_respects_search_budget(self):
+        dc = query63_constraints()
+        with pytest.raises(ConstraintError):
+            best_acyclic_weakening(dc, objective=lambda d: 0.0, max_options=2)

@@ -1,0 +1,200 @@
+"""Tests for degree constraints and constraint sets."""
+
+import math
+
+import pytest
+
+from repro.constraints.degree import (
+    DegreeConstraint,
+    DegreeConstraintSet,
+    cardinality_constraints,
+    constraints_from_database,
+)
+from repro.datagen.worstcase import triangle_agm_tight_instance
+from repro.errors import ConstraintError
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestDegreeConstraint:
+    def test_cardinality_constructor(self):
+        c = DegreeConstraint.cardinality(("A", "B"), 100, guard="R")
+        assert c.is_cardinality
+        assert not c.x
+        assert c.y == frozenset({"A", "B"})
+        assert c.log_bound == pytest.approx(math.log2(100))
+
+    def test_fd_constructor(self):
+        c = DegreeConstraint.functional_dependency(("A",), ("B",), guard="R")
+        assert c.is_fd
+        assert c.is_simple_fd
+        assert c.bound == 1
+        assert c.log_bound == pytest.approx(0.0)
+
+    def test_non_simple_fd(self):
+        c = DegreeConstraint.functional_dependency(("A", "B"), ("C",))
+        assert c.is_fd and not c.is_simple_fd
+
+    def test_requires_x_proper_subset_of_y(self):
+        with pytest.raises(ConstraintError):
+            DegreeConstraint(x=frozenset("AB"), y=frozenset("AB"), bound=5)
+        with pytest.raises(ConstraintError):
+            DegreeConstraint(x=frozenset("AC"), y=frozenset("AB"), bound=5)
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ConstraintError):
+            DegreeConstraint.cardinality(("A",), -1)
+
+    def test_zero_bound_log_is_minus_inf(self):
+        c = DegreeConstraint.cardinality(("A",), 0)
+        assert c.log_bound == float("-inf")
+
+    def test_free_variables(self):
+        c = DegreeConstraint(x=frozenset("A"), y=frozenset("ABC"), bound=3)
+        assert c.free_variables == frozenset({"B", "C"})
+
+    def test_weaken_to(self):
+        c = DegreeConstraint(x=frozenset("A"), y=frozenset("ABC"), bound=3, guard="G")
+        weaker = c.weaken_to(frozenset("AB"))
+        assert weaker.y == frozenset({"A", "B"})
+        assert weaker.bound == 3
+        assert weaker.guard == "G"
+
+    def test_weaken_to_rejects_bad_target(self):
+        c = DegreeConstraint(x=frozenset("A"), y=frozenset("ABC"), bound=3)
+        with pytest.raises(ConstraintError):
+            c.weaken_to(frozenset("A"))  # equals X
+        with pytest.raises(ConstraintError):
+            c.weaken_to(frozenset("ABCD"))  # outside Y
+
+    def test_str_mentions_guard(self):
+        c = DegreeConstraint.cardinality(("A",), 4, guard="R")
+        assert "R" in str(c)
+
+
+class TestSatisfaction:
+    def test_cardinality_satisfied(self):
+        db = Database([Relation("R", ("A", "B"), [(1, 2), (3, 4)])])
+        good = DegreeConstraint.cardinality(("A", "B"), 2, guard="R")
+        bad = DegreeConstraint.cardinality(("A", "B"), 1, guard="R")
+        assert good.is_satisfied_by(db)
+        assert not bad.is_satisfied_by(db)
+
+    def test_degree_satisfied(self):
+        db = Database([Relation("S", ("B", "C"), [(1, 1), (1, 2), (2, 1)])])
+        good = DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=2, guard="S")
+        bad = DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=1, guard="S")
+        assert good.is_satisfied_by(db)
+        assert not bad.is_satisfied_by(db)
+
+    def test_empty_relation_satisfies_everything(self):
+        db = Database([Relation("R", ("A", "B"), [])])
+        c = DegreeConstraint.cardinality(("A", "B"), 0, guard="R")
+        assert c.is_satisfied_by(db)
+
+    def test_missing_guard_rejected(self):
+        c = DegreeConstraint.cardinality(("A",), 4)
+        with pytest.raises(ConstraintError):
+            c.is_satisfied_by(Database())
+
+    def test_guard_missing_variable_rejected(self):
+        db = Database([Relation("R", ("A",), [(1,)])])
+        c = DegreeConstraint.cardinality(("A", "B"), 4, guard="R")
+        with pytest.raises(ConstraintError):
+            c.is_satisfied_by(db)
+
+    def test_column_renaming(self):
+        db = Database([Relation("R", ("X", "Y"), [(1, 2)])])
+        c = DegreeConstraint.cardinality(("A", "B"), 4, guard="R")
+        assert c.is_satisfied_by(db, variable_of_column={"R": {"X": "A", "Y": "B"}})
+
+
+class TestDegreeConstraintSet:
+    def test_construction_and_iteration(self):
+        dc = DegreeConstraintSet(("A", "B"), [DegreeConstraint.cardinality(("A", "B"), 4)])
+        assert len(dc) == 1
+        assert list(dc)[0].is_cardinality
+
+    def test_rejects_foreign_variables(self):
+        with pytest.raises(ConstraintError):
+            DegreeConstraintSet(("A",), [DegreeConstraint.cardinality(("A", "B"), 4)])
+
+    def test_add_replace_without(self):
+        c1 = DegreeConstraint.cardinality(("A",), 4)
+        c2 = DegreeConstraint.cardinality(("B",), 8)
+        dc = DegreeConstraintSet(("A", "B"), [c1])
+        dc.add(c2)
+        assert len(dc) == 2
+        c3 = DegreeConstraint.cardinality(("A",), 16)
+        replaced = dc.replace(c1, c3)
+        assert c3 in replaced.constraints and c1 not in replaced.constraints
+        removed = dc.without(c2)
+        assert len(removed) == 1
+
+    def test_classification_helpers(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A", "B"), 4, guard="R"),
+            DegreeConstraint.functional_dependency(("A",), ("B",), guard="R"),
+        ])
+        assert not dc.only_cardinalities()
+        assert dc.only_cardinalities_and_simple_fds()
+        assert len(dc.cardinality_constraints()) == 1
+        assert len(dc.proper_degree_constraints()) == 1
+
+    def test_guards_grouping(self):
+        dc = DegreeConstraintSet(("A", "B"), [
+            DegreeConstraint.cardinality(("A", "B"), 4, guard="R"),
+            DegreeConstraint.functional_dependency(("A",), ("B",), guard="R"),
+        ])
+        assert set(dc.guards().keys()) == {"R"}
+        assert len(dc.guards()["R"]) == 2
+
+    def test_constraints_bounding(self):
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 4),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=2),
+        ])
+        assert len(dc.constraints_bounding("B")) == 1
+        assert len(dc.constraints_bounding("C")) == 1
+        assert len(dc.constraints_bounding("A")) == 1
+
+    def test_validate_against_database(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = cardinality_constraints(query, database)
+        assert dc.validate(database)
+        assert dc.violated_constraints(database) == []
+
+    def test_violations_reported(self):
+        query, database = triangle_agm_tight_instance(100)
+        dc = DegreeConstraintSet(query.variables, [
+            DegreeConstraint.cardinality(("A", "B"), 1, guard="R"),
+        ])
+        assert not dc.validate(database)
+        assert len(dc.violated_constraints(database)) == 1
+
+
+class TestDerivedConstraints:
+    def test_cardinality_constraints_from_query(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = cardinality_constraints(query, database)
+        assert len(dc) == 3
+        assert dc.only_cardinalities()
+        assert all(c.bound == len(database[c.guard]) for c in dc)
+
+    def test_constraints_from_database_include_degrees(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = constraints_from_database(query, database, max_key_size=1)
+        # 3 cardinalities + 2 single-key degrees per binary atom = 9.
+        assert len(dc) == 9
+        assert dc.validate(database)
+
+    def test_constraints_from_database_are_satisfied(self):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 1)]),
+            Relation("S", ("B", "C"), [(1, 1), (2, 1)]),
+            Relation("T", ("A", "C"), [(1, 1), (2, 1)]),
+        ])
+        dc = constraints_from_database(query, database)
+        assert dc.validate(database)

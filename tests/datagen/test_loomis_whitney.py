@@ -1,0 +1,64 @@
+"""Tests for Loomis–Whitney instance generators."""
+
+import pytest
+
+from repro.bounds.agm import agm_bound, rho_star
+from repro.datagen.loomis_whitney import (
+    loomis_whitney_agm_tight_instance,
+    loomis_whitney_bound_exponent,
+    loomis_whitney_plan_gap_exponent,
+    loomis_whitney_random_instance,
+    loomis_whitney_skew_instance,
+)
+from repro.joins.generic_join import generic_join
+from repro.joins.naive import nested_loop_join
+
+
+class TestTightInstances:
+    @pytest.mark.parametrize("k", [3, 4])
+    def test_output_reaches_bound(self, k):
+        query, database = loomis_whitney_agm_tight_instance(k, 81)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual == pytest.approx(bound.bound, rel=1e-9)
+
+    def test_relation_sizes_near_requested(self):
+        query, database = loomis_whitney_agm_tight_instance(3, 100)
+        assert all(abs(len(r) - 100) <= 20 for r in database)
+
+    def test_exponents(self):
+        assert loomis_whitney_bound_exponent(3) == pytest.approx(1.5)
+        assert loomis_whitney_bound_exponent(4) == pytest.approx(4 / 3)
+        assert loomis_whitney_plan_gap_exponent(3) == pytest.approx(2 / 3)
+        assert loomis_whitney_plan_gap_exponent(5) == pytest.approx(0.8)
+
+    def test_rho_star_matches_exponent(self):
+        for k in (3, 4, 5):
+            query, _ = loomis_whitney_agm_tight_instance(k, 16)
+            assert rho_star(query) == pytest.approx(loomis_whitney_bound_exponent(k))
+
+
+class TestRandomAndSkewInstances:
+    def test_random_instance_sizes(self):
+        query, database = loomis_whitney_random_instance(3, 50, seed=1)
+        assert all(len(r) == 50 for r in database)
+
+    def test_random_instance_deterministic(self):
+        _, db1 = loomis_whitney_random_instance(3, 30, seed=5)
+        _, db2 = loomis_whitney_random_instance(3, 30, seed=5)
+        assert all(db1[name] == db2[name] for name in db1.relation_names)
+
+    def test_random_instance_join_correct(self):
+        query, database = loomis_whitney_random_instance(4, 25, seed=2)
+        assert generic_join(query, database) == nested_loop_join(query, database)
+
+    def test_skew_instance_output_linear(self):
+        query, database = loomis_whitney_skew_instance(3, 90)
+        n = database.max_relation_size()
+        output = len(generic_join(query, database))
+        assert output <= 3 * n
+
+    def test_skew_instance_all_zero_point_included(self):
+        query, database = loomis_whitney_skew_instance(4, 40)
+        output = generic_join(query, database)
+        assert (0, 0, 0, 0) in output

@@ -1,0 +1,81 @@
+"""Tests for AGM-tight and skew instances."""
+
+import math
+
+import pytest
+
+from repro.bounds.agm import agm_bound
+from repro.datagen.worstcase import (
+    clique_agm_tight_instance,
+    cycle_agm_tight_instance,
+    triangle_agm_tight_instance,
+    triangle_from_graph,
+    triangle_skew_instance,
+)
+from repro.datagen.graphs import erdos_renyi_graph
+from repro.joins.generic_join import generic_join
+from repro.joins.binary_plans import best_left_deep_execution
+
+
+class TestTriangleTight:
+    def test_relation_sizes(self):
+        query, database = triangle_agm_tight_instance(100)
+        for name in ("R", "S", "T"):
+            assert len(database[name]) == 100
+
+    def test_output_reaches_agm_bound(self):
+        query, database = triangle_agm_tight_instance(144)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual == pytest.approx(bound.bound, rel=1e-9)
+        assert actual == 12 ** 3
+
+    def test_tiny_instance(self):
+        query, database = triangle_agm_tight_instance(1)
+        assert len(generic_join(query, database)) == 1
+
+
+class TestTriangleSkew:
+    def test_output_is_linear(self):
+        query, database = triangle_skew_instance(200)
+        n = database.max_relation_size()
+        output = len(generic_join(query, database))
+        assert output <= 2 * n
+
+    def test_every_pairwise_plan_blows_up(self):
+        query, database = triangle_skew_instance(100)
+        n = database.max_relation_size()
+        best = best_left_deep_execution(query, database)
+        assert best.max_intermediate >= (n / 2) ** 2 / 4
+
+    def test_relation_size_close_to_requested(self):
+        query, database = triangle_skew_instance(100)
+        assert abs(database.max_relation_size() - 100) <= 2
+
+
+class TestOtherTightInstances:
+    def test_cycle_reaches_bound(self):
+        query, database = cycle_agm_tight_instance(4, 100)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual == pytest.approx(bound.bound, rel=1e-9)
+
+    def test_clique_reaches_bound(self):
+        query, database = clique_agm_tight_instance(4, 64)
+        bound = agm_bound(query, database)
+        actual = len(generic_join(query, database))
+        assert actual == pytest.approx(bound.bound, rel=1e-9)
+
+    def test_triangle_from_graph_counts_directed_triangles(self):
+        edges = erdos_renyi_graph(20, 60, seed=1)
+        query, database = triangle_from_graph(edges)
+        output = generic_join(query, database)
+        # Cross-check against a direct enumeration.
+        edge_set = set(edges.tuples)
+        expected = {
+            (a, b, c)
+            for (a, b) in edge_set
+            for c in range(20)
+            if (b, c) in edge_set and (a, c) in edge_set
+        }
+        assert output.tuples == frozenset(expected)

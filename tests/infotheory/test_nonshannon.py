@@ -1,0 +1,62 @@
+"""Tests for the Zhang–Yeung non-Shannon inequality."""
+
+import random
+
+import pytest
+
+from repro.infotheory.entropy import entropy_function_of_distribution
+from repro.infotheory.nonshannon import (
+    verify_zhang_yeung_on_entropic,
+    zhang_yeung_expression,
+    zhang_yeung_is_non_shannon,
+    zhang_yeung_violating_polymatroid,
+)
+
+
+class TestZhangYeung:
+    def test_expression_requires_four_variables(self):
+        with pytest.raises(ValueError):
+            zhang_yeung_expression(("A", "B", "C"))
+
+    def test_is_non_shannon(self):
+        # The Zhang-Yeung theorem: the inequality is not implied by the
+        # Shannon (polymatroid) inequalities.
+        assert zhang_yeung_is_non_shannon()
+
+    def test_violating_polymatroid_exists_and_is_polymatroid(self):
+        witness = zhang_yeung_violating_polymatroid()
+        assert witness is not None
+        assert witness.is_polymatroid(tolerance=1e-7)
+        assert zhang_yeung_expression().evaluate(witness) < -1e-8
+
+    def test_holds_on_independent_distribution(self):
+        distribution = {
+            (a, b, c, d): 1 / 16
+            for a in (0, 1) for b in (0, 1) for c in (0, 1) for d in (0, 1)
+        }
+        assert verify_zhang_yeung_on_entropic(("A", "B", "C", "D"), distribution)
+
+    def test_holds_on_deterministic_distribution(self):
+        distribution = {(0, 0, 0, 0): 1.0}
+        assert verify_zhang_yeung_on_entropic(("A", "B", "C", "D"), distribution)
+
+    def test_holds_on_random_distributions(self):
+        rng = random.Random(7)
+        for _ in range(15):
+            outcomes = [tuple(rng.randrange(3) for _ in range(4)) for _ in range(6)]
+            weights = [rng.random() + 0.01 for _ in outcomes]
+            total = sum(weights)
+            distribution = {}
+            for outcome, weight in zip(outcomes, weights):
+                distribution[outcome] = distribution.get(outcome, 0.0) + weight / total
+            assert verify_zhang_yeung_on_entropic(("A", "B", "C", "D"), distribution)
+
+    def test_holds_on_correlated_distribution(self):
+        # C = D = A xor B with uniform A, B.
+        distribution = {}
+        for a in (0, 1):
+            for b in (0, 1):
+                c = d = a ^ b
+                distribution[(a, b, c, d)] = 0.25
+        h = entropy_function_of_distribution(("A", "B", "C", "D"), distribution)
+        assert zhang_yeung_expression().evaluate(h) >= -1e-9

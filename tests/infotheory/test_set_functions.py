@@ -1,0 +1,138 @@
+"""Tests for set functions and the polymatroid axioms."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotEntropicError
+from repro.infotheory.set_functions import (
+    SetFunction,
+    all_subsets,
+    from_callable,
+    modular_from_singletons,
+    uniform_step_function,
+)
+
+
+class TestAllSubsets:
+    def test_counts(self):
+        assert len(list(all_subsets(["A", "B", "C"]))) == 8
+        assert len(list(all_subsets([]))) == 1
+
+    def test_includes_empty_and_full(self):
+        subsets = set(all_subsets(["A", "B"]))
+        assert frozenset() in subsets
+        assert frozenset({"A", "B"}) in subsets
+
+
+class TestConstruction:
+    def test_requires_complete_values(self):
+        with pytest.raises(NotEntropicError):
+            SetFunction(["A", "B"], {frozenset(["A"]): 1.0})
+
+    def test_incomplete_allowed_when_flagged(self):
+        f = SetFunction(["A", "B"], {frozenset(["A"]): 1.0}, require_complete=False)
+        assert f(["B"]) == 0.0
+
+    def test_nonzero_empty_set_rejected(self):
+        with pytest.raises(NotEntropicError):
+            SetFunction(["A"], {frozenset(): 1.0, frozenset(["A"]): 1.0})
+
+    def test_subset_outside_ground_set_rejected(self):
+        with pytest.raises(NotEntropicError):
+            SetFunction(["A"], {frozenset(["Z"]): 1.0, frozenset(["A"]): 1.0})
+
+    def test_from_callable(self):
+        f = from_callable(["A", "B"], lambda s: len(s))
+        assert f(["A", "B"]) == 2.0
+
+
+class TestAxiomChecks:
+    def test_step_function_is_polymatroid(self):
+        f = uniform_step_function(["A", "B", "C"], threshold=2)
+        assert f.is_polymatroid()
+        assert f.is_monotone()
+        assert f.is_submodular()
+        assert f.is_subadditive()
+        assert not f.is_modular()
+
+    def test_modular_function_is_polymatroid_and_modular(self):
+        f = modular_from_singletons(["A", "B"], {"A": 1.0, "B": 2.0})
+        assert f.is_modular()
+        assert f.is_polymatroid()
+        assert f(["A", "B"]) == pytest.approx(3.0)
+
+    def test_cardinality_is_modular(self):
+        f = from_callable(["A", "B", "C"], lambda s: len(s))
+        assert f.is_modular()
+
+    def test_non_monotone_detected(self):
+        values = {s: float(len(s)) for s in all_subsets(["A", "B"])}
+        values[frozenset(["A", "B"])] = 0.5
+        f = SetFunction(["A", "B"], values)
+        assert not f.is_monotone()
+
+    def test_non_submodular_detected(self):
+        # f(S) = len(S)^2 is supermodular (strictly), not submodular.
+        f = from_callable(["A", "B"], lambda s: len(s) ** 2)
+        assert not f.is_submodular()
+
+    def test_non_negative_detected(self):
+        values = {s: float(len(s)) for s in all_subsets(["A", "B"])}
+        values[frozenset(["A"])] = -1.0
+        f = SetFunction(["A", "B"], values)
+        assert not f.is_nonnegative()
+
+    def test_modular_from_singletons_rejects_negative(self):
+        with pytest.raises(NotEntropicError):
+            modular_from_singletons(["A"], {"A": -1.0})
+
+    def test_modular_from_singletons_requires_all_values(self):
+        with pytest.raises(NotEntropicError):
+            modular_from_singletons(["A", "B"], {"A": 1.0})
+
+
+class TestArithmetic:
+    def test_conditional_value(self):
+        f = uniform_step_function(["A", "B", "C"], threshold=2)
+        # h(ABC | A) = h(ABC) - h(A) = 2 - 1 = 1.
+        assert f.conditional(["A", "B", "C"], ["A"]) == pytest.approx(1.0)
+
+    def test_addition_and_scaling(self):
+        f = uniform_step_function(["A", "B"], threshold=1)
+        g = modular_from_singletons(["A", "B"], {"A": 1.0, "B": 1.0})
+        combined = f + g
+        assert combined(["A", "B"]) == pytest.approx(1.0 + 2.0)
+        doubled = 2 * f
+        assert doubled(["A"]) == pytest.approx(2.0)
+
+    def test_add_requires_same_ground_set(self):
+        f = uniform_step_function(["A"], threshold=1)
+        g = uniform_step_function(["B"], threshold=1)
+        with pytest.raises(NotEntropicError):
+            f + g
+
+    def test_equality(self):
+        f = uniform_step_function(["A", "B"], threshold=1)
+        g = uniform_step_function(["A", "B"], threshold=1)
+        assert f == g
+        assert f != uniform_step_function(["A", "B"], threshold=2)
+
+
+class TestConeClosureProperties:
+    @st.composite
+    @staticmethod
+    def step_functions(draw):
+        threshold = draw(st.integers(0, 3))
+        height = draw(st.floats(0.1, 4.0))
+        return uniform_step_function(["A", "B", "C"], threshold, height)
+
+    @given(step_functions(), step_functions())
+    @settings(max_examples=30, deadline=None)
+    def test_sum_of_polymatroids_is_polymatroid(self, f, g):
+        assert (f + g).is_polymatroid()
+
+    @given(step_functions(), st.floats(0.0, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_preserves_polymatroid(self, f, factor):
+        assert (factor * f).is_polymatroid()

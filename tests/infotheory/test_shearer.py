@@ -1,0 +1,98 @@
+"""Tests for Shearer's lemma and Friedgut's inequality."""
+
+import pytest
+
+from repro.covers.edge_cover import fractional_edge_cover
+from repro.datagen.loomis_whitney import loomis_whitney_random_instance
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.infotheory.entropy import entropy_function_of_relation
+from repro.infotheory.shearer import (
+    agm_inequality_holds,
+    shearer_expression,
+    shearer_holds_for,
+    shearer_is_valid,
+    verify_friedgut_inequality,
+)
+from repro.joins.generic_join import generic_join
+from repro.query.atoms import cycle_query, loomis_whitney_query, triangle_query
+
+
+class TestShearerValidity:
+    def test_valid_for_fractional_cover_triangle(self):
+        h = triangle_query().hypergraph()
+        assert shearer_is_valid(h, {"R": 0.5, "S": 0.5, "T": 0.5})
+        assert shearer_is_valid(h, {"R": 1.0, "S": 1.0, "T": 0.0})
+
+    def test_invalid_below_cover_threshold(self):
+        h = triangle_query().hypergraph()
+        assert not shearer_is_valid(h, {"R": 0.4, "S": 0.4, "T": 0.4})
+
+    def test_invalid_for_negative_weights(self):
+        h = triangle_query().hypergraph()
+        assert not shearer_is_valid(h, {"R": 1.0, "S": 1.0, "T": -0.1})
+
+    def test_matches_cover_characterization_on_4cycle(self):
+        h = cycle_query(4).hypergraph()
+        cover = fractional_edge_cover(h).weights
+        assert shearer_is_valid(h, cover)
+        broken = dict(cover)
+        first = next(iter(broken))
+        broken[first] = max(0.0, broken[first] - 0.4)
+        assert shearer_is_valid(h, broken) == h.is_cover(broken)
+
+    def test_lw4_cover_valid(self):
+        h = loomis_whitney_query(4).hypergraph()
+        third = 1.0 / 3.0
+        assert shearer_is_valid(h, {k: third for k in h.edge_keys})
+
+
+class TestShearerOnConcreteEntropies:
+    def test_holds_for_output_distribution(self):
+        query, database = triangle_agm_tight_instance(64)
+        output = generic_join(query, database)
+        h = entropy_function_of_relation(output)
+        hypergraph = query.hypergraph()
+        assert shearer_holds_for(h, hypergraph, {"R": 0.5, "S": 0.5, "T": 0.5})
+
+    def test_expression_evaluates_to_zero_on_tight_instance(self):
+        # On the complete tripartite instance the inequality is tight.
+        query, database = triangle_agm_tight_instance(64)
+        output = generic_join(query, database)
+        h = entropy_function_of_relation(output)
+        value = shearer_expression(query.hypergraph(),
+                                   {"R": 0.5, "S": 0.5, "T": 0.5}).evaluate(h)
+        assert value == pytest.approx(0.0, abs=1e-7)
+
+
+class TestFriedgutAndAGM:
+    def test_friedgut_with_unit_weights_equals_agm(self):
+        query, database = triangle_agm_tight_instance(49)
+        cover = {"R": 0.5, "S": 0.5, "T": 0.5}
+        assert verify_friedgut_inequality(query, database, cover)
+
+    def test_friedgut_with_nontrivial_weights(self):
+        query, database = triangle_skew_instance(60)
+        cover = {"R": 0.5, "S": 0.5, "T": 0.5}
+        weights = {
+            "R": lambda t: 1.0 + (t[0] % 3),
+            "S": lambda t: 2.0,
+            "T": lambda t: 1.0 + (t[1] % 2),
+        }
+        assert verify_friedgut_inequality(query, database, cover, weights)
+
+    def test_friedgut_on_lw_instance(self):
+        query, database = loomis_whitney_random_instance(4, 40, seed=5)
+        cover = fractional_edge_cover(query.hypergraph()).weights
+        assert verify_friedgut_inequality(query, database, cover)
+
+    def test_friedgut_rejects_non_cover(self):
+        query, database = triangle_agm_tight_instance(25)
+        with pytest.raises(ValueError):
+            verify_friedgut_inequality(query, database, {"R": 0.1, "S": 0.1, "T": 0.1})
+
+    def test_agm_inequality_holds_helper(self):
+        query, database = triangle_agm_tight_instance(49)
+        output = generic_join(query, database)
+        cover = {"R": 0.5, "S": 0.5, "T": 0.5}
+        assert agm_inequality_holds(query, database, cover, len(output))
+        assert not agm_inequality_holds(query, database, cover, len(output) * 100)

@@ -1,0 +1,123 @@
+"""Integration / property tests: bounds always dominate actual outputs, and
+the entropy argument's steps hold on real data.
+
+These tests tie together the information-theory substrate, the bound LPs and
+the join engines: for arbitrary instances, the AGM / polymatroid / modular
+bounds must upper-bound the measured output, the output's entropy function
+must lie in H_DC, and Shearer/Shannon-flow inequalities must hold on it.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bounds.agm import agm_bound
+from repro.bounds.modular import modular_bound
+from repro.bounds.polymatroid import polymatroid_bound
+from repro.constraints.degree import cardinality_constraints, constraints_from_database
+from repro.datagen.loomis_whitney import loomis_whitney_random_instance
+from repro.infotheory.entropy import entropy_function_of_relation
+from repro.joins.generic_join import generic_join
+from repro.panda.example1 import example1_inequality, example1_database, example1_query
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+pairs = st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), max_size=25)
+
+
+def triangle_db(r, s, t):
+    return Database([
+        Relation("R", ("A", "B"), r),
+        Relation("S", ("B", "C"), s),
+        Relation("T", ("A", "C"), t),
+    ])
+
+
+class TestBoundsDominateOutputs:
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_agm_and_polymatroid_dominate_triangle_output(self, r, s, t):
+        query = triangle_query()
+        database = triangle_db(r, s, t)
+        output = len(generic_join(query, database))
+        agm = agm_bound(query, database)
+        assert agm.permits(output)
+        if output and all(len(database[n]) for n in ("R", "S", "T")):
+            dc = cardinality_constraints(query, database)
+            poly = polymatroid_bound(dc)
+            assert math.log2(output) <= poly.log2_bound + 1e-6
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=25, deadline=None)
+    def test_degree_constraints_tighten_but_still_dominate(self, r, s, t):
+        query = triangle_query()
+        database = triangle_db(r, s, t)
+        if any(len(database[n]) == 0 for n in ("R", "S", "T")):
+            return
+        output = len(generic_join(query, database))
+        dc = constraints_from_database(query, database, max_key_size=1)
+        cardinalities_only = cardinality_constraints(query, database)
+        rich = polymatroid_bound(dc)
+        plain = polymatroid_bound(cardinalities_only)
+        # More constraints can only tighten the bound...
+        assert rich.log2_bound <= plain.log2_bound + 1e-6
+        # ...but it must still dominate the actual output.
+        if output:
+            assert math.log2(output) <= rich.log2_bound + 1e-6
+
+    def test_lw_bound_dominates_output(self):
+        query, database = loomis_whitney_random_instance(4, 40, seed=13)
+        output = len(generic_join(query, database))
+        assert agm_bound(query, database).permits(output)
+
+
+class TestEntropyArgumentOnRealData:
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=25, deadline=None)
+    def test_output_entropy_function_lies_in_hdc(self, r, s, t):
+        """The core step of the entropy argument: the uniform-output
+        distribution satisfies h(Y|X) <= log2 N_{Y|X} for every constraint
+        derived from the data."""
+        query = triangle_query()
+        database = triangle_db(r, s, t)
+        output = generic_join(query, database)
+        if len(output) == 0:
+            return
+        h = entropy_function_of_relation(output)
+        dc = constraints_from_database(query, database, max_key_size=1)
+        for constraint in dc:
+            observed = h(constraint.y) - h(constraint.x)
+            assert observed <= constraint.log_bound + 1e-9
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=25, deadline=None)
+    def test_full_entropy_equals_log_output(self, r, s, t):
+        query = triangle_query()
+        database = triangle_db(r, s, t)
+        output = generic_join(query, database)
+        if len(output) == 0:
+            return
+        h = entropy_function_of_relation(output)
+        assert h(query.variables) == pytest.approx(math.log2(len(output)))
+
+    def test_example1_flow_holds_on_output_entropy(self):
+        database = example1_database(scale=100, seed=4)
+        query = example1_query()
+        output = generic_join(query, database)
+        if len(output) == 0:
+            return
+        h = entropy_function_of_relation(output)
+        assert example1_inequality().holds_for(h)
+
+
+class TestModularBoundOnAcyclicData:
+    def test_modular_bound_dominates_chain_output(self):
+        from repro.experiments.acyclic_dc import chain_instance
+
+        query, database, dc = chain_instance(num_r=50, fanout=3, seed=9)
+        output = len(generic_join(query, database))
+        bound = modular_bound(dc)
+        assert output <= bound.bound + 1e-9

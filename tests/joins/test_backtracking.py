@@ -1,0 +1,109 @@
+"""Tests for Algorithm 3 (backtracking search under acyclic DC)."""
+
+import pytest
+
+from repro.bounds.modular import modular_bound
+from repro.constraints.degree import (
+    DegreeConstraint,
+    DegreeConstraintSet,
+    cardinality_constraints,
+)
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.errors import ConstraintError
+from repro.experiments.acyclic_dc import chain_instance
+from repro.joins.backtracking import backtracking_join, backtracking_search
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestBacktrackingOnCardinalities:
+    def test_equals_generic_join_on_triangle(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = cardinality_constraints(query, database)
+        output = backtracking_join(query, database, dc)
+        assert output == generic_join(query, database)
+
+    def test_equals_generic_join_on_skew_triangle(self, skew_triangle_100):
+        query, database = skew_triangle_100
+        dc = cardinality_constraints(query, database)
+        assert backtracking_join(query, database, dc) == generic_join(query, database)
+
+    def test_search_result_is_superset_of_output(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = cardinality_constraints(query, database)
+        search = backtracking_search(query, database, dc)
+        output = backtracking_join(query, database, dc)
+        search_reordered = search.reorder(query.variables)
+        assert output.tuples <= search_reordered.tuples
+
+
+class TestBacktrackingWithDegreeConstraints:
+    def test_chain_query_correct(self):
+        query, database, dc = chain_instance(num_r=40, fanout=3, seed=2)
+        output = backtracking_join(query, database, dc)
+        assert output == generic_join(query, database)
+
+    def test_search_nodes_within_bound(self):
+        query, database, dc = chain_instance(num_r=60, fanout=3, seed=4)
+        counter = OperationCounter()
+        backtracking_search(query, database, dc, counter=counter)
+        bound = modular_bound(dc).bound
+        # The number of internal search nodes is at most the sum over prefix
+        # levels of the bound, which is <= (n+1) * bound; use that safe cap.
+        assert counter.search_nodes <= (len(query.variables) + 1) * bound
+
+    def test_explicit_compatible_order_accepted(self):
+        query, database, dc = chain_instance(num_r=20, fanout=2, seed=5)
+        output = backtracking_join(query, database, dc, order=("A", "B", "C", "D"))
+        assert output == generic_join(query, database)
+
+    def test_incompatible_order_rejected(self):
+        query, database, dc = chain_instance(num_r=20, fanout=2, seed=5)
+        with pytest.raises(ConstraintError):
+            backtracking_search(query, database, dc, order=("D", "C", "B", "A"))
+
+    def test_cyclic_dc_rejected(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint(x=frozenset("A"), y=frozenset("AB"), bound=2, guard="R"),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("AB"), bound=2, guard="R"),
+            DegreeConstraint.cardinality(("A", "C"), 10, guard="T"),
+        ])
+        with pytest.raises(ConstraintError):
+            backtracking_search(query, database, dc)
+
+    def test_uncovered_variable_rejected(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 100, guard="R"),
+        ])
+        with pytest.raises(ConstraintError):
+            backtracking_search(query, database, dc)
+
+    def test_guard_by_relation_name(self):
+        # Guards given as relation names (not edge keys) are resolved.
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), [(1, 2), (2, 2)]),
+            Relation("S", ("B", "C"), [(2, 3)]),
+            Relation("T", ("A", "C"), [(1, 3), (2, 3)]),
+        ])
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 2, guard="R"),
+            DegreeConstraint(x=frozenset("B"), y=frozenset("BC"), bound=1, guard="S"),
+        ])
+        output = backtracking_join(query, database, dc)
+        assert output == generic_join(query, database)
+
+    def test_missing_guard_rejected(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 100, guard="NoSuchRelation"),
+            DegreeConstraint.cardinality(("B", "C"), 100, guard="S"),
+            DegreeConstraint.cardinality(("A", "C"), 100, guard="T"),
+        ])
+        with pytest.raises(ConstraintError):
+            backtracking_search(query, database, dc)

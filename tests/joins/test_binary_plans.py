@@ -1,0 +1,99 @@
+"""Tests for pairwise plan enumeration and the best-plan baseline."""
+
+import pytest
+
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.errors import QueryError
+from repro.joins.binary_plans import (
+    all_left_deep_plans,
+    best_left_deep_execution,
+    greedy_left_deep_plan,
+)
+from repro.joins.generic_join import generic_join
+from repro.joins.plan import execute_plan
+from repro.query.atoms import Atom, ConjunctiveQuery, triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestGreedyPlan:
+    def test_starts_with_smallest_relation(self):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), [(i, i) for i in range(50)]),
+            Relation("S", ("B", "C"), [(1, 1)]),
+            Relation("T", ("A", "C"), [(i, i) for i in range(10)]),
+        ])
+        plan = greedy_left_deep_plan(query, database)
+        assert plan.atoms()[0] == "S"
+
+    def test_greedy_plan_is_correct(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        plan = greedy_left_deep_plan(query, database)
+        assert execute_plan(plan, query, database).result.tuples == frozenset(expected)
+
+    def test_disconnected_query_falls_back_to_product(self):
+        query = ConjunctiveQuery([Atom("R", ("A",)), Atom("S", ("B",))])
+        database = Database([
+            Relation("R", ("A",), [(1,), (2,)]),
+            Relation("S", ("B",), [(5,)]),
+        ])
+        plan = greedy_left_deep_plan(query, database)
+        execution = execute_plan(plan, query, database)
+        assert len(execution.result) == 2
+
+
+class TestPlanEnumeration:
+    def test_triangle_has_six_connected_left_deep_plans(self):
+        plans = all_left_deep_plans(triangle_query())
+        # All 3! orders are connected for the triangle.
+        assert len(plans) == 6
+
+    def test_chain_skips_disconnected_orders(self):
+        query = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                                  Atom("T", ("C", "D"))])
+        plans = all_left_deep_plans(query)
+        # Orders like (R, T, S) require a cartesian product and are skipped.
+        assert len(plans) == 4
+
+    def test_max_plans_cap(self):
+        plans = all_left_deep_plans(triangle_query(), max_plans=2)
+        assert len(plans) == 2
+
+    def test_disconnected_query_still_returns_a_plan(self):
+        query = ConjunctiveQuery([Atom("R", ("A",)), Atom("S", ("B",))])
+        assert len(all_left_deep_plans(query)) >= 1
+
+
+class TestBestExecution:
+    def test_output_matches_wcoj(self, skew_triangle_100):
+        query, database = skew_triangle_100
+        best = best_left_deep_execution(query, database)
+        assert best.result == generic_join(query, database)
+
+    def test_best_is_no_worse_than_greedy(self):
+        query, database = triangle_skew_instance(120)
+        greedy = execute_plan(greedy_left_deep_plan(query, database), query, database)
+        best = best_left_deep_execution(query, database)
+        assert best.max_intermediate <= greedy.max_intermediate
+
+    def test_alternative_metrics(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        by_total = best_left_deep_execution(query, database, metric="total_intermediate")
+        by_work = best_left_deep_execution(query, database, metric="total_work")
+        assert by_total.result == by_work.result
+
+    def test_unknown_metric_rejected(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        with pytest.raises(QueryError):
+            best_left_deep_execution(query, database, metric="wall_clock")
+
+    def test_skew_instance_every_plan_has_large_intermediate(self):
+        query, database = triangle_skew_instance(100)
+        best = best_left_deep_execution(query, database)
+        n = database.max_relation_size()
+        output = len(generic_join(query, database))
+        # Even the best pairwise plan materializes an intermediate much larger
+        # than the output (the paper's separation).
+        assert best.max_intermediate > 5 * output
+        assert best.max_intermediate >= (n / 2) ** 2 / 4

@@ -1,0 +1,132 @@
+"""Tests for Generic-Join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.naive import nested_loop_join
+from repro.query.atoms import (
+    Atom,
+    ConjunctiveQuery,
+    clique_query,
+    cycle_query,
+    path_query,
+    triangle_query,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestGenericJoinCorrectness:
+    def test_small_triangle(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        output = generic_join(query, database)
+        assert output.tuples == frozenset(expected)
+        assert output.attributes == ("A", "B", "C")
+
+    def test_every_variable_order_gives_same_result(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        import itertools
+        for order in itertools.permutations(("A", "B", "C")):
+            assert generic_join(query, database, order=order).tuples == frozenset(expected)
+
+    def test_empty_relation_gives_empty_output(self):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), [(1, 2)]),
+            Relation("S", ("B", "C"), []),
+            Relation("T", ("A", "C"), [(1, 3)]),
+        ])
+        assert generic_join(query, database).is_empty()
+
+    def test_single_atom_query(self):
+        query = ConjunctiveQuery([Atom("R", ("A", "B"))])
+        database = Database([Relation("R", ("A", "B"), [(1, 2), (3, 4)])])
+        output = generic_join(query, database)
+        assert output.tuples == frozenset({(1, 2), (3, 4)})
+
+    def test_projection_head(self):
+        query = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C"))],
+                                 head=("A", "C"))
+        database = Database([
+            Relation("R", ("A", "B"), [(1, 2), (4, 2)]),
+            Relation("S", ("B", "C"), [(2, 3)]),
+        ])
+        output = generic_join(query, database)
+        assert output.attributes == ("A", "C")
+        assert output.tuples == frozenset({(1, 3), (4, 3)})
+
+    def test_self_join_triangle_counting(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 3)]
+        query = ConjunctiveQuery([
+            Atom("E", ("A", "B")), Atom("E", ("B", "C")), Atom("E", ("A", "C")),
+        ])
+        database = Database([Relation("E", ("X", "Y"), edges)])
+        output = generic_join(query, database)
+        assert output.tuples == frozenset({(0, 1, 2)})
+
+    def test_path_query_matches_naive(self):
+        query = path_query(3)
+        database = Database([
+            Relation("E_1", ("A", "B"), [(1, 2), (2, 3)]),
+            Relation("E_2", ("A", "B"), [(2, 3), (3, 4)]),
+            Relation("E_3", ("A", "B"), [(3, 4), (4, 5)]),
+        ])
+        assert generic_join(query, database) == nested_loop_join(query, database)
+
+    def test_four_clique(self):
+        # Complete graph on 5 vertices: C(5,4) * 4! orderings... as tuples of
+        # distinct vertices forming a clique; with all edges present every
+        # 4-tuple of distinct vertices where each pair is an edge qualifies.
+        vertices = range(5)
+        edges = [(i, j) for i in vertices for j in vertices if i != j]
+        query = clique_query(4)
+        database = Database([
+            Relation(atom.relation, ("A", "B"), edges) for atom in query.atoms
+        ])
+        output = generic_join(query, database)
+        expected = nested_loop_join(query, database)
+        assert output == expected
+        assert len(output) == 5 * 4 * 3 * 2
+
+    def test_counter_charges_work(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        counter = OperationCounter()
+        output = generic_join(query, database, counter=counter)
+        assert counter.tuples_emitted == len(output)
+        assert counter.intersection_steps > 0
+        assert counter.search_nodes > 0
+
+    def test_invalid_order_rejected(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        with pytest.raises(ValueError):
+            generic_join(query, database, order=("A", "B"))
+
+
+class TestGenericJoinProperties:
+    pairs = st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=12)
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=60, deadline=None)
+    def test_agrees_with_nested_loop_on_triangles(self, r, s, t):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), r),
+            Relation("S", ("B", "C"), s),
+            Relation("T", ("A", "C"), t),
+        ])
+        assert generic_join(query, database) == nested_loop_join(query, database)
+
+    @given(pairs, pairs, pairs, pairs)
+    @settings(max_examples=30, deadline=None)
+    def test_agrees_with_nested_loop_on_4cycles(self, e1, e2, e3, e4):
+        query = cycle_query(4)
+        database = Database([
+            Relation("E_1", ("A", "B"), e1),
+            Relation("E_2", ("A", "B"), e2),
+            Relation("E_3", ("A", "B"), e3),
+            Relation("E_4", ("A", "B"), e4),
+        ])
+        assert generic_join(query, database) == nested_loop_join(query, database)

@@ -1,0 +1,67 @@
+"""Tests for heavy/light partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.heavy_light import heavy_light_partition
+from repro.joins.instrumentation import OperationCounter
+from repro.relational.relation import Relation
+from repro.relational.statistics import degree
+
+
+class TestHeavyLightPartition:
+    def test_basic_split(self):
+        # Value 1 has degree 3 (heavy at threshold 2), value 2 has degree 1.
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2), (1, 3), (2, 1)])
+        split = heavy_light_partition(r, ("A",), threshold=2)
+        assert len(split.heavy) == 3
+        assert len(split.light) == 1
+        assert split.verify()
+
+    def test_partition_covers_relation(self):
+        r = Relation("R", ("A", "B"), [(i % 3, i) for i in range(12)])
+        split = heavy_light_partition(r, ("A",), threshold=3)
+        assert split.heavy.tuples | split.light.tuples == r.tuples
+        assert not (split.heavy.tuples & split.light.tuples)
+
+    def test_zero_threshold_everything_heavy(self):
+        r = Relation("R", ("A", "B"), [(1, 1), (2, 2)])
+        split = heavy_light_partition(r, ("A",), threshold=0)
+        assert len(split.heavy) == 2
+        assert len(split.light) == 0
+
+    def test_huge_threshold_everything_light(self):
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2)])
+        split = heavy_light_partition(r, ("A",), threshold=100)
+        assert len(split.heavy) == 0
+        assert len(split.light) == 2
+
+    def test_composite_key(self):
+        r = Relation("R", ("A", "B", "C"), [(1, 1, 1), (1, 1, 2), (1, 2, 1)])
+        split = heavy_light_partition(r, ("A", "B"), threshold=1)
+        assert len(split.heavy) == 2
+        assert len(split.light) == 1
+
+    def test_counter_charged(self):
+        counter = OperationCounter()
+        r = Relation("R", ("A", "B"), [(1, 1)])
+        heavy_light_partition(r, ("A",), threshold=1, counter=counter)
+        assert counter.tuples_scanned == 2
+
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 20)), max_size=40),
+           st.integers(1, 6))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_properties(self, tuples, threshold):
+        r = Relation("R", ("A", "B"), tuples)
+        split = heavy_light_partition(r, ("A",), threshold=threshold)
+        # Disjoint cover.
+        assert split.heavy.tuples | split.light.tuples == r.tuples
+        assert not (split.heavy.tuples & split.light.tuples)
+        # Light part has bounded degree.
+        if len(split.light):
+            assert degree(split.light, ("A",), ("B",)) <= threshold
+        # Heavy part has few distinct keys.
+        if threshold > 0:
+            assert len(split.heavy.column("A")) <= len(r) / threshold + 1e-9
+        assert split.verify()

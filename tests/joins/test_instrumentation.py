@@ -1,0 +1,54 @@
+"""Tests for operation counters."""
+
+from repro.joins.instrumentation import OperationCounter
+
+
+class TestOperationCounter:
+    def test_charge_known_counters(self):
+        counter = OperationCounter()
+        counter.charge(tuples_scanned=5, hash_probes=2)
+        counter.charge(tuples_scanned=3)
+        assert counter.tuples_scanned == 8
+        assert counter.hash_probes == 2
+        assert counter.total() == 10
+
+    def test_charge_unknown_counter_goes_to_extra(self):
+        counter = OperationCounter()
+        counter.charge(partitions=4)
+        assert counter.extra["partitions"] == 4
+        assert counter.total() == 4
+
+    def test_as_dict_includes_total(self):
+        counter = OperationCounter()
+        counter.charge(seeks=7)
+        d = counter.as_dict()
+        assert d["seeks"] == 7
+        assert d["total"] == 7
+
+    def test_reset(self):
+        counter = OperationCounter()
+        counter.charge(tuples_emitted=3, custom=2)
+        counter.reset()
+        assert counter.total() == 0
+        assert counter.extra == {}
+
+    def test_merge(self):
+        a = OperationCounter()
+        b = OperationCounter()
+        a.charge(tuples_scanned=1, custom=2)
+        b.charge(tuples_scanned=3, custom=4, seeks=5)
+        a.merge(b)
+        assert a.tuples_scanned == 4
+        assert a.seeks == 5
+        assert a.extra["custom"] == 6
+
+    def test_negative_charge_allowed_for_corrections(self):
+        counter = OperationCounter()
+        counter.charge(intermediate_tuples=10)
+        counter.charge(intermediate_tuples=-4)
+        assert counter.intermediate_tuples == 6
+
+    def test_str_mentions_nonzero_counters(self):
+        counter = OperationCounter()
+        counter.charge(search_nodes=2)
+        assert "search_nodes=2" in str(counter)

@@ -1,0 +1,108 @@
+"""Tests for Leapfrog Triejoin and the leapfrog intersection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.leapfrog import LeapfrogIterator, leapfrog_intersect, leapfrog_triejoin
+from repro.joins.naive import nested_loop_join
+from repro.query.atoms import cycle_query, loomis_whitney_query, triangle_query
+from repro.datagen.loomis_whitney import loomis_whitney_random_instance
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestLeapfrogIterator:
+    def test_linear_iteration(self):
+        it = LeapfrogIterator([1, 3, 5])
+        assert it.key() == 1
+        it.next()
+        assert it.key() == 3
+        it.next()
+        it.next()
+        assert it.at_end()
+
+    def test_seek(self):
+        it = LeapfrogIterator([1, 3, 5, 9])
+        it.seek(4)
+        assert it.key() == 5
+        it.seek(9)
+        assert it.key() == 9
+        it.seek(10)
+        assert it.at_end()
+
+
+class TestLeapfrogIntersect:
+    def test_basic(self):
+        result = leapfrog_intersect([[1, 2, 3, 7, 9], [2, 3, 4, 9], [0, 2, 3, 9, 11]])
+        assert result == [2, 3, 9]
+
+    def test_disjoint(self):
+        assert leapfrog_intersect([[1, 3], [2, 4]]) == []
+
+    def test_empty_list_short_circuits(self):
+        assert leapfrog_intersect([[1, 2], []]) == []
+        assert leapfrog_intersect([]) == []
+
+    def test_single_list(self):
+        assert leapfrog_intersect([[1, 5, 9]]) == [1, 5, 9]
+
+    def test_identical_lists(self):
+        assert leapfrog_intersect([[1, 2, 3], [1, 2, 3]]) == [1, 2, 3]
+
+    def test_counter_counts_seeks(self):
+        counter = OperationCounter()
+        leapfrog_intersect([[1, 2, 3], [3, 4, 5]], counter=counter)
+        assert counter.seeks > 0
+
+    @given(st.lists(st.sets(st.integers(0, 30), max_size=20), min_size=2, max_size=4))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_set_intersection(self, value_sets):
+        sorted_lists = [sorted(s) for s in value_sets]
+        expected = set.intersection(*[set(s) for s in value_sets]) if value_sets else set()
+        assert leapfrog_intersect(sorted_lists) == sorted(expected)
+
+
+class TestLeapfrogTriejoin:
+    def test_small_triangle(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        assert leapfrog_triejoin(query, database).tuples == frozenset(expected)
+
+    def test_matches_generic_join_on_tight_instance(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        assert leapfrog_triejoin(query, database) == generic_join(query, database)
+
+    def test_matches_generic_join_on_skew_instance(self, skew_triangle_100):
+        query, database = skew_triangle_100
+        assert leapfrog_triejoin(query, database) == generic_join(query, database)
+
+    def test_lw_instance(self):
+        query, database = loomis_whitney_random_instance(4, 30, seed=3)
+        assert leapfrog_triejoin(query, database) == nested_loop_join(query, database)
+
+    def test_explicit_order(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        out = leapfrog_triejoin(query, database, order=("C", "B", "A"))
+        assert out.tuples == frozenset(expected)
+
+    def test_counter_counts_seeks(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        counter = OperationCounter()
+        leapfrog_triejoin(query, database, counter=counter)
+        assert counter.seeks > 0
+        assert counter.tuples_emitted > 0
+
+    pairs = st.sets(st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=12)
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_agrees_with_naive_on_random_triangles(self, r, s, t):
+        query = triangle_query()
+        database = Database([
+            Relation("R", ("A", "B"), r),
+            Relation("S", ("B", "C"), s),
+            Relation("T", ("A", "C"), t),
+        ])
+        assert leapfrog_triejoin(query, database) == nested_loop_join(query, database)

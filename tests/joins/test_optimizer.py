@@ -1,0 +1,84 @@
+"""Tests for the strategy chooser and the naive join oracle."""
+
+import pytest
+
+from repro.datagen.worstcase import triangle_agm_tight_instance
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.naive import nested_loop_join
+from repro.joins.optimizer import choose_strategy, evaluate
+from repro.query.atoms import Atom, ConjunctiveQuery, path_query, triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def path_db():
+    query = path_query(2)
+    database = Database([
+        Relation("E_1", ("A", "B"), [(1, 2), (2, 3)]),
+        Relation("E_2", ("A", "B"), [(2, 4), (3, 4)]),
+    ])
+    return query, database
+
+
+class TestChooseStrategy:
+    def test_cyclic_query_uses_wcoj(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        choice = choose_strategy(query, database)
+        assert choice.strategy == "wcoj"
+        assert not choice.acyclic
+        assert choice.agm.bound > 0
+
+    def test_acyclic_query_uses_binary(self, path_db):
+        query, database = path_db
+        choice = choose_strategy(query, database)
+        assert choice.strategy == "binary"
+        assert choice.acyclic
+
+
+class TestEvaluate:
+    def test_auto_strategy_correct_on_triangle(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        assert evaluate(query, database).tuples == frozenset(expected)
+
+    def test_auto_strategy_correct_on_path(self, path_db):
+        query, database = path_db
+        assert evaluate(query, database) == nested_loop_join(query, database)
+
+    def test_forced_strategies_agree(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        wcoj = evaluate(query, database, strategy="wcoj")
+        binary = evaluate(query, database, strategy="binary")
+        assert wcoj == binary
+
+    def test_unknown_strategy_rejected(self, path_db):
+        query, database = path_db
+        with pytest.raises(ValueError):
+            evaluate(query, database, strategy="quantum")
+
+    def test_counter_passed_through(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        counter = OperationCounter()
+        evaluate(query, database, strategy="wcoj", counter=counter)
+        assert counter.total() > 0
+
+
+class TestNaiveOracle:
+    def test_naive_handles_projection_head(self):
+        query = ConjunctiveQuery([Atom("R", ("A", "B"))], head=("B",))
+        database = Database([Relation("R", ("A", "B"), [(1, 2), (3, 2)])])
+        output = nested_loop_join(query, database)
+        assert output.attributes == ("B",)
+        assert output.tuples == frozenset({(2,)})
+
+    def test_naive_counter(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        counter = OperationCounter()
+        out = nested_loop_join(query, database, counter=counter)
+        assert counter.tuples_emitted == len(out)
+        assert counter.tuples_scanned > 0
+
+    def test_naive_matches_generic_join(self, tight_triangle_100):
+        query, database = tight_triangle_100
+        assert nested_loop_join(query, database) == generic_join(query, database)

@@ -1,0 +1,102 @@
+"""Tests for binary join plan trees and the plan executor."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.joins.naive import nested_loop_join
+from repro.joins.plan import PlanJoin, PlanLeaf, execute_plan, left_deep_plan
+from repro.query.atoms import Atom, ConjunctiveQuery, triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def chain_db():
+    query = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                              Atom("T", ("C", "D"))])
+    database = Database([
+        Relation("R", ("A", "B"), [(1, 2), (2, 2), (3, 4)]),
+        Relation("S", ("B", "C"), [(2, 5), (4, 6)]),
+        Relation("T", ("C", "D"), [(5, 7), (6, 8), (9, 9)]),
+    ])
+    return query, database
+
+
+class TestPlanStructure:
+    def test_left_deep_plan_shape(self):
+        plan = left_deep_plan(["R", "S", "T"])
+        assert isinstance(plan, PlanJoin)
+        assert isinstance(plan.left, PlanJoin)
+        assert isinstance(plan.right, PlanLeaf)
+        assert plan.atoms() == ("R", "S", "T")
+
+    def test_left_deep_plan_rejects_empty(self):
+        with pytest.raises(QueryError):
+            left_deep_plan([])
+
+    def test_str(self):
+        plan = PlanJoin(PlanLeaf("R"), PlanLeaf("S"), project_to=("A",))
+        assert "JOIN" in str(plan)
+        assert "pi[A]" in str(plan)
+
+
+class TestExecutePlan:
+    def test_chain_plan_matches_naive(self, chain_db):
+        query, database = chain_db
+        plan = left_deep_plan(["R", "S", "T"])
+        execution = execute_plan(plan, query, database)
+        assert execution.result == nested_loop_join(query, database)
+
+    def test_triangle_plan_matches_naive(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        plan = left_deep_plan(["R", "S", "T"])
+        execution = execute_plan(plan, query, database)
+        assert execution.result.tuples == frozenset(expected)
+
+    def test_intermediate_sizes_recorded(self, chain_db):
+        query, database = chain_db
+        plan = left_deep_plan(["R", "S", "T"])
+        execution = execute_plan(plan, query, database)
+        # Two inner joins, the last one is the output, so one intermediate.
+        assert len(execution.intermediate_sizes) == 1
+        assert execution.max_intermediate == execution.intermediate_sizes[0]
+        assert execution.total_intermediate == sum(execution.intermediate_sizes)
+
+    def test_bushy_plan(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        plan = PlanJoin(PlanJoin(PlanLeaf("R"), PlanLeaf("S")), PlanLeaf("T"))
+        bushy = PlanJoin(PlanLeaf("T"), PlanJoin(PlanLeaf("S"), PlanLeaf("R")))
+        assert execute_plan(plan, query, database).result.tuples == frozenset(expected)
+        assert execute_plan(bushy, query, database).result.tuples == frozenset(expected)
+
+    def test_join_project_plan(self, chain_db):
+        query, database = chain_db
+        # Project away nothing harmful: keep all head variables.
+        plan = PlanJoin(
+            PlanJoin(PlanLeaf("R"), PlanLeaf("S"), project_to=("A", "B", "C")),
+            PlanLeaf("T"),
+        )
+        execution = execute_plan(plan, query, database)
+        assert execution.result == nested_loop_join(query, database)
+
+    def test_plan_missing_atom_rejected(self, chain_db):
+        query, database = chain_db
+        plan = left_deep_plan(["R", "S"])
+        with pytest.raises(QueryError):
+            execute_plan(plan, query, database)
+
+    def test_plan_dropping_head_variable_rejected(self, chain_db):
+        query, database = chain_db
+        plan = PlanJoin(
+            PlanJoin(PlanLeaf("R"), PlanLeaf("S"), project_to=("A", "C")),
+            PlanLeaf("T"),
+        )
+        with pytest.raises(QueryError):
+            execute_plan(plan, query, database)
+
+    def test_counter_accumulates(self, chain_db):
+        query, database = chain_db
+        plan = left_deep_plan(["R", "S", "T"])
+        execution = execute_plan(plan, query, database)
+        assert execution.counter.hash_inserts > 0
+        assert execution.counter.tuples_scanned > 0

@@ -1,0 +1,131 @@
+"""Tests for the Section 2 triangle algorithms (Algorithms 1 and 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.naive import nested_loop_join
+from repro.joins.triangle import (
+    triangle_algorithm1,
+    triangle_algorithm2,
+    triangle_binary_plan,
+)
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def make_relations(r, s, t):
+    return (Relation("R", ("A", "B"), r), Relation("S", ("B", "C"), s),
+            Relation("T", ("A", "C"), t))
+
+
+class TestAlgorithm1:
+    def test_small_instance(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        out = triangle_algorithm1(database["R"], database["S"], database["T"])
+        assert out.tuples == frozenset(expected)
+
+    def test_schema_validation(self):
+        bad = Relation("R", ("X", "Y"), [(1, 2)])
+        good_s = Relation("S", ("B", "C"), [])
+        good_t = Relation("T", ("A", "C"), [])
+        with pytest.raises(ValueError):
+            triangle_algorithm1(bad, good_s, good_t)
+
+    def test_work_respects_agm_bound_on_tight_instance(self):
+        query, database = triangle_agm_tight_instance(400)
+        r, s, t = database["R"], database["S"], database["T"]
+        counter = OperationCounter()
+        out = triangle_algorithm1(r, s, t, counter=counter)
+        agm = math.sqrt(len(r) * len(s) * len(t))
+        n = max(len(r), len(s), len(t))
+        # Work (excluding the linear-time indexing pass) is O(N + AGM); allow
+        # a small constant factor.
+        work = counter.intersection_steps + counter.tuples_emitted
+        assert work <= 4 * (n + agm)
+        assert len(out) == pytest.approx(agm, rel=1e-9)
+
+    def test_work_near_linear_on_skew_instance(self):
+        query, database = triangle_skew_instance(400)
+        r, s, t = database["R"], database["S"], database["T"]
+        counter = OperationCounter()
+        out = triangle_algorithm1(r, s, t, counter=counter)
+        n = max(len(r), len(s), len(t))
+        work = counter.intersection_steps + counter.tuples_emitted
+        # On the star instance the WCOJ algorithm does near-linear work,
+        # far below the quadratic blow-up of pairwise plans.
+        assert work <= 10 * n
+        assert len(out) < 2 * n
+
+
+class TestAlgorithm2:
+    def test_small_instance(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        out = triangle_algorithm2(database["R"], database["S"], database["T"])
+        assert out.tuples == frozenset(expected)
+
+    def test_empty_input(self):
+        r, s, t = make_relations([], [(1, 2)], [(1, 2)])
+        assert triangle_algorithm2(r, s, t).is_empty()
+
+    def test_custom_theta_still_correct(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        for theta in (0.5, 1.0, 10.0):
+            out = triangle_algorithm2(database["R"], database["S"], database["T"],
+                                      theta=theta)
+            assert out.tuples == frozenset(expected)
+
+    def test_intermediates_respect_bound_on_tight_instance(self):
+        query, database = triangle_agm_tight_instance(400)
+        r, s, t = database["R"], database["S"], database["T"]
+        counter = OperationCounter()
+        triangle_algorithm2(r, s, t, counter=counter)
+        agm = math.sqrt(len(r) * len(s) * len(t))
+        # Each branch's intermediate is at most sqrt(|R||S||T|) (Section 2).
+        assert counter.intermediate_tuples <= 2 * agm + 1e-9
+
+    def test_intermediates_respect_bound_on_skew_instance(self):
+        query, database = triangle_skew_instance(300)
+        r, s, t = database["R"], database["S"], database["T"]
+        counter = OperationCounter()
+        triangle_algorithm2(r, s, t, counter=counter)
+        agm = math.sqrt(len(r) * len(s) * len(t))
+        assert counter.intermediate_tuples <= 2 * agm + 1e-9
+
+
+class TestBinaryPlanBaseline:
+    def test_small_instance(self, small_triangle_instance):
+        query, database, expected = small_triangle_instance
+        out = triangle_binary_plan(database["R"], database["S"], database["T"])
+        assert out.tuples == frozenset(expected)
+
+    def test_quadratic_intermediate_on_skew_instance(self):
+        query, database = triangle_skew_instance(200)
+        r, s, t = database["R"], database["S"], database["T"]
+        counter = OperationCounter()
+        triangle_binary_plan(r, s, t, counter=counter)
+        n = len(r)
+        # R JOIN S on the star instance contains ~ (n/2)^2 tuples.
+        assert counter.intermediate_tuples >= (n / 2 - 1) ** 2 / 2
+
+
+class TestCrossAlgorithmAgreement:
+    pairs = st.sets(st.tuples(st.integers(0, 4), st.integers(0, 4)), max_size=15)
+
+    @given(pairs, pairs, pairs)
+    @settings(max_examples=50, deadline=None)
+    def test_all_three_agree_with_naive(self, r, s, t):
+        rel_r, rel_s, rel_t = make_relations(r, s, t)
+        database = Database([rel_r, rel_s, rel_t])
+        expected = nested_loop_join(triangle_query(), database)
+        a1 = triangle_algorithm1(rel_r, rel_s, rel_t)
+        a2 = triangle_algorithm2(rel_r, rel_s, rel_t)
+        bp = triangle_binary_plan(rel_r, rel_s, rel_t)
+        assert a1.tuples == expected.tuples
+        assert a2.tuples == expected.tuples
+        assert bp.tuples == expected.tuples

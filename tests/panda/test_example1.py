@@ -1,0 +1,105 @@
+"""Tests for the Example 1 / Table 2 reproduction."""
+
+import math
+
+import pytest
+
+from repro.joins.generic_join import generic_join
+from repro.panda.example1 import (
+    example1_constraints,
+    example1_database,
+    example1_inequality,
+    example1_proof_sequence,
+    example1_query,
+    example1_runtime_bound,
+    example1_theta,
+    observed_statistics,
+    run_example1,
+    table2_rows,
+)
+
+
+class TestExample1Objects:
+    def test_query_shape(self):
+        query = example1_query()
+        assert query.variables == ("A", "B", "C", "D")
+        assert [a.relation for a in query.atoms] == ["R", "S", "T", "W", "V"]
+
+    def test_constraints_shape(self):
+        dc = example1_constraints(10, 20, 30, 4, 5)
+        assert len(dc) == 5
+        cardinalities = dc.cardinality_constraints()
+        assert len(cardinalities) == 3
+        assert {c.guard for c in dc} == {"R", "S", "T", "W", "V"}
+
+    def test_inequality_is_valid_shannon_flow(self):
+        assert example1_inequality().is_valid()
+
+    def test_proof_sequence_verifies(self):
+        assert example1_proof_sequence().verify()
+
+    def test_theta_and_bound_formulas(self):
+        # With all statistics equal to n and degree bounds d:
+        n, d = 100, 4
+        assert example1_theta(n, n, n, d, d) == pytest.approx(math.sqrt(n * d / d))
+        assert example1_runtime_bound(n, n, n, d, d) == pytest.approx(
+            math.sqrt(n ** 3 * d * d))
+
+    def test_database_satisfies_constraints(self):
+        database = example1_database(scale=120, seed=9)
+        stats = observed_statistics(database)
+        dc = example1_constraints(
+            stats["N_AB"], stats["N_BC"], stats["N_CD"],
+            max(1, stats["N_ACD|AC"]), max(1, stats["N_ABD|BD"]),
+        )
+        assert dc.validate(database)
+
+
+class TestExample1Execution:
+    def test_run_matches_generic_join(self):
+        run = run_example1(scale=120, seed=5)
+        assert run.matches_generic_join
+        assert len(run.result.output) == len(
+            generic_join(example1_query(), example1_database(scale=120, seed=5)))
+
+    def test_intermediates_within_bound(self):
+        for seed in (0, 1):
+            run = run_example1(scale=150, seed=seed)
+            assert run.result.max_intermediate <= run.runtime_bound + 1e-9
+
+    def test_two_output_branches(self):
+        run = run_example1(scale=100, seed=2)
+        assert len(run.result.branch_outputs) == 2
+
+    def test_statistics_reported(self):
+        run = run_example1(scale=100, seed=3)
+        assert set(run.statistics.keys()) == {
+            "N_AB", "N_BC", "N_CD", "N_ACD|AC", "N_ABD|BD"}
+
+
+class TestTable2:
+    def test_rows_match_paper_structure(self):
+        rows = table2_rows()
+        assert len(rows) == 9
+        assert [row["name"] for row in rows] == [
+            "decomposition", "submodularity", "composition",
+            "submodularity", "composition",
+            "submodularity", "composition",
+            "submodularity", "composition",
+        ]
+        assert [row["operation"] for row in rows] == [
+            "partition", "NOOP", "join", "NOOP", "join", "NOOP", "join", "NOOP", "join",
+        ]
+
+    def test_rows_mention_the_paper_actions(self):
+        rows = table2_rows()
+        actions = " ".join(row["action"] for row in rows)
+        assert "S_heavy" in actions
+        assert "S_light" in actions
+        assert "output_1" in actions and "output_2" in actions
+
+    def test_rows_with_run_include_measurements(self):
+        run = run_example1(scale=80, seed=1)
+        rows = table2_rows(run)
+        assert all("measured" in row for row in rows)
+        assert "partition" in rows[0]["measured"]

@@ -1,0 +1,137 @@
+"""Tests for the PANDA interpreter (proof sequence -> relational operations)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet, cardinality_constraints
+from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.errors import ProofError
+from repro.joins.generic_join import generic_join
+from repro.joins.instrumentation import OperationCounter
+from repro.panda.interpreter import PandaInterpreter, panda_evaluate
+from repro.panda.proof_sequence import (
+    CompositionStep,
+    DecompositionStep,
+    ProofSequence,
+    SubmodularityStep,
+)
+from repro.panda.shannon_flow import ShannonFlowInequality
+from repro.panda.terms import ConditionalTerm
+from repro.query.atoms import triangle_query
+
+HALF = Fraction(1, 2)
+f = frozenset
+
+
+def triangle_flow():
+    return ShannonFlowInequality.from_terms(("A", "B", "C"), {
+        ConditionalTerm.unconditional(["A", "B"]): HALF,
+        ConditionalTerm.unconditional(["B", "C"]): HALF,
+        ConditionalTerm.unconditional(["A", "C"]): HALF,
+    })
+
+
+def triangle_proof():
+    return ProofSequence(triangle_flow(), [
+        DecompositionStep(y=f("AB"), x=f("A"), weight=HALF),
+        SubmodularityStep(i_set=f("A"), j_set=f("BC"), weight=HALF),
+        CompositionStep(y=f("ABC"), x=f("BC"), weight=HALF),
+        SubmodularityStep(i_set=f("AB"), j_set=f("AC"), weight=HALF),
+        CompositionStep(y=f("ABC"), x=f("AC"), weight=HALF),
+    ])
+
+
+class TestTrianglePanda:
+    """Running the Section-2 entropy-proof algorithm through the generic
+    PANDA machinery must reproduce the triangle join."""
+
+    def test_output_matches_generic_join_tight(self):
+        query, database = triangle_agm_tight_instance(100)
+        dc = cardinality_constraints(query, database)
+        interpreter = PandaInterpreter(query, database, dc, triangle_proof())
+        result = interpreter.run()
+        assert result.output == generic_join(query, database)
+
+    def test_output_matches_generic_join_skew(self):
+        query, database = triangle_skew_instance(100)
+        dc = cardinality_constraints(query, database)
+        interpreter = PandaInterpreter(query, database, dc, triangle_proof())
+        result = interpreter.run()
+        assert result.output == generic_join(query, database)
+
+    def test_branch_outputs_and_log(self):
+        query, database = triangle_skew_instance(60)
+        dc = cardinality_constraints(query, database)
+        result = PandaInterpreter(query, database, dc, triangle_proof()).run()
+        # Two compositions reach the full variable set -> two branches.
+        assert len(result.branch_outputs) == 2
+        assert len(result.log) == len(triangle_proof().steps) + 1
+        assert result.max_intermediate == max(result.intermediate_sizes)
+
+    def test_intermediates_within_agm_bound_with_paper_theta(self):
+        import math
+        query, database = triangle_skew_instance(200)
+        dc = cardinality_constraints(query, database)
+        r, s, t = database["R"], database["S"], database["T"]
+        theta = math.sqrt(len(r) * len(s) / len(t))
+        interpreter = PandaInterpreter(query, database, dc, triangle_proof(),
+                                       thresholds={0: theta})
+        result = interpreter.run()
+        agm = math.sqrt(len(r) * len(s) * len(t))
+        assert result.max_intermediate <= agm + 1e-9
+
+    def test_counter_is_charged(self):
+        query, database = triangle_skew_instance(60)
+        dc = cardinality_constraints(query, database)
+        counter = OperationCounter()
+        PandaInterpreter(query, database, dc, triangle_proof(), counter=counter).run()
+        assert counter.total() > 0
+        assert counter.intermediate_tuples > 0
+
+
+class TestInterpreterErrors:
+    def test_missing_guard_for_term(self):
+        query, database = triangle_agm_tight_instance(25)
+        # Constraints exist only for R and S, but the inequality needs T too.
+        dc = DegreeConstraintSet(("A", "B", "C"), [
+            DegreeConstraint.cardinality(("A", "B"), 100, guard="R"),
+            DegreeConstraint.cardinality(("B", "C"), 100, guard="S"),
+        ])
+        with pytest.raises(ProofError):
+            PandaInterpreter(query, database, dc, triangle_proof()).run()
+
+    def test_sequence_that_never_reaches_goal(self):
+        query, database = triangle_agm_tight_instance(25)
+        dc = cardinality_constraints(query, database)
+        sequence = ProofSequence(triangle_flow(), [
+            DecompositionStep(y=f("AB"), x=f("A"), weight=HALF),
+        ])
+        with pytest.raises(ProofError):
+            PandaInterpreter(query, database, dc, sequence).run()
+
+    def test_composition_without_affiliation(self):
+        query, database = triangle_agm_tight_instance(25)
+        dc = cardinality_constraints(query, database)
+        sequence = ProofSequence(triangle_flow(), [
+            # h(ABC|AB) was never affiliated: the composition must fail.
+            SubmodularityStep(i_set=f("AC"), j_set=f("AB"), weight=HALF),
+            CompositionStep(y=f("ABC"), x=f("AB"), weight=HALF),
+            CompositionStep(y=f("ABC"), x=f("BC"), weight=HALF),
+        ])
+        with pytest.raises(ProofError):
+            PandaInterpreter(query, database, dc, sequence).run()
+
+
+class TestEndToEndPandaEvaluate:
+    def test_panda_evaluate_triangle(self):
+        query, database = triangle_agm_tight_instance(64)
+        dc = cardinality_constraints(query, database)
+        result = panda_evaluate(query, database, dc)
+        assert result.output == generic_join(query, database)
+
+    def test_panda_evaluate_skew_triangle(self):
+        query, database = triangle_skew_instance(80)
+        dc = cardinality_constraints(query, database)
+        result = panda_evaluate(query, database, dc)
+        assert result.output == generic_join(query, database)

@@ -1,0 +1,161 @@
+"""Tests for proof steps and proof sequences."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.panda.example1 import example1_inequality, example1_proof_sequence
+from repro.panda.proof_sequence import (
+    CompositionStep,
+    DecompositionStep,
+    ProofSequence,
+    SubmodularityStep,
+    step_kind,
+)
+from repro.panda.shannon_flow import ShannonFlowInequality
+from repro.panda.terms import ConditionalTerm, TermBag
+
+HALF = Fraction(1, 2)
+f = frozenset
+
+
+def triangle_inequality():
+    return ShannonFlowInequality.from_terms(("A", "B", "C"), {
+        ConditionalTerm.unconditional(["A", "B"]): HALF,
+        ConditionalTerm.unconditional(["B", "C"]): HALF,
+        ConditionalTerm.unconditional(["A", "C"]): HALF,
+    })
+
+
+def triangle_proof_steps():
+    """The proof of eq. (21)-(24), scaled to weight 1/2 per copy."""
+    return [
+        DecompositionStep(y=f("AB"), x=f("A"), weight=HALF),
+        SubmodularityStep(i_set=f("A"), j_set=f("BC"), weight=HALF),
+        CompositionStep(y=f("ABC"), x=f("BC"), weight=HALF),
+        SubmodularityStep(i_set=f("AB"), j_set=f("AC"), weight=HALF),
+        CompositionStep(y=f("ABC"), x=f("AC"), weight=HALF),
+    ]
+
+
+class TestStepValidation:
+    def test_decomposition_requires_nonempty_strict_x(self):
+        with pytest.raises(ProofError):
+            DecompositionStep(y=f("AB"), x=f(), weight=HALF)
+        with pytest.raises(ProofError):
+            DecompositionStep(y=f("AB"), x=f("AB"), weight=HALF)
+
+    def test_positive_weights_required(self):
+        with pytest.raises(ProofError):
+            DecompositionStep(y=f("AB"), x=f("A"), weight=0)
+        with pytest.raises(ProofError):
+            CompositionStep(y=f("AB"), x=f("A"), weight=-1)
+        with pytest.raises(ProofError):
+            SubmodularityStep(i_set=f("AB"), j_set=f("AC"), weight=0)
+
+    def test_submodularity_rejects_i_inside_j(self):
+        with pytest.raises(ProofError):
+            SubmodularityStep(i_set=f("A"), j_set=f("AB"), weight=1)
+
+    def test_submodularity_source_and_target(self):
+        step = SubmodularityStep(i_set=f("AB"), j_set=f("AC"), weight=1)
+        assert step.source == ConditionalTerm(y=f("AB"), x=f("A"))
+        assert step.target == ConditionalTerm(y=f("ABC"), x=f("AC"))
+
+    def test_step_kind(self):
+        assert step_kind(DecompositionStep(y=f("AB"), x=f("A"), weight=1)) == "decomposition"
+        assert step_kind(CompositionStep(y=f("AB"), x=f("A"), weight=1)) == "composition"
+        assert step_kind(SubmodularityStep(i_set=f("AB"), j_set=f("C"), weight=1)) == "submodularity"
+
+    def test_describe_strings(self):
+        assert "h(AB)" in DecompositionStep(y=f("AB"), x=f("A"), weight=1).describe()
+        assert "->" in CompositionStep(y=f("AB"), x=f("A"), weight=1).describe()
+
+
+class TestStepApplication:
+    def test_decomposition_moves_weight(self):
+        bag = TermBag({ConditionalTerm.unconditional(["A", "B"]): Fraction(1)})
+        DecompositionStep(y=f("AB"), x=f("A"), weight=Fraction(1)).apply(bag)
+        assert bag.weight(ConditionalTerm.unconditional(["A"])) == 1
+        assert bag.weight(ConditionalTerm(y=f("AB"), x=f("A"))) == 1
+        assert bag.weight(ConditionalTerm.unconditional(["A", "B"])) == 0
+
+    def test_decomposition_insufficient_weight(self):
+        bag = TermBag({ConditionalTerm.unconditional(["A", "B"]): HALF})
+        with pytest.raises(ProofError):
+            DecompositionStep(y=f("AB"), x=f("A"), weight=Fraction(1)).apply(bag)
+
+    def test_composition_consumes_both_terms(self):
+        bag = TermBag({
+            ConditionalTerm.unconditional(["A"]): Fraction(1),
+            ConditionalTerm(y=f("AB"), x=f("A")): Fraction(1),
+        })
+        CompositionStep(y=f("AB"), x=f("A"), weight=Fraction(1)).apply(bag)
+        assert bag.weight(ConditionalTerm.unconditional(["A", "B"])) == 1
+        assert len(bag) == 1
+
+    def test_composition_missing_partner(self):
+        bag = TermBag({ConditionalTerm(y=f("AB"), x=f("A")): Fraction(1)})
+        with pytest.raises(ProofError):
+            CompositionStep(y=f("AB"), x=f("A"), weight=Fraction(1)).apply(bag)
+
+    def test_submodularity_moves_affiliated_weight(self):
+        bag = TermBag({ConditionalTerm(y=f("AB"), x=f("A")): Fraction(1)})
+        SubmodularityStep(i_set=f("AB"), j_set=f("AC"), weight=Fraction(1)).apply(bag)
+        assert bag.weight(ConditionalTerm(y=f("ABC"), x=f("AC"))) == 1
+
+
+class TestProofSequences:
+    def test_triangle_proof_verifies(self):
+        sequence = ProofSequence(triangle_inequality(), triangle_proof_steps())
+        assert sequence.verify()
+        assert sequence.final_weight_on_goal() == Fraction(1)
+
+    def test_example1_table2_sequence_verifies(self):
+        sequence = example1_proof_sequence()
+        assert sequence.verify()
+        assert len(sequence) == 9
+        assert sequence.final_weight_on_goal() == Fraction(1)
+
+    def test_truncated_sequence_fails(self):
+        sequence = ProofSequence(triangle_inequality(), triangle_proof_steps()[:-1])
+        assert not sequence.verify()
+
+    def test_invalid_sequence_raises_in_run(self):
+        steps = [CompositionStep(y=f("ABC"), x=f("AB"), weight=HALF)]
+        sequence = ProofSequence(triangle_inequality(), steps)
+        with pytest.raises(ProofError):
+            sequence.run()
+        assert not sequence.verify()
+
+    def test_soundness_every_prefix_dominates_goal(self):
+        """Applying proof steps never increases the bag's value on any
+        polymatroid — the core soundness of the rules."""
+        from repro.infotheory.set_functions import uniform_step_function
+
+        inequality = triangle_inequality()
+        steps = triangle_proof_steps()
+        for threshold in (1, 2, 3):
+            h = uniform_step_function(["A", "B", "C"], threshold)
+            bag = inequality.term_bag()
+            previous = bag.evaluate(h)
+            for step in steps:
+                step.apply(bag)
+                current = bag.evaluate(h)
+                assert current <= previous + 1e-9
+                previous = current
+
+    def test_describe_length_matches_steps(self):
+        sequence = example1_proof_sequence()
+        assert len(sequence.describe()) == len(sequence)
+
+    def test_append(self):
+        sequence = ProofSequence(triangle_inequality(), [])
+        for step in triangle_proof_steps():
+            sequence.append(step)
+        assert sequence.verify()
+
+    def test_higher_target_weight_fails(self):
+        sequence = ProofSequence(triangle_inequality(), triangle_proof_steps())
+        assert not sequence.verify(target_weight=2)

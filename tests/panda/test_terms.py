@@ -1,0 +1,99 @@
+"""Tests for conditional terms and term bags."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import ProofError
+from repro.infotheory.set_functions import uniform_step_function
+from repro.panda.terms import ConditionalTerm, TermBag
+
+
+class TestConditionalTerm:
+    def test_unconditional(self):
+        term = ConditionalTerm.unconditional(["A", "B"])
+        assert term.is_unconditional
+        assert term.free_variables == frozenset({"A", "B"})
+        assert str(term) == "h(AB)"
+
+    def test_conditional(self):
+        term = ConditionalTerm(y=frozenset("ABC"), x=frozenset("A"))
+        assert not term.is_unconditional
+        assert term.free_variables == frozenset({"B", "C"})
+        assert str(term) == "h(ABC|A)"
+
+    def test_requires_x_strict_subset(self):
+        with pytest.raises(ProofError):
+            ConditionalTerm(y=frozenset("AB"), x=frozenset("AB"))
+        with pytest.raises(ProofError):
+            ConditionalTerm(y=frozenset("A"), x=frozenset("B"))
+
+    def test_evaluate(self):
+        h = uniform_step_function(["A", "B", "C"], threshold=2)
+        term = ConditionalTerm(y=frozenset("ABC"), x=frozenset("A"))
+        assert term.evaluate(h) == pytest.approx(1.0)
+
+    def test_hashable_and_equal(self):
+        a = ConditionalTerm(y=frozenset("AB"), x=frozenset("A"))
+        b = ConditionalTerm(y=frozenset(["A", "B"]), x=frozenset(["A"]))
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestTermBag:
+    def test_add_and_weight(self):
+        bag = TermBag()
+        term = ConditionalTerm.unconditional(["A"])
+        bag.add(term, Fraction(1, 2))
+        bag.add(term, Fraction(1, 4))
+        assert bag.weight(term) == Fraction(3, 4)
+        assert term in bag
+
+    def test_remove_to_zero_deletes(self):
+        bag = TermBag()
+        term = ConditionalTerm.unconditional(["A"])
+        bag.add(term, 1)
+        bag.remove(term, 1)
+        assert term not in bag
+        assert len(bag) == 0
+
+    def test_negative_weight_rejected(self):
+        bag = TermBag()
+        term = ConditionalTerm.unconditional(["A"])
+        bag.add(term, Fraction(1, 2))
+        with pytest.raises(ProofError):
+            bag.remove(term, 1)
+
+    def test_copy_is_independent(self):
+        term = ConditionalTerm.unconditional(["A"])
+        bag = TermBag({term: Fraction(1)})
+        clone = bag.copy()
+        clone.remove(term, 1)
+        assert bag.weight(term) == 1
+        assert clone.weight(term) == 0
+
+    def test_total_weight_and_items(self):
+        a = ConditionalTerm.unconditional(["A"])
+        b = ConditionalTerm(y=frozenset("AB"), x=frozenset("A"))
+        bag = TermBag({a: Fraction(1, 2), b: Fraction(1, 3)})
+        assert bag.total_weight() == Fraction(5, 6)
+        assert set(dict(bag.items()).keys()) == {a, b}
+
+    def test_evaluate_against_set_function(self):
+        h = uniform_step_function(["A", "B"], threshold=2)
+        bag = TermBag({
+            ConditionalTerm.unconditional(["A"]): Fraction(2),
+            ConditionalTerm(y=frozenset("AB"), x=frozenset("A")): Fraction(1),
+        })
+        # 2 * h(A) + 1 * h(AB|A) = 2*1 + 1 = 3.
+        assert bag.evaluate(h) == pytest.approx(3.0)
+
+    def test_equality(self):
+        a = ConditionalTerm.unconditional(["A"])
+        assert TermBag({a: 1}) == TermBag({a: Fraction(1)})
+        assert TermBag({a: 1}) != TermBag({a: 2})
+
+    def test_string_weights_accepted(self):
+        a = ConditionalTerm.unconditional(["A"])
+        bag = TermBag({a: "1/3"})
+        assert bag.weight(a) == Fraction(1, 3)

@@ -1,0 +1,154 @@
+"""Tests for repro.query.atoms: Atom, ConjunctiveQuery, canned queries."""
+
+import pytest
+
+from repro.errors import QueryError, SchemaError
+from repro.query.atoms import (
+    Atom,
+    ConjunctiveQuery,
+    clique_query,
+    cycle_query,
+    loomis_whitney_query,
+    path_query,
+    triangle_query,
+)
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestAtom:
+    def test_basic(self):
+        atom = Atom("R", ("A", "B"))
+        assert atom.relation == "R"
+        assert atom.variables == ("A", "B")
+        assert atom.variable_set == frozenset({"A", "B"})
+        assert str(atom) == "R(A, B)"
+
+    def test_repeated_variable_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ("A", "A"))
+
+    def test_empty_atom_rejected(self):
+        with pytest.raises(QueryError):
+            Atom("R", ())
+
+
+class TestConjunctiveQuery:
+    def test_variables_in_first_occurrence_order(self):
+        q = triangle_query()
+        assert q.variables == ("A", "B", "C")
+        assert q.head == ("A", "B", "C")
+        assert q.is_full
+
+    def test_head_subset(self):
+        q = ConjunctiveQuery([Atom("R", ("A", "B"))], head=("A",))
+        assert not q.is_full
+        assert q.head == ("A",)
+
+    def test_head_unknown_variable_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([Atom("R", ("A",))], head=("Z",))
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            ConjunctiveQuery([])
+
+    def test_atoms_containing(self):
+        q = triangle_query()
+        assert {a.relation for a in q.atoms_containing("A")} == {"R", "T"}
+        assert {a.relation for a in q.atoms_containing("B")} == {"R", "S"}
+
+    def test_edge_keys_unique_for_self_joins(self):
+        q = ConjunctiveQuery([Atom("E", ("A", "B")), Atom("E", ("B", "C"))])
+        keys = [q.edge_key(0), q.edge_key(1)]
+        assert len(set(keys)) == 2
+        assert q.atom_for_edge(keys[0]).variables == ("A", "B")
+
+    def test_hypergraph(self):
+        h = triangle_query().hypergraph()
+        assert set(h.vertices) == {"A", "B", "C"}
+        assert h.num_edges() == 3
+        assert h.edge("R") == frozenset({"A", "B"})
+
+    def test_str(self):
+        assert "R(A, B)" in str(triangle_query())
+
+    def test_equality_and_hash(self):
+        assert triangle_query() == triangle_query()
+        assert hash(triangle_query()) == hash(triangle_query())
+        assert triangle_query() != clique_query(3)
+
+
+class TestBindAndValidate:
+    def test_validate_against_checks_arity(self):
+        q = triangle_query()
+        db = Database([
+            Relation("R", ("X", "Y"), []),
+            Relation("S", ("X", "Y", "Z"), []),
+            Relation("T", ("X", "Y"), []),
+        ])
+        with pytest.raises(SchemaError):
+            q.validate_against(db)
+
+    def test_bind_renames_to_query_variables(self):
+        q = triangle_query()
+        db = Database([
+            Relation("R", ("X", "Y"), [(1, 2)]),
+            Relation("S", ("U", "V"), [(2, 3)]),
+            Relation("T", ("P", "Q"), [(1, 3)]),
+        ])
+        bound = q.bind(db)
+        assert bound["R"].attributes == ("A", "B")
+        assert bound["S"].attributes == ("B", "C")
+        assert (1, 2) in bound["R"]
+
+    def test_bind_self_join(self):
+        q = ConjunctiveQuery([Atom("E", ("A", "B")), Atom("E", ("B", "C"))])
+        db = Database([Relation("E", ("X", "Y"), [(1, 2), (2, 3)])])
+        bound = q.bind(db)
+        assert len(bound) == 2
+        assert bound[q.edge_key(0)].attributes == ("A", "B")
+        assert bound[q.edge_key(1)].attributes == ("B", "C")
+
+
+class TestCannedQueries:
+    def test_triangle_shape(self):
+        q = triangle_query()
+        assert len(q.atoms) == 3
+        assert all(len(a.variables) == 2 for a in q.atoms)
+
+    def test_clique_query_atom_count(self):
+        assert len(clique_query(4).atoms) == 6
+        assert len(clique_query(5).atoms) == 10
+
+    def test_clique_query_requires_k_at_least_2(self):
+        with pytest.raises(QueryError):
+            clique_query(1)
+
+    def test_cycle_query(self):
+        q = cycle_query(4)
+        assert len(q.atoms) == 4
+        assert len(q.variables) == 4
+        with pytest.raises(QueryError):
+            cycle_query(2)
+
+    def test_path_query(self):
+        q = path_query(3)
+        assert len(q.atoms) == 3
+        assert len(q.variables) == 4
+        with pytest.raises(QueryError):
+            path_query(0)
+
+    def test_loomis_whitney_each_atom_misses_one_variable(self):
+        q = loomis_whitney_query(4)
+        assert len(q.atoms) == 4
+        for atom in q.atoms:
+            assert len(atom.variables) == 3
+            missing = set(q.variables) - atom.variable_set
+            assert len(missing) == 1
+        with pytest.raises(QueryError):
+            loomis_whitney_query(2)
+
+    def test_lw3_is_triangle_shaped(self):
+        q = loomis_whitney_query(3)
+        assert all(len(a.variables) == 2 for a in q.atoms)

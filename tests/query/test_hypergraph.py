@@ -1,0 +1,114 @@
+"""Tests for repro.query.hypergraph."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.atoms import loomis_whitney_query, triangle_query
+from repro.query.hypergraph import Hypergraph
+
+
+@pytest.fixture
+def triangle():
+    return triangle_query().hypergraph()
+
+
+class TestConstruction:
+    def test_basic(self, triangle):
+        assert triangle.num_vertices() == 3
+        assert triangle.num_edges() == 3
+        assert triangle.edge_keys == ("R", "S", "T")
+
+    def test_duplicate_vertices_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["A", "A"], {"e": ["A"]})
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["A"], {"e": ["A", "Z"]})
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["A"], {"e": []})
+
+    def test_no_edges_rejected(self):
+        with pytest.raises(QueryError):
+            Hypergraph(["A"], {})
+
+    def test_multi_hypergraph_repeated_edge_sets(self):
+        h = Hypergraph(["A", "B"], {"e1": ["A", "B"], "e2": ["A", "B"]})
+        assert h.num_edges() == 2
+
+
+class TestAccess:
+    def test_edge_lookup(self, triangle):
+        assert triangle.edge("R") == frozenset({"A", "B"})
+        with pytest.raises(QueryError):
+            triangle.edge("nope")
+
+    def test_edges_containing(self, triangle):
+        assert set(triangle.edges_containing("A")) == {"R", "T"}
+        with pytest.raises(QueryError):
+            triangle.edges_containing("Z")
+
+    def test_vertex_degree(self, triangle):
+        assert triangle.vertex_degree("B") == 2
+
+    def test_covers_all_vertices(self, triangle):
+        assert triangle.covers_all_vertices()
+
+    def test_equality(self):
+        a = triangle_query().hypergraph()
+        b = triangle_query().hypergraph()
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCoverCheck:
+    def test_valid_fractional_cover(self, triangle):
+        assert triangle.is_cover({"R": 0.5, "S": 0.5, "T": 0.5})
+        assert triangle.is_cover({"R": 1.0, "S": 1.0, "T": 0.0})
+
+    def test_invalid_cover_uncovered_vertex(self, triangle):
+        assert not triangle.is_cover({"R": 1.0, "S": 0.0, "T": 0.0})
+
+    def test_negative_weight_not_a_cover(self, triangle):
+        assert not triangle.is_cover({"R": 1.0, "S": 1.0, "T": -0.5})
+
+    def test_unknown_edge_rejected(self, triangle):
+        with pytest.raises(QueryError):
+            triangle.is_cover({"X": 1.0})
+
+    def test_lw4_cover(self):
+        h = loomis_whitney_query(4).hypergraph()
+        third = 1.0 / 3.0
+        assert h.is_cover({key: third for key in h.edge_keys})
+        assert not h.is_cover({key: 0.2 for key in h.edge_keys})
+
+
+class TestStructuralOps:
+    def test_remove_vertex(self, triangle):
+        reduced = triangle.remove_vertex("C")
+        assert set(reduced.vertices) == {"A", "B"}
+        # S = {B,C} becomes {B}, T = {A,C} becomes {A}.
+        assert reduced.edge("S") == frozenset({"B"})
+        assert reduced.edge("T") == frozenset({"A"})
+
+    def test_remove_vertex_drops_empty_edges(self):
+        h = Hypergraph(["A", "B"], {"e1": ["A"], "e2": ["A", "B"]})
+        reduced = h.remove_vertex("A")
+        assert "e1" not in reduced.edges
+        assert reduced.edge("e2") == frozenset({"B"})
+
+    def test_remove_last_vertex_errors(self):
+        h = Hypergraph(["A"], {"e": ["A"]})
+        with pytest.raises(QueryError):
+            h.remove_vertex("A")
+
+    def test_restrict_to(self, triangle):
+        restricted = triangle.restrict_to(["A", "B"])
+        assert set(restricted.vertices) == {"A", "B"}
+        assert restricted.edge("R") == frozenset({"A", "B"})
+
+    def test_restrict_to_unknown_vertex(self, triangle):
+        with pytest.raises(QueryError):
+            triangle.restrict_to(["A", "Z"])

@@ -1,0 +1,69 @@
+"""Tests for the datalog-style query parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.atoms import triangle_query
+from repro.query.parser import parse_query
+
+
+class TestParser:
+    def test_full_rule(self):
+        q = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C).")
+        assert q == triangle_query()
+        assert q.name == "Q"
+
+    def test_arrow_synonym(self):
+        q = parse_query("Q(A, B) <- R(A, B)")
+        assert q.variables == ("A", "B")
+
+    def test_body_only(self):
+        q = parse_query("R(A,B), S(B,C)")
+        assert q.variables == ("A", "B", "C")
+        assert q.is_full
+
+    def test_whitespace_insensitive(self):
+        q = parse_query("  Q( A , B ) :-   R( A ,B )  ,S(B)  ")
+        assert q.head == ("A", "B")
+        assert len(q.atoms) == 2
+
+    def test_trailing_period_optional(self):
+        assert parse_query("R(A,B)") == parse_query("R(A,B).")
+
+    def test_head_projection(self):
+        q = parse_query("Q(A) :- R(A,B)")
+        assert q.head == ("A",)
+        assert not q.is_full
+
+    def test_underscore_names(self):
+        q = parse_query("my_q(X_1) :- rel_1(X_1, X_2)")
+        assert q.atoms[0].relation == "rel_1"
+        assert q.variables == ("X_1", "X_2")
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("   ")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("this is not datalog")
+
+    def test_atom_without_variables_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A) :- R()")
+
+    def test_bad_variable_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A) :- R(A, 1B)")
+
+    def test_missing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A,B) :- R(A,B) S(B)")
+
+    def test_bad_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q A :- R(A)")
+
+    def test_round_trip_through_str(self):
+        q = triangle_query()
+        assert parse_query(str(q)) == q

@@ -1,0 +1,62 @@
+"""Tests for repro.relational.database."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def db():
+    return Database([
+        Relation("R", ("A", "B"), [(1, 2), (2, 3)]),
+        Relation("S", ("B", "C"), [(2, 4)]),
+    ])
+
+
+class TestDatabase:
+    def test_get_and_getitem(self, db):
+        assert db.get("R") == db["R"]
+        assert len(db["S"]) == 1
+
+    def test_missing_relation(self, db):
+        with pytest.raises(SchemaError):
+            db.get("T")
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.add(Relation("R", ("A",), []))
+
+    def test_replace_overwrites(self, db):
+        db.replace(Relation("R", ("A", "B"), [(9, 9)]))
+        assert len(db["R"]) == 1
+
+    def test_contains_and_len(self, db):
+        assert "R" in db
+        assert "T" not in db
+        assert len(db) == 2
+
+    def test_iteration(self, db):
+        assert {r.name for r in db} == {"R", "S"}
+
+    def test_relation_names(self, db):
+        assert set(db.relation_names) == {"R", "S"}
+
+    def test_total_tuples_and_max_size(self, db):
+        assert db.total_tuples() == 3
+        assert db.max_relation_size() == 2
+        assert Database().max_relation_size() == 0
+
+    def test_active_domain(self, db):
+        assert db.active_domain() == {1, 2, 3, 4}
+
+    def test_summary(self, db):
+        assert db.summary() == {"R": 2, "S": 1}
+
+    def test_from_mapping_renames(self):
+        base = Relation("E", ("A", "B"), [(1, 2)])
+        db = Database.from_mapping({"R": base, "S": base})
+        assert db["R"].name == "R"
+        assert db["S"].name == "S"
+        assert db["R"].tuples == db["S"].tuples

@@ -1,0 +1,116 @@
+"""Tests for repro.relational.index (HashIndex and TrieIndex)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.index import HashIndex, TrieIndex, build_tries
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def edges():
+    return Relation("E", ("A", "B"), [(1, 2), (1, 3), (2, 3), (3, 1)])
+
+
+class TestHashIndex:
+    def test_lookup(self, edges):
+        index = HashIndex(edges, ("A",))
+        assert index.lookup((1,)) == frozenset({(1, 2), (1, 3)})
+        assert index.lookup((9,)) == frozenset()
+
+    def test_lookup_dict(self, edges):
+        index = HashIndex(edges, ("A",))
+        assert index.lookup_dict({"A": 2}) == frozenset({(2, 3)})
+
+    def test_contains_and_count(self, edges):
+        index = HashIndex(edges, ("A",))
+        assert index.contains((1,))
+        assert not index.contains((5,))
+        assert index.count((1,)) == 2
+        assert index.count((5,)) == 0
+
+    def test_empty_key_single_bucket(self, edges):
+        index = HashIndex(edges, ())
+        assert index.lookup(()) == edges.tuples
+
+    def test_composite_key(self, edges):
+        index = HashIndex(edges, ("A", "B"))
+        assert index.count((1, 2)) == 1
+        assert len(index) == 4
+
+    def test_max_bucket_size(self, edges):
+        assert HashIndex(edges, ("A",)).max_bucket_size() == 2
+        assert HashIndex(Relation("E", ("A",), []), ("A",)).max_bucket_size() == 0
+
+    def test_keys(self, edges):
+        assert set(HashIndex(edges, ("A",)).keys()) == {(1,), (2,), (3,)}
+
+
+class TestTrieIndex:
+    def test_root_values_sorted(self, edges):
+        trie = TrieIndex(edges, ("A", "B"))
+        assert trie.values(()) == [1, 2, 3]
+
+    def test_prefix_values(self, edges):
+        trie = TrieIndex(edges, ("A", "B"))
+        assert trie.values((1,)) == [2, 3]
+        assert trie.values((2,)) == [3]
+        assert trie.values((9,)) == []
+
+    def test_reverse_order(self, edges):
+        trie = TrieIndex(edges, ("B", "A"))
+        assert trie.values(()) == [1, 2, 3]
+        assert trie.values((3,)) == [1, 2]
+
+    def test_count(self, edges):
+        trie = TrieIndex(edges, ("A", "B"))
+        assert trie.count(()) == 4
+        assert trie.count((1,)) == 2
+        assert trie.count((9,)) == 0
+
+    def test_num_children_and_contains_prefix(self, edges):
+        trie = TrieIndex(edges, ("A", "B"))
+        assert trie.num_children(()) == 3
+        assert trie.contains_prefix((1, 2))
+        assert not trie.contains_prefix((1, 9))
+
+    def test_seek(self, edges):
+        trie = TrieIndex(edges, ("A", "B"))
+        assert trie.seek((), 2) == 2
+        assert trie.seek((1,), 3) == 3
+        assert trie.seek((1,), 4) is None
+        assert trie.seek((9,), 0) is None
+
+    def test_unknown_attribute_rejected(self, edges):
+        with pytest.raises(SchemaError):
+            TrieIndex(edges, ("A", "Z"))
+
+    def test_projection_trie(self, edges):
+        # A trie over a single attribute counts projected tuples.
+        trie = TrieIndex(edges, ("A",))
+        assert trie.values(()) == [1, 2, 3]
+
+    def test_build_tries_uses_global_order(self, edges):
+        other = Relation("F", ("B", "C"), [(2, 5)])
+        tries = build_tries([edges, other], global_order=("C", "B", "A"))
+        assert tries["E"].order == ("B", "A")
+        assert tries["F"].order == ("C", "B")
+
+    @given(st.sets(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_trie_values_match_relation_columns(self, tuples):
+        relation = Relation("R", ("A", "B"), tuples)
+        trie = TrieIndex(relation, ("A", "B"))
+        assert set(trie.values(())) == relation.column("A")
+        for a in relation.column("A"):
+            assert set(trie.values((a,))) == relation.distinct_values("B", {"A": a})
+
+    @given(st.sets(st.tuples(st.integers(0, 6), st.integers(0, 6)), max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_trie_counts_sum_to_relation_size(self, tuples):
+        relation = Relation("R", ("A", "B"), tuples)
+        trie = TrieIndex(relation, ("A", "B"))
+        assert trie.count(()) == len(relation)
+        assert sum(trie.count((a,)) for a in trie.values(())) == len(relation)

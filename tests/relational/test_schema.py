@@ -1,0 +1,100 @@
+"""Tests for repro.relational.schema."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import Schema, as_schema
+
+
+class TestSchemaConstruction:
+    def test_basic_construction(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.attributes == ("A", "B", "C")
+        assert schema.arity == 3
+
+    def test_duplicate_attributes_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "B", "A"])
+
+    def test_empty_attribute_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", ""])
+
+    def test_non_string_attribute_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", 3])
+
+    def test_empty_schema_allowed(self):
+        schema = Schema([])
+        assert schema.arity == 0
+        assert len(schema) == 0
+
+
+class TestSchemaAccess:
+    def test_position(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.position("A") == 0
+        assert schema.position("C") == 2
+
+    def test_position_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).position("Z")
+
+    def test_positions_multiple(self):
+        schema = Schema(["A", "B", "C"])
+        assert schema.positions(["C", "A"]) == (2, 0)
+
+    def test_contains(self):
+        schema = Schema(["A", "B"])
+        assert "A" in schema
+        assert "Z" not in schema
+
+    def test_iteration_and_indexing(self):
+        schema = Schema(["A", "B"])
+        assert list(schema) == ["A", "B"]
+        assert schema[1] == "B"
+
+    def test_equality_with_schema_and_tuple(self):
+        assert Schema(["A", "B"]) == Schema(["A", "B"])
+        assert Schema(["A", "B"]) == ("A", "B")
+        assert Schema(["A", "B"]) != Schema(["B", "A"])
+
+    def test_hashable(self):
+        assert len({Schema(["A"]), Schema(["A"]), Schema(["B"])}) == 2
+
+
+class TestSchemaDerivation:
+    def test_project(self):
+        schema = Schema(["A", "B", "C"]).project(["C", "A"])
+        assert schema.attributes == ("C", "A")
+
+    def test_project_unknown_attribute(self):
+        with pytest.raises(SchemaError):
+            Schema(["A"]).project(["B"])
+
+    def test_rename(self):
+        schema = Schema(["A", "B"]).rename({"A": "X"})
+        assert schema.attributes == ("X", "B")
+
+    def test_rename_collision_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["A", "B"]).rename({"A": "B"})
+
+    def test_union_preserves_order(self):
+        left = Schema(["A", "B"])
+        right = Schema(["B", "C"])
+        assert left.union(right).attributes == ("A", "B", "C")
+
+    def test_intersection(self):
+        left = Schema(["A", "B", "C"])
+        right = Schema(["C", "B", "D"])
+        assert left.intersection(right) == ("B", "C")
+
+    def test_is_prefix_of(self):
+        assert Schema(["A", "B"]).is_prefix_of(Schema(["A", "B", "C"]))
+        assert not Schema(["B"]).is_prefix_of(Schema(["A", "B"]))
+
+    def test_as_schema_coercion(self):
+        assert as_schema(("A", "B")) == Schema(["A", "B"])
+        schema = Schema(["A"])
+        assert as_schema(schema) is schema

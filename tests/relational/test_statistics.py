@@ -1,0 +1,83 @@
+"""Tests for repro.relational.statistics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+from repro.relational.statistics import (
+    cardinality,
+    degree,
+    is_functional_dependency,
+    max_degree,
+    relation_statistics,
+)
+
+
+@pytest.fixture
+def orders():
+    # (customer, order, item) with customer 1 having two orders.
+    return Relation("Orders", ("customer", "order", "item"),
+                    [(1, 10, "a"), (1, 11, "b"), (2, 12, "a"), (2, 12, "b")])
+
+
+class TestDegree:
+    def test_cardinality(self, orders):
+        assert cardinality(orders) == 4
+
+    def test_degree_single_key(self, orders):
+        assert degree(orders, ("customer",), ("order",)) == 2
+        assert degree(orders, ("order",), ("item",)) == 2
+        assert degree(orders, ("order",), ("customer",)) == 1
+
+    def test_degree_empty_key_counts_distinct(self, orders):
+        assert degree(orders, (), ("customer",)) == 2
+        assert degree(orders, (), ("customer", "order", "item")) == 4
+
+    def test_degree_composite_key(self, orders):
+        assert degree(orders, ("customer", "order"), ("item",)) == 2
+
+    def test_degree_empty_relation(self):
+        empty = Relation("R", ("A", "B"), [])
+        assert degree(empty, ("A",), ("B",)) == 0
+
+    def test_degree_requires_y(self, orders):
+        with pytest.raises(SchemaError):
+            degree(orders, ("customer",), ())
+
+    def test_degree_unknown_attribute(self, orders):
+        with pytest.raises(SchemaError):
+            degree(orders, ("nope",), ("item",))
+
+    def test_max_degree(self, orders):
+        assert max_degree(orders, "customer") == 2
+        assert max_degree(Relation("R", ("A",), []), "A") == 0
+
+    def test_is_functional_dependency(self, orders):
+        assert is_functional_dependency(orders, ("order",), ("customer",))
+        assert not is_functional_dependency(orders, ("customer",), ("order",))
+        assert is_functional_dependency(Relation("R", ("A", "B"), []), ("A",), ("B",))
+
+
+class TestRelationStatistics:
+    def test_summary_contains_cardinality_and_degrees(self, orders):
+        stats = relation_statistics(orders)
+        assert stats.cardinality == 4
+        assert stats.attribute_cardinalities["customer"] == 2
+        assert stats.degree_of((), ("customer", "order", "item")) == 4
+        assert stats.degree_of(("customer",), ("order", "item")) == 2
+
+    def test_degree_of_missing_key_returns_none(self, orders):
+        stats = relation_statistics(orders)
+        assert stats.degree_of(("customer", "order"), ("item",)) is None
+
+    @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)), min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_degree_bounds_cardinality(self, tuples):
+        relation = Relation("R", ("A", "B"), tuples)
+        # max degree per A times number of distinct A values is >= |R|.
+        per_a = degree(relation, ("A",), ("B",))
+        assert per_a * len(relation.column("A")) >= len(relation)
+        # Degree never exceeds total distinct B values.
+        assert per_a <= len(relation.column("B"))

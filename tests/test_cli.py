@@ -1,0 +1,42 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "loomis-whitney" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["triangle-bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "[E3]" in out
+        assert "(1/2,1/2,1/2)" in out
+
+    def test_run_scaling_experiment_with_sizes(self, capsys):
+        assert main(["triangle", "--sizes", "50", "100", "--family", "skew"]) == 0
+        out = capsys.readouterr().out
+        assert "[E4]" in out
+        assert "best pairwise max intermediate" in out
+
+    def test_run_tightness(self, capsys):
+        assert main(["tightness"]) == 0
+        assert "[E11]" in capsys.readouterr().out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["definitely-not-an-experiment"])
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.scale == 150
+        assert args.family == "skew"
+
+    def test_package_version_exposed(self):
+        import repro
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy: every library error is a ReproError."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.SchemaError,
+        errors.QueryError,
+        errors.ParseError,
+        errors.ConstraintError,
+        errors.UnboundedQueryError,
+        errors.BoundError,
+        errors.LPError,
+        errors.ProofError,
+        errors.NotEntropicError,
+    ])
+    def test_subclasses_of_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_parse_error_is_query_error(self):
+        assert issubclass(errors.ParseError, errors.QueryError)
+
+    def test_unbounded_is_constraint_error(self):
+        assert issubclass(errors.UnboundedQueryError, errors.ConstraintError)
+
+    def test_lp_error_is_bound_error(self):
+        assert issubclass(errors.LPError, errors.BoundError)
+
+    def test_library_raises_catchable_base(self):
+        from repro.relational.relation import Relation
+        with pytest.raises(errors.ReproError):
+            Relation("R", ("A", "A"), [])
+
+    def test_parser_error_catchable_as_query_error(self):
+        from repro.query.parser import parse_query
+        with pytest.raises(errors.QueryError):
+            parse_query("not a query")
