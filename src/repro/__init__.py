@@ -18,6 +18,8 @@ The package is organized bottom-up:
 * :mod:`repro.panda`       — Shannon-flow inequalities, proof sequences,
   the PANDA interpreter, Example 1 / Table 2;
 * :mod:`repro.datagen`     — synthetic workloads;
+* :mod:`repro.engine`      — the persistent query engine: plan cache, index
+  registry, cost-based dispatch, streaming execution;
 * :mod:`repro.experiments` — one module per table / figure / claim.
 
 The most common entry points are re-exported here.
@@ -46,6 +48,7 @@ from repro.joins import (
     backtracking_join,
     OperationCounter,
 )
+from repro.engine import Engine, EngineStats, Explanation
 from repro.panda.interpreter import panda_evaluate
 
 __version__ = "1.0.0"
@@ -72,6 +75,9 @@ __all__ = [
     "nested_loop_join",
     "backtracking_join",
     "OperationCounter",
+    "Engine",
+    "EngineStats",
+    "Explanation",
     "panda_evaluate",
     "__version__",
 ]

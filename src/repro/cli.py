@@ -1,22 +1,36 @@
-"""Command-line entry point: run the paper's experiments from a shell.
+"""Command-line entry point: run experiments or serve queries from a shell.
 
 Usage::
 
-    python -m repro list                 # list available experiments
-    python -m repro table1               # run one experiment and print its table
-    python -m repro all                  # run every experiment
-    python -m repro triangle --sizes 100 200 400 --family skew
+    repro list                 # list available experiments
+    repro table1               # run one experiment and print its table
+    repro all                  # run every experiment
+    repro triangle --sizes 100 200 400 --family skew
 
-Experiments print the same tables the benchmark harness embeds, so this is
-the quickest way to regenerate a single paper artifact without pytest.
+    # The persistent query engine (build once, query many times):
+    repro engine --demo triangle-skew --size 400 --explain
+    repro engine --relation E=edges.csv -q "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"
+    repro engine --demo lw4 --query-file queries.txt --repeat 3 --mode auto
+
+(``python -m repro ...`` works identically when the package is not
+installed.)  Experiments print the same tables the benchmark harness embeds,
+so this is the quickest way to regenerate a single paper artifact without
+pytest.  The ``engine`` subcommand is a batch REPL over one
+:class:`repro.engine.Engine` session: all queries share its plan cache,
+index registry and result cache, and ``--repeat`` demonstrates warm-cache
+serving on repeated workloads.
 """
 
 from __future__ import annotations
 
 import argparse
+import csv
+import heapq
 import sys
+import time
 from typing import Callable
 
+from repro.errors import ReproError
 from repro.experiments import (
     run_acyclic_dc,
     run_acyclify,
@@ -61,14 +75,17 @@ _EXPERIMENTS: dict[str, tuple[str, Callable[[argparse.Namespace], ExperimentTabl
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the argument parser (exposed for testing)."""
+    """Build the experiment argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduce the experiments of 'Worst-Case Optimal Join "
-                    "Algorithms' (Ngo, PODS 2018).",
+                    "Algorithms' (Ngo, PODS 2018). Use the 'engine' "
+                    "subcommand for the persistent query engine.",
     )
     parser.add_argument("experiment",
-                        help="experiment name, 'all', or 'list'")
+                        help="experiment name, 'all', or 'list' (the query "
+                             "engine is 'repro engine ...', with 'engine' "
+                             "as the first argument)")
     parser.add_argument("--sizes", type=int, nargs="+", default=[100, 200, 400],
                         help="instance-size sweep for scaling experiments")
     parser.add_argument("--scale", type=int, default=150,
@@ -78,8 +95,246 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_engine_parser() -> argparse.ArgumentParser:
+    """Build the ``engine`` subcommand parser (exposed for testing)."""
+    from repro.engine import MODES
+
+    parser = argparse.ArgumentParser(
+        prog="repro engine",
+        description="Serve conjunctive queries from a persistent engine "
+                    "session with a plan cache, an index registry, and "
+                    "cost-based algorithm dispatch.",
+    )
+    data = parser.add_argument_group("data sources")
+    data.add_argument("--demo",
+                      choices=("triangle-skew", "triangle-tight", "lw4",
+                               "clique4"),
+                      help="load a built-in instance family instead of files")
+    data.add_argument("--size", type=int, default=200,
+                      help="scale parameter for --demo instances")
+    data.add_argument("--relation", action="append", default=[],
+                      metavar="NAME=FILE.csv",
+                      help="load a relation from a CSV file whose header row "
+                           "names the attributes (repeatable)")
+    workload = parser.add_argument_group("workload")
+    workload.add_argument("-q", "--query", action="append", default=[],
+                          help="a datalog-style query, e.g. "
+                               "'Q(A,B,C) :- R(A,B), S(B,C), T(A,C)' "
+                               "(repeatable)")
+    workload.add_argument("--query-file",
+                          help="file with one query per line ('#' comments)")
+    workload.add_argument("--repeat", type=int, default=1,
+                          help="run the whole workload this many times "
+                               "(repetitions exercise the caches)")
+    execution = parser.add_argument_group("execution")
+    execution.add_argument("--mode", default="auto", choices=MODES,
+                           help="executor dispatch mode")
+    execution.add_argument("--limit", type=int, default=None,
+                           help="stop each query after this many tuples "
+                                "(pushed into the join recursion)")
+    execution.add_argument("--explain", action="store_true",
+                           help="print the chosen plan, AGM bound, and "
+                                "cache provenance before each query")
+    execution.add_argument("--show", type=int, default=3,
+                           help="sample result rows to print per query")
+    return parser
+
+
+def _coerce_rows(rows: list[tuple[str, ...]]) -> list[tuple]:
+    """Convert a relation's cells to int only when *every* cell round-trips
+    (``str(int(cell)) == cell``); otherwise the whole relation stays textual.
+
+    The granularity matters: per-cell conversion produces mixed int/str
+    columns (TypeError from sorting), and per-column conversion can leave
+    one column int and another str, making any join variable that spans
+    both silently empty.  All-or-nothing per relation keeps every value of
+    a relation in one comparable domain.  Coercing cells that merely
+    *parse* as int would silently merge distinct rows like ``1,2`` and
+    ``01,2`` under set semantics, hence the round-trip requirement.
+    """
+    try:
+        coerced = [tuple(int(cell) for cell in row) for row in rows]
+    except ValueError:
+        return list(rows)
+    for row, ints in zip(rows, coerced):
+        if any(str(i) != cell for cell, i in zip(row, ints)):
+            return list(rows)
+    return coerced
+
+
+def _load_csv_relation(spec: str):
+    """Load ``NAME=path.csv`` (header row = attribute names) as a Relation."""
+    from repro.relational.relation import Relation
+
+    if "=" not in spec:
+        raise ValueError(
+            f"--relation expects NAME=FILE.csv, got {spec!r}"
+        )
+    name, path = spec.split("=", 1)
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"relation file {path!r} is empty") from None
+        attributes = [a.strip() for a in header]
+        rows = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(attributes):
+                raise ValueError(
+                    f"{path}:{line_number}: row has {len(row)} cells, "
+                    f"expected {len(attributes)} (header {attributes})"
+                )
+            rows.append(tuple(cell.strip() for cell in row))
+    return Relation(name.strip(), attributes, _coerce_rows(rows))
+
+
+def _demo_instance(demo: str, size: int):
+    """A (database, default queries) pair for a built-in demo family."""
+    from repro.datagen.loomis_whitney import loomis_whitney_random_instance
+    from repro.datagen.worstcase import (
+        clique_agm_tight_instance,
+        triangle_agm_tight_instance,
+        triangle_skew_instance,
+    )
+
+    if demo == "triangle-skew":
+        query, database = triangle_skew_instance(size)
+    elif demo == "triangle-tight":
+        query, database = triangle_agm_tight_instance(size)
+    elif demo == "lw4":
+        query, database = loomis_whitney_random_instance(4, size, seed=0)
+    elif demo == "clique4":
+        query, database = clique_agm_tight_instance(4, size)
+    else:  # pragma: no cover - argparse choices prevent this
+        raise ValueError(f"unknown demo {demo!r}")
+    return database, [query]
+
+
+def _mixed_type_variables(query, database) -> list[str]:
+    """Join variables whose columns mix value types (e.g. int vs str).
+
+    Such joins can never match (and crash the sorted-merge engines), so the
+    CLI reports them upfront — the diagnostic must not depend on which
+    executor the cost model happens to pick.
+    """
+    query.validate_against(database)  # arity errors first, with their own message
+    kinds: dict[str, set[str]] = {}
+    for atom in query.atoms:
+        relation = database.get(atom.relation)
+        for position, variable in enumerate(atom.variables):
+            column_kinds = {type(t[position]).__name__ for t in relation.tuples}
+            kinds.setdefault(variable, set()).update(column_kinds)
+    return sorted(v for v, k in kinds.items() if len(k) > 1)
+
+
+def engine_main(argv: list[str] | None = None) -> int:
+    """Entry point of the ``engine`` subcommand."""
+    from repro.engine import Engine
+    from repro.query.parser import parse_query
+    from repro.relational.database import Database
+
+    parser = build_engine_parser()
+    args = parser.parse_args(argv)
+    if args.repeat < 1:
+        parser.error("--repeat must be >= 1")
+    if args.limit is not None and args.limit < 0:
+        parser.error("--limit must be >= 0")
+
+    queries: list = []
+    if args.demo:
+        database, default_queries = _demo_instance(args.demo, args.size)
+    else:
+        database = Database()
+        default_queries = []
+    try:
+        for spec in args.relation:
+            database.add(_load_csv_relation(spec))
+    except (OSError, ValueError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    queries.extend(args.query)
+    if args.query_file:
+        try:
+            with open(args.query_file) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        queries.append(line)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    if not queries:
+        queries = default_queries
+    if not queries:
+        print("error: no queries; pass -q/--query-file or --demo",
+              file=sys.stderr)
+        return 2
+    if len(database) == 0:
+        print("error: no relations; pass --relation or --demo",
+              file=sys.stderr)
+        return 2
+
+    engine = Engine(database=database)
+    relation_summary = ", ".join(
+        f"{name}({len(database.get(name))})" for name in database.relation_names
+    )
+    print(f"engine session over {len(database)} relations: {relation_summary}")
+    try:
+        # Parse and type-check once: the query list and catalog are fixed
+        # for the whole run, and the repeat rounds exist to time the engine,
+        # not redundant validation.
+        parsed_queries = []
+        for query in queries:
+            parsed = parse_query(query) if isinstance(query, str) else query
+            mixed = _mixed_type_variables(parsed, engine.database)
+            if mixed:
+                print(f"error: variable(s) {', '.join(mixed)} join "
+                      f"columns with mixed value types; int and text "
+                      f"columns do not join", file=sys.stderr)
+                return 2
+            parsed_queries.append(parsed)
+
+        for round_index in range(args.repeat):
+            for query in parsed_queries:
+                if args.explain:
+                    print()
+                    print(engine.explain(query, mode=args.mode).render())
+                started = time.perf_counter()
+                try:
+                    result = engine.execute(query, mode=args.mode,
+                                            limit=args.limit)
+                except TypeError as error:
+                    # Joining an all-int relation against a textual one
+                    # compares incomparable values in the sorted engines.
+                    # Narrow to this call so other TypeErrors traceback.
+                    print(f"error: {error} (are joined relations loaded "
+                          f"with different value types? int and text "
+                          f"columns do not join)", file=sys.stderr)
+                    return 2
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                label = f"[run {round_index + 1}/{args.repeat}]"
+                print(f"{label} {result.name}: {len(result)} tuples "
+                      f"in {elapsed_ms:.2f} ms")
+                if args.show > 0:  # O(n) sample, not a full O(n log n) sort
+                    for row in heapq.nsmallest(args.show, result.tuples):
+                        print(f"    {row}")
+    except ReproError as error:  # parse/schema/dispatch problems
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print()
+    print(engine.stats)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "engine":
+        return engine_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
 
@@ -87,6 +342,12 @@ def main(argv: list[str] | None = None) -> int:
         for name, (description, _) in _EXPERIMENTS.items():
             print(f"{name:16s} {description}")
         return 0
+
+    if args.experiment == "engine":
+        # Reachable only when other flags preceded 'engine' in argv.
+        parser.error("'engine' must be the first argument: "
+                     "repro engine [options]")
+        return 2  # pragma: no cover - parser.error raises SystemExit
 
     if args.experiment == "all":
         names = list(_EXPERIMENTS.keys())

@@ -1,0 +1,243 @@
+"""The common executor protocol behind ``Engine.execute``.
+
+Every join algorithm in :mod:`repro.joins` is adapted here to one uniform
+shape so the dispatcher can treat them interchangeably:
+
+* ``plan(query, database)`` produces the strategy-specific plan payload
+  (a variable order, an atom order, or nothing);
+* ``canonical_payload`` / ``payload_from_canonical`` translate that payload
+  to and from canonical vocabulary, so the plan cache can serve isomorphic
+  queries;
+* ``index_requests`` names the registry indexes the executor would use,
+  letting the engine prebuild and share them across a batch;
+* ``stream`` lazily yields result tuples over the query's *head* variables.
+  WCOJ executors stream straight out of the join recursion (so an
+  abandoned iterator abandons the remaining search — ``LIMIT`` pushdown);
+  materializing executors (binary plans, Yannakakis) yield from their
+  finished result in sorted order.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.engine.fingerprint import CanonicalQuery
+from repro.engine.registry import IndexRegistry
+from repro.errors import QueryError
+from repro.joins.binary_plans import greedy_atom_order
+from repro.joins.generic_join import generic_join_stream
+from repro.joins.instrumentation import OperationCounter
+from repro.joins.leapfrog import leapfrog_stream
+from repro.joins.naive import nested_loop_stream
+from repro.joins.plan import execute_plan, left_deep_plan
+from repro.joins.yannakakis import yannakakis
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.variable_order import min_degree_order
+from repro.relational.database import Database
+from repro.relational.index import TrieIndex
+
+
+#: An index request: (edge key, stored relation name, attribute layout).
+IndexRequest = tuple[str, str, tuple[str, ...]]
+
+
+def head_projected(query: ConjunctiveQuery, stream: Iterator[tuple]
+                   ) -> Iterator[tuple]:
+    """Project a stream of full-variable tuples onto the head, deduplicating.
+
+    Full queries (head == variables) pass through untouched, and permuted
+    full heads only reorder columns (an injective map needs no dedup
+    bookkeeping); only strict-subset heads pay for a seen-set.
+    """
+    variables = query.variables
+    head = tuple(query.head)
+    if head == tuple(variables):
+        yield from stream
+        return
+    positions = [variables.index(h) for h in head]
+    if set(head) == set(variables):  # permutation: injective, no dedup
+        for t in stream:
+            yield tuple(t[p] for p in positions)
+        return
+    seen: set[tuple] = set()
+    for t in stream:
+        projected = tuple(t[p] for p in positions)
+        if projected not in seen:
+            seen.add(projected)
+            yield projected
+
+
+def _trie_requests(query: ConjunctiveQuery, database: Database,
+                   order: Sequence[str]) -> list[IndexRequest]:
+    """Registry trie layouts for a WCOJ run under a global variable order.
+
+    The layout for an atom is the restriction of the global order to the
+    atom's variables, translated to the *stored* relation's column names so
+    self-joins and repeated queries land on the same registry key.
+    """
+    requests: list[IndexRequest] = []
+    for i, atom in enumerate(query.atoms):
+        relation = database.get(atom.relation)
+        layout = tuple(
+            relation.attributes[atom.variables.index(v)]
+            for v in order if v in atom.variables
+        )
+        requests.append((query.edge_key(i), atom.relation, layout))
+    return requests
+
+
+class _WcojExecutor:
+    """Shared adaptation of the two streaming WCOJ engines."""
+
+    name: str
+
+    def plan(self, query: ConjunctiveQuery, database: Database) -> tuple[str, ...]:
+        """The global variable order (the only planning WCOJ engines need)."""
+        return min_degree_order(query)
+
+    def canonical_payload(self, payload: tuple[str, ...],
+                          canon: CanonicalQuery) -> tuple[str, ...]:
+        return canon.canonicalize_variables(payload)
+
+    def payload_from_canonical(self, payload: tuple[str, ...],
+                               canon: CanonicalQuery,
+                               query: ConjunctiveQuery) -> tuple[str, ...]:
+        return canon.translate_variables(payload)
+
+    def index_requests(self, query: ConjunctiveQuery, database: Database,
+                       payload: tuple[str, ...]) -> list[IndexRequest]:
+        return _trie_requests(query, database, payload)
+
+    def _stream_fn(self):
+        raise NotImplementedError
+
+    def stream(self, query: ConjunctiveQuery, database: Database,
+               payload: tuple[str, ...],
+               registry: IndexRegistry | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        tries: dict[str, TrieIndex] | None = None
+        if registry is not None:
+            tries = {
+                edge_key: registry.trie(relation_name, layout)
+                for edge_key, relation_name, layout
+                in _trie_requests(query, database, payload)
+            }
+        inner = self._stream_fn()(query, database, order=payload,
+                                  counter=counter, tries=tries)
+        return head_projected(query, inner)
+
+
+class GenericJoinExecutor(_WcojExecutor):
+    """Generic-Join behind the common protocol."""
+
+    name = "generic"
+
+    def _stream_fn(self):
+        return generic_join_stream
+
+
+class LeapfrogExecutor(_WcojExecutor):
+    """Leapfrog Triejoin behind the common protocol."""
+
+    name = "leapfrog"
+
+    def _stream_fn(self):
+        return leapfrog_stream
+
+
+class _NoPayloadExecutor:
+    """Base for executors whose plan payload is empty.
+
+    They use no registry indexes either; subclasses override the payload
+    trio when (like the binary executor) they do carry a plan.
+    """
+
+    def plan(self, query: ConjunctiveQuery, database: Database) -> None:
+        return None
+
+    def canonical_payload(self, payload, canon: CanonicalQuery):
+        return payload
+
+    def payload_from_canonical(self, payload, canon: CanonicalQuery,
+                               query: ConjunctiveQuery):
+        return payload
+
+    def index_requests(self, query: ConjunctiveQuery, database: Database,
+                       payload) -> list[IndexRequest]:
+        return []
+
+
+class NaiveExecutor(_NoPayloadExecutor):
+    """The nested-loop oracle behind the common protocol."""
+
+    name = "naive"
+
+    def stream(self, query: ConjunctiveQuery, database: Database,
+               payload: None, registry: IndexRegistry | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        return head_projected(query, nested_loop_stream(query, database,
+                                                        counter=counter))
+
+
+class BinaryPlanExecutor(_NoPayloadExecutor):
+    """Greedy left-deep pairwise plans behind the common protocol.
+
+    The payload is a tuple of atom *indices* (not edge keys): indices
+    translate cleanly through the canonical atom order, whereas edge keys
+    embed relation occurrence numbering that can differ between isomorphic
+    queries.
+    """
+
+    name = "binary"
+
+    def plan(self, query: ConjunctiveQuery, database: Database
+             ) -> tuple[int, ...]:
+        return greedy_atom_order(query, database)
+
+    def canonical_payload(self, payload: tuple[int, ...],
+                          canon: CanonicalQuery) -> tuple[int, ...]:
+        return tuple(canon.canonical_position_of(i) for i in payload)
+
+    def payload_from_canonical(self, payload: tuple[int, ...],
+                               canon: CanonicalQuery,
+                               query: ConjunctiveQuery) -> tuple[int, ...]:
+        return tuple(canon.atom_index_at(p) for p in payload)
+
+    def stream(self, query: ConjunctiveQuery, database: Database,
+               payload: tuple[int, ...],
+               registry: IndexRegistry | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        plan = left_deep_plan([query.edge_key(i) for i in payload])
+        execution = execute_plan(plan, query, database, counter=counter)
+        return iter(execution.result.sorted_tuples())
+
+
+class YannakakisExecutor(_NoPayloadExecutor):
+    """Yannakakis' acyclic-query algorithm behind the common protocol."""
+
+    name = "yannakakis"
+
+    def stream(self, query: ConjunctiveQuery, database: Database,
+               payload: None, registry: IndexRegistry | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        result = yannakakis(query, database, counter=counter)
+        return iter(result.sorted_tuples())
+
+
+#: Executor instances, keyed by strategy name (executors are stateless).
+EXECUTORS = {
+    executor.name: executor
+    for executor in (GenericJoinExecutor(), LeapfrogExecutor(),
+                     NaiveExecutor(), BinaryPlanExecutor(),
+                     YannakakisExecutor())
+}
+
+
+def executor_for(strategy: str):
+    """Look up an executor by strategy name."""
+    try:
+        return EXECUTORS[strategy]
+    except KeyError:
+        raise QueryError(
+            f"unknown strategy {strategy!r}; expected one of {sorted(EXECUTORS)}"
+        ) from None

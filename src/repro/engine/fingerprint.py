@@ -1,0 +1,111 @@
+"""Canonical query forms: the plan-cache key.
+
+Two queries that differ only in variable names (and atom listing order)
+describe the same join problem, so a long-lived engine should plan them
+once.  This module computes a *canonical form* for a conjunctive query — a
+string that is identical for queries isomorphic up to variable renaming —
+together with the variable/atom correspondence needed to translate a cached
+plan (expressed over canonical names) back into the vocabulary of the query
+at hand.
+
+Canonicalization is a greedy refinement: atoms are emitted in sorted order
+by (relation name, arity, canonical indices of already-named variables), and
+variables receive canonical names ``v0, v1, ...`` in order of first
+appearance in that emission.  The scheme is deterministic and *sound*: equal
+forms imply the queries are identical after renaming each query's variables
+to its canonical names (the form spells out the full atom structure and
+head).  It is not a perfect graph canonization — pathologically symmetric
+self-joins may canonicalize differently from a permuted copy — but an
+imperfect match only costs a cache miss, never a wrong plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.query.atoms import ConjunctiveQuery
+
+
+@dataclass(frozen=True)
+class CanonicalQuery:
+    """A query's canonical form plus the translation tables.
+
+    Attributes
+    ----------
+    form:
+        The canonical string; equal forms mean "same query up to renaming".
+    to_canonical:
+        Mapping from the query's variable names to canonical names.
+    from_canonical:
+        The inverse mapping (canonical name -> this query's variable).
+    atom_order:
+        Original atom indices in canonical emission order: entry ``p`` is
+        the index (into ``query.atoms``) of the atom at canonical position
+        ``p``.
+    """
+
+    form: str
+    to_canonical: Mapping[str, str]
+    from_canonical: Mapping[str, str]
+    atom_order: tuple[int, ...]
+
+    def translate_variables(self, canonical_names: tuple[str, ...]
+                            ) -> tuple[str, ...]:
+        """Map a tuple of canonical variable names back to query variables."""
+        return tuple(self.from_canonical[c] for c in canonical_names)
+
+    def canonicalize_variables(self, variables: tuple[str, ...]
+                               ) -> tuple[str, ...]:
+        """Map a tuple of this query's variables to canonical names."""
+        return tuple(self.to_canonical[v] for v in variables)
+
+    def atom_index_at(self, canonical_position: int) -> int:
+        """The original atom index sitting at a canonical position."""
+        return self.atom_order[canonical_position]
+
+    def canonical_position_of(self, atom_index: int) -> int:
+        """The canonical position of an original atom index."""
+        return self.atom_order.index(atom_index)
+
+
+def canonical_query(query: ConjunctiveQuery) -> CanonicalQuery:
+    """Compute the canonical form of a conjunctive query."""
+    atoms = query.atoms
+    unnamed = len(query.variables)  # sorts after every assigned index
+    assigned: dict[str, int] = {}
+    order: list[int] = []
+    remaining = set(range(len(atoms)))
+
+    def sort_key(i: int) -> tuple:
+        atom = atoms[i]
+        return (
+            atom.relation,
+            len(atom.variables),
+            tuple(assigned.get(v, unnamed) for v in atom.variables),
+            i,
+        )
+
+    while remaining:
+        chosen = min(remaining, key=sort_key)
+        remaining.remove(chosen)
+        order.append(chosen)
+        for v in atoms[chosen].variables:
+            if v not in assigned:
+                assigned[v] = len(assigned)
+
+    to_canonical = {v: f"v{idx}" for v, idx in assigned.items()}
+    from_canonical = {c: v for v, c in to_canonical.items()}
+
+    body = ";".join(
+        f"{atoms[i].relation}({','.join(to_canonical[v] for v in atoms[i].variables)})"
+        for i in order
+    )
+    head = ",".join(to_canonical[v] for v in query.head)
+    return CanonicalQuery(
+        form=f"{body}=>{head}",
+        to_canonical=MappingProxyType(to_canonical),
+        from_canonical=MappingProxyType(from_canonical),
+        atom_order=tuple(order),
+    )

@@ -1,0 +1,116 @@
+"""The plan cache: skip parsing, ordering and LP work for repeated queries.
+
+Planning a query involves hypergraph construction, acyclicity testing, the
+AGM fractional-edge-cover LP, cost estimation and variable ordering — work
+that is identical for every repetition of a query (and for every variable
+renaming of it) as long as the data statistics stay in the same regime.
+
+Entries are keyed on ``(canonical form, statistics fingerprint, mode)``:
+
+* the *canonical form* (:mod:`repro.engine.fingerprint`) makes isomorphic
+  queries share entries — plans are stored in canonical variable names and
+  translated on the way out;
+* the *statistics fingerprint* (power-of-two size buckets per canonical
+  atom) keeps a plan live across small data drift while any
+  order-of-magnitude change forces re-optimization;
+* the *mode* separates explicitly forced strategies from ``auto`` dispatch.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+
+@dataclass(frozen=True)
+class CachedPlan:
+    """An executor decision stored in canonical vocabulary.
+
+    Attributes
+    ----------
+    strategy:
+        Executor name (``"naive"``, ``"binary"``, ``"generic"``,
+        ``"leapfrog"``, ``"yannakakis"``).
+    payload:
+        Strategy-specific plan payload, expressed canonically: a tuple of
+        canonical variable names for WCOJ orders, a tuple of canonical atom
+        positions for binary join orders, or None.
+    acyclic:
+        Whether the query hypergraph is alpha-acyclic.
+    agm_log2:
+        log2 of the AGM bound computed at planning time.
+    costs:
+        The dispatcher's cost estimates per strategy (sorted tuple of
+        ``(strategy, cost)`` pairs so the record stays hashable).
+    """
+
+    strategy: str
+    payload: tuple | None
+    acyclic: bool
+    agm_log2: float
+    costs: tuple[tuple[str, float], ...]
+
+    def cost_dict(self) -> dict[str, float]:
+        """The cost estimates as a plain dictionary."""
+        return dict(self.costs)
+
+
+class LRUCache:
+    """A small least-recently-used cache with hit/miss accounting."""
+
+    def __init__(self, max_size: int = 256):
+        if max_size < 1:
+            raise ValueError(f"cache size must be positive, got {max_size}")
+        self._max_size = max_size
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached value, refreshed as most-recent, or None."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert a value, evicting the least-recently-used entry if full."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = value
+        while len(self._entries) > self._max_size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (hit/miss counters are preserved)."""
+        self._entries.clear()
+
+    def evict_where(self, predicate) -> int:
+        """Drop entries whose key satisfies ``predicate``; returns the count.
+
+        Lets owners free entries that version-tagged keys have already made
+        unreachable, instead of waiting for capacity eviction.
+        """
+        stale = [key for key in self._entries if predicate(key)]
+        for key in stale:
+            del self._entries[key]
+        return len(stale)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+
+class PlanCache(LRUCache):
+    """An :class:`LRUCache` specialized to :class:`CachedPlan` values."""
+
+    def get(self, key: Hashable) -> CachedPlan | None:
+        return super().get(key)
+
+    def put(self, key: Hashable, value: CachedPlan) -> None:
+        super().put(key, value)

@@ -1,0 +1,112 @@
+"""The index registry: build indexes once, reuse them across queries.
+
+Leapfrog Triejoin's practical speed comes from *persistent* trie storage —
+the LogicBlox engine keeps every relation materialized as tries and never
+rebuilds them per query.  The one-shot functions in :mod:`repro.joins`
+instead rebuild every index on every call, which is exactly the overhead a
+long-lived engine amortizes away.
+
+The registry caches :class:`TrieIndex` / :class:`HashIndex` structures keyed
+by ``(relation name, attribute layout)`` and validates every entry against
+the :meth:`Database.version` of its relation, so a mutation (insert /
+replace) transparently invalidates all derived indexes without the engine
+having to enumerate them eagerly.
+
+Indexes are built on the *stored* relations (original attribute names).  A
+trie's shape depends only on the column permutation, not the column names,
+so an atom ``R(A, B)`` over a stored relation ``R(X, Y)`` can share the
+registry entry for layout ``(X, Y)`` with every other query that scans R in
+that column order — including other atoms of the same query (self-joins).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.relational.database import Database
+from repro.relational.index import HashIndex, TrieIndex
+
+
+class IndexRegistry:
+    """A version-checked cache of per-relation index structures.
+
+    Parameters
+    ----------
+    database:
+        The catalog the indexes are built over.  The registry never mutates
+        it; it only observes relation versions.
+    """
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._tries: dict[tuple[str, tuple[str, ...]], tuple[int, TrieIndex]] = {}
+        self._hashes: dict[tuple[str, tuple[str, ...]], tuple[int, HashIndex]] = {}
+        self.builds = 0
+        self.reuses = 0
+        self.invalidations = 0
+
+    @property
+    def database(self) -> Database:
+        """The catalog this registry indexes."""
+        return self._database
+
+    def trie(self, relation_name: str, attr_order: Sequence[str]) -> TrieIndex:
+        """A trie over ``relation_name`` with levels in ``attr_order``.
+
+        Served from cache when the relation's version is unchanged; rebuilt
+        (and re-cached) otherwise.
+        """
+        key = (relation_name, tuple(attr_order))
+        version = self._database.version(relation_name)
+        cached = self._tries.get(key)
+        if cached is not None and cached[0] == version:
+            self.reuses += 1
+            return cached[1]
+        index = TrieIndex(self._database.get(relation_name), key[1])
+        self._tries[key] = (version, index)
+        self.builds += 1
+        return index
+
+    def hash_index(self, relation_name: str, key_attrs: Sequence[str]) -> HashIndex:
+        """A hash index over ``relation_name`` keyed by ``key_attrs``."""
+        key = (relation_name, tuple(key_attrs))
+        version = self._database.version(relation_name)
+        cached = self._hashes.get(key)
+        if cached is not None and cached[0] == version:
+            self.reuses += 1
+            return cached[1]
+        index = HashIndex(self._database.get(relation_name), key[1])
+        self._hashes[key] = (version, index)
+        self.builds += 1
+        return index
+
+    def is_warm(self, relation_name: str, attr_order: Sequence[str]) -> bool:
+        """True if a current-version trie for this layout is already built."""
+        cached = self._tries.get((relation_name, tuple(attr_order)))
+        return (cached is not None
+                and cached[0] == self._database.version(relation_name))
+
+    def invalidate(self, relation_name: str | None = None) -> int:
+        """Drop cached indexes for one relation (or all) and return the count.
+
+        Version checks already make stale entries unreachable; eager
+        invalidation additionally frees their memory.
+        """
+        def stale(key: tuple[str, tuple[str, ...]]) -> bool:
+            return relation_name is None or key[0] == relation_name
+
+        dropped = 0
+        for store in (self._tries, self._hashes):
+            for key in [k for k in store if stale(k)]:
+                del store[key]
+                dropped += 1
+        self.invalidations += dropped
+        return dropped
+
+    def warm_layouts(self) -> list[tuple[str, tuple[str, ...]]]:
+        """The (relation, layout) keys of all currently valid trie entries."""
+        return [key for key, (version, _) in self._tries.items()
+                if version == self._database.version(key[0])]
+
+    def __len__(self) -> int:
+        return len(self._tries) + len(self._hashes)

@@ -1,0 +1,492 @@
+"""The :class:`Engine` session: build once, query many times.
+
+An :class:`Engine` owns a :class:`Database` plus every piece of derived
+state a single-shot call throws away:
+
+* an :class:`IndexRegistry` that builds tries/hash indexes once and reuses
+  them across queries (invalidated automatically on data mutation);
+* a :class:`PlanCache` keyed on canonical query structure + a statistics
+  fingerprint, so repeated or isomorphic queries skip parsing, acyclicity
+  testing, the AGM LP and variable ordering;
+* a result cache keyed on exact query form + the versions of the relations
+  it reads, serving repeated identical queries on unchanged data instantly;
+* a cost-based dispatcher (:mod:`repro.engine.cost`) choosing among naive,
+  binary-plan, Generic-Join, Leapfrog and Yannakakis executors behind the
+  single ``execute(query, mode=...)`` API.
+
+Execution streams wherever the algorithm allows: for the WCOJ and naive
+strategies, ``stream()`` yields result tuples straight out of the join
+recursion and ``execute(..., limit=k)`` abandons the search after the k-th
+tuple, so ``LIMIT`` queries never pay for the full join (the materializing
+strategies — binary plans, Yannakakis — compute the join before yielding).
+``execute_many`` plans a whole batch first and prebuilds the shared indexes
+before running it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.engine.cost import MODES, dispatch
+from repro.engine.executors import executor_for
+from repro.engine.fingerprint import CanonicalQuery, canonical_query
+from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
+from repro.engine.registry import IndexRegistry
+from repro.errors import QueryError
+from repro.joins.instrumentation import OperationCounter
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.parser import parse_query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+from repro.relational.statistics import statistics_fingerprint
+
+
+@dataclass
+class EngineStats:
+    """Cumulative accounting of one engine session's cache behaviour."""
+
+    queries: int = 0
+    plan_hits: int = 0
+    plan_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    index_builds: int = 0
+    index_reuses: int = 0
+    invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a plain dictionary."""
+        return asdict(self)
+
+    def __str__(self) -> str:
+        parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EngineStats({parts})"
+
+
+@dataclass(frozen=True, eq=False)  # identity hash: the dict field would
+class Explanation:                 # make a generated __hash__ crash
+    """What ``explain()`` reports: the plan, the bound, and the provenance.
+
+    Attributes
+    ----------
+    query:
+        The query, rendered as text.
+    mode:
+        The requested mode.
+    strategy:
+        The executor the dispatcher chose.
+    acyclic:
+        Whether the query hypergraph is alpha-acyclic.
+    agm_log2:
+        log2 of the AGM bound on the current statistics regime (from the
+        plan-cache entry, i.e. computed when the plan was first optimized).
+    costs:
+        The dispatcher's per-strategy estimates (``inf`` = infeasible).
+    variable_order:
+        The WCOJ variable order (None for non-WCOJ strategies).
+    canonical_form:
+        The plan-cache key's structural component.
+    plan_cache:
+        ``"hit"`` or ``"miss"`` — whether planning work was skipped.
+    result_cached:
+        True when a current-version result for this exact query is cached.
+    warm_indexes / cold_indexes:
+        Registry index layouts this plan needs, split by whether they are
+        already built for the current data versions.
+    """
+
+    query: str
+    mode: str
+    strategy: str
+    acyclic: bool
+    agm_log2: float
+    costs: dict[str, float]
+    variable_order: tuple[str, ...] | None
+    canonical_form: str
+    plan_cache: str
+    result_cached: bool
+    warm_indexes: tuple[str, ...]
+    cold_indexes: tuple[str, ...]
+
+    @property
+    def agm_bound(self) -> float:
+        """The AGM bound as a plain number."""
+        if self.agm_log2 == float("-inf"):
+            return 0.0
+        try:
+            return 2.0 ** self.agm_log2
+        except OverflowError:  # pragma: no cover - astronomically large bounds
+            return float("inf")
+
+    def render(self) -> str:
+        """A human-readable multi-line report (used by the CLI)."""
+        lines = [
+            f"query:          {self.query}",
+            f"strategy:       {self.strategy} (mode={self.mode})",
+            f"acyclic:        {self.acyclic}",
+            f"AGM bound:      {self.agm_bound:.6g} (log2 = {self.agm_log2:.4g})",
+            "cost estimates: " + (", ".join(
+                f"{name}={cost:.4g}" for name, cost in sorted(self.costs.items())
+            ) if self.costs else "(skipped — forced mode)"),
+        ]
+        if self.variable_order is not None:
+            lines.append(f"variable order: {' -> '.join(self.variable_order)}")
+        lines.append(f"plan cache:     {self.plan_cache} "
+                     f"[{self.canonical_form}]")
+        lines.append(f"result cache:   "
+                     f"{'warm' if self.result_cached else 'cold'}")
+        if self.warm_indexes:
+            lines.append("warm indexes:   " + ", ".join(self.warm_indexes))
+        if self.cold_indexes:
+            lines.append("cold indexes:   " + ", ".join(self.cold_indexes))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass(frozen=True)
+class _Prepared:
+    """A query after planning: everything needed to run it."""
+
+    query: ConjunctiveQuery
+    mode: str
+    canon: CanonicalQuery
+    plan: CachedPlan
+    payload: tuple | None  # plan payload in this query's vocabulary
+    plan_provenance: str  # "hit" | "miss"
+
+
+class Engine:
+    """A persistent query-engine session over one database.
+
+    Parameters
+    ----------
+    database:
+        The catalog to serve queries against; a fresh empty one by default.
+    relations:
+        Convenience: relations to register into a fresh database (mutually
+        exclusive with ``database``).
+    plan_cache_size / result_cache_size:
+        LRU capacities of the two caches.
+    cache_results:
+        Whether to cache materialized results keyed on data versions.
+        Streaming (`stream`) never consults the result cache mid-flight.
+    """
+
+    def __init__(self, database: Database | None = None,
+                 relations: Iterable[Relation] = (),
+                 plan_cache_size: int = 256,
+                 result_cache_size: int = 128,
+                 cache_results: bool = True):
+        if database is not None and tuple(relations):
+            raise QueryError("pass either a database or relations, not both")
+        self._db = database if database is not None else Database(relations)
+        self._registry = IndexRegistry(self._db)
+        self._plans = PlanCache(plan_cache_size)
+        self._results = LRUCache(result_cache_size)
+        self._cache_results = cache_results
+        # Bounded like the plan cache: a long-lived session fed distinct
+        # query strings must not grow without limit.
+        self._parse_cache: LRUCache = LRUCache(plan_cache_size)
+        self._canon_cache: LRUCache = LRUCache(plan_cache_size)
+        self.stats = EngineStats()
+
+    # ------------------------------------------------------------------
+    # Catalog management
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database:
+        """The underlying catalog (mutate it via the engine's methods)."""
+        return self._db
+
+    @property
+    def registry(self) -> IndexRegistry:
+        """The index registry (exposed for inspection and prewarming)."""
+        return self._registry
+
+    def add_relation(self, relation: Relation) -> None:
+        """Register a new relation in the catalog."""
+        self._db.add(relation)
+
+    def replace_relation(self, relation: Relation) -> None:
+        """Rebind a name to a new relation, invalidating derived state."""
+        self._db.replace(relation)
+        self.stats.invalidations += self._registry.invalidate(relation.name)
+        # Version-tagged keys already make old results unreachable; evict
+        # them eagerly so dead materialized relations don't pin memory
+        # until capacity eviction (mirrors the registry's eager policy).
+        self._results.evict_where(
+            lambda key: any(name == relation.name for name, _ in key[1])
+        )
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Add tuples to a relation; returns how many were actually new.
+
+        Relations are immutable, so this rebinds ``name`` to the union and
+        bumps its version — every index and cached result derived from the
+        old contents becomes unreachable.
+        """
+        old = self._db.get(name)
+        added = {tuple(row) for row in rows}
+        new_tuples = old.tuples | added
+        grown = len(new_tuples) - len(old)
+        if grown == 0:
+            return 0  # idempotent load: keep warm indexes and results
+        self.replace_relation(Relation(name, old.schema, new_tuples))
+        return grown
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _normalize(self, query: ConjunctiveQuery | str) -> ConjunctiveQuery:
+        if isinstance(query, str):
+            cached = self._parse_cache.get(query)
+            if cached is None:
+                cached = parse_query(query)
+                self._parse_cache.put(query, cached)
+            return cached
+        return query
+
+    def _canonical(self, query: ConjunctiveQuery) -> CanonicalQuery:
+        canon = self._canon_cache.get(query)
+        if canon is None:
+            canon = canonical_query(query)
+            self._canon_cache.put(query, canon)
+        return canon
+
+    def _prepare(self, query: ConjunctiveQuery | str, mode: str) -> _Prepared:
+        if mode not in MODES:
+            raise QueryError(
+                f"unknown engine mode {mode!r}; expected one of {MODES}"
+            )
+        query = self._normalize(query)
+        canon = self._canonical(query)
+        fingerprint = statistics_fingerprint(
+            self._db,
+            [query.atoms[i].relation for i in canon.atom_order],
+        )
+        key = (canon.form, fingerprint, mode)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self.stats.plan_hits += 1
+            executor = executor_for(cached.strategy)
+            payload = executor.payload_from_canonical(cached.payload, canon,
+                                                      query)
+            return _Prepared(query, mode, canon, cached, payload, "hit")
+
+        self.stats.plan_misses += 1
+        decision = dispatch(query, self._db, mode)
+        executor = executor_for(decision.strategy)
+        # The dispatcher already computed the greedy order while pricing the
+        # binary strategy — reuse it so the plan run is the plan priced.
+        if decision.strategy == "binary":
+            payload: tuple | None = decision.binary_order
+        else:
+            payload = executor.plan(query, self._db)
+        plan = CachedPlan(
+            strategy=decision.strategy,
+            payload=executor.canonical_payload(payload, canon),
+            acyclic=decision.acyclic,
+            agm_log2=decision.agm.log2_bound,
+            costs=tuple(sorted(decision.costs.items())),
+        )
+        self._plans.put(key, plan)
+        return _Prepared(query, mode, canon, plan, payload, "miss")
+
+    @staticmethod
+    def _check_limit(limit: int | None) -> None:
+        if limit is not None and limit < 0:
+            raise QueryError(f"limit must be non-negative, got {limit}")
+
+    def _result_key(self, prepared: _Prepared) -> tuple:
+        # Versions are listed in canonical atom order (like the statistics
+        # fingerprint) so atom-permuted isomorphic queries share the key.
+        atoms = prepared.query.atoms
+        versions = tuple(
+            (atoms[i].relation, self._db.version(atoms[i].relation))
+            for i in prepared.canon.atom_order
+        )
+        return (prepared.canon.form, versions)
+
+    def _serve_cached(self, prepared: _Prepared, cached: Relation) -> Relation:
+        """Adapt a cached result to this query's vocabulary.
+
+        Isomorphic queries share result-cache entries (the key is the
+        canonical form), so the cached schema may use another query's
+        variable names; positions line up by construction, making a rename
+        sufficient — and cheap, since renames share the tuple set.
+        """
+        head = tuple(prepared.query.head)
+        if tuple(cached.attributes) != head:
+            cached = cached.rename(dict(zip(cached.attributes, head)),
+                                   name=prepared.query.name)
+        elif cached.name != prepared.query.name:
+            cached = cached.with_name(prepared.query.name)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: ConjunctiveQuery | str, mode: str = "auto",
+                limit: int | None = None,
+                counter: OperationCounter | None = None) -> Relation:
+        """Evaluate a query and return its result relation.
+
+        Parameters
+        ----------
+        query:
+            A :class:`ConjunctiveQuery` or datalog-style text
+            (``"Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"``).
+        mode:
+            ``"auto"`` (cost-based dispatch) or a forced strategy name.
+        limit:
+            Stop after this many result tuples; pushed down into the join
+            recursion for WCOJ strategies.  Limited queries always run the
+            executor (bypassing the result cache), so the same call returns
+            the same deterministic enumeration prefix whether or not the
+            cache is warm.
+        counter:
+            Optional operation counter threaded through to the executor.
+            Passing a counter bypasses the result cache: a cached answer
+            costs no operations, which would make instrumented runs record
+            zero work and verify bounds vacuously.
+        """
+        self._check_limit(limit)
+        prepared = self._prepare(query, mode)
+        return self._execute_prepared(prepared, limit, counter)
+
+    def _execute_prepared(self, prepared: _Prepared, limit: int | None,
+                          counter: OperationCounter | None) -> Relation:
+        """The shared check-cache / run / materialize / fill-cache path."""
+        self.stats.queries += 1
+        if self._cache_results and counter is None and limit is None:
+            cached = self._results.get(self._result_key(prepared))
+            if cached is not None:
+                self.stats.result_hits += 1
+                return self._serve_cached(prepared, cached)
+            self.stats.result_misses += 1
+
+        stream = self._run(prepared, counter)
+        if limit is not None:
+            stream = itertools.islice(stream, limit)
+        result = Relation(prepared.query.name, prepared.query.head, stream)
+        if self._cache_results and limit is None:
+            self._results.put(self._result_key(prepared), result)
+        return result
+
+    def stream(self, query: ConjunctiveQuery | str, mode: str = "auto",
+               limit: int | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        """Lazily enumerate result tuples (over the head variables).
+
+        For the WCOJ and naive strategies, abandoning the iterator abandons
+        the remaining join search, so consuming k tuples costs only the
+        work of finding k tuples.  The materializing strategies (binary
+        plans, Yannakakis) compute the full join before yielding the first
+        tuple; ``limit`` then merely truncates the iteration.
+        """
+        self._check_limit(limit)
+        prepared = self._prepare(query, mode)
+        self.stats.queries += 1
+        stream = self._run(prepared, counter)
+        if limit is not None:
+            stream = itertools.islice(stream, limit)
+        return stream
+
+    def execute_many(self, queries: Sequence[ConjunctiveQuery | str],
+                     mode: str = "auto", limit: int | None = None
+                     ) -> list[Relation]:
+        """Evaluate a batch, sharing planning and index builds across it.
+
+        All queries are planned first; the union of their index requests is
+        built once (deduplicated by the registry); then each query runs.
+        """
+        self._check_limit(limit)
+        prepared = [self._prepare(q, mode) for q in queries]
+        requested: set[tuple[str, tuple[str, ...]]] = set()
+        for prep in prepared:
+            executor = executor_for(prep.plan.strategy)
+            for _, relation_name, layout in executor.index_requests(
+                    prep.query, self._db, prep.payload):
+                requested.add((relation_name, layout))
+        for relation_name, layout in sorted(requested):
+            self._registry.trie(relation_name, layout)
+        self._sync_index_stats()
+        return [self._execute_prepared(prep, limit, None) for prep in prepared]
+
+    def explain(self, query: ConjunctiveQuery | str, mode: str = "auto"
+                ) -> Explanation:
+        """Plan the query (without executing) and report the evidence.
+
+        Explaining warms the plan cache: a subsequent ``execute`` of the
+        same query reports a plan-cache hit.
+        """
+        prepared = self._prepare(query, mode)
+        executor = executor_for(prepared.plan.strategy)
+        warm: list[str] = []
+        cold: list[str] = []
+        seen_layouts: set[tuple[str, tuple[str, ...]]] = set()
+        for _, relation_name, layout in executor.index_requests(
+                prepared.query, self._db, prepared.payload):
+            # Self-join atoms can request the same physical index; report
+            # each (relation, layout) once — it is built once.
+            if (relation_name, layout) in seen_layouts:
+                continue
+            seen_layouts.add((relation_name, layout))
+            label = f"{relation_name}[{','.join(layout)}]"
+            if self._registry.is_warm(relation_name, layout):
+                warm.append(label)
+            else:
+                cold.append(label)
+        result_cached = (self._cache_results
+                         and self._result_key(prepared) in self._results)
+        variable_order = (
+            tuple(prepared.payload)
+            if prepared.plan.strategy in ("generic", "leapfrog") else None
+        )
+        return Explanation(
+            query=str(prepared.query),
+            mode=mode,
+            strategy=prepared.plan.strategy,
+            acyclic=prepared.plan.acyclic,
+            agm_log2=prepared.plan.agm_log2,
+            costs=prepared.plan.cost_dict(),
+            variable_order=variable_order,
+            canonical_form=prepared.canon.form,
+            plan_cache=prepared.plan_provenance,
+            result_cached=result_cached,
+            warm_indexes=tuple(warm),
+            cold_indexes=tuple(cold),
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run(self, prepared: _Prepared,
+             counter: OperationCounter | None) -> Iterator[tuple]:
+        executor = executor_for(prepared.plan.strategy)
+        stream = executor.stream(prepared.query, self._db, prepared.payload,
+                                 registry=self._registry, counter=counter)
+        self._sync_index_stats()
+        return stream
+
+    def _sync_index_stats(self) -> None:
+        self.stats.index_builds = self._registry.builds
+        self.stats.index_reuses = self._registry.reuses
+
+    def clear_caches(self) -> None:
+        """Drop plan and result caches and all registry indexes."""
+        self._plans.clear()
+        self._results.clear()
+        self.stats.invalidations += self._registry.invalidate()
+        self._parse_cache.clear()
+        self._canon_cache.clear()
+
+    def __repr__(self) -> str:
+        return (f"Engine({len(self._db)} relations, "
+                f"{len(self._plans)} cached plans, "
+                f"{len(self._results)} cached results, "
+                f"{len(self._registry)} indexes)")

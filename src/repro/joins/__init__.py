@@ -13,6 +13,7 @@ from repro.joins.triangle import (
 from repro.joins.backtracking import backtracking_search, backtracking_join
 from repro.joins.plan import JoinPlan, PlanLeaf, PlanJoin, execute_plan, PlanExecution
 from repro.joins.binary_plans import (
+    greedy_atom_order,
     greedy_left_deep_plan,
     all_left_deep_plans,
     best_left_deep_execution,
@@ -38,6 +39,7 @@ __all__ = [
     "PlanJoin",
     "execute_plan",
     "PlanExecution",
+    "greedy_atom_order",
     "greedy_left_deep_plan",
     "all_left_deep_plans",
     "best_left_deep_execution",

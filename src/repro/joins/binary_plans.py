@@ -21,36 +21,41 @@ from repro.query.atoms import ConjunctiveQuery
 from repro.relational.database import Database
 
 
-def greedy_left_deep_plan(query: ConjunctiveQuery, database: Database) -> JoinPlan:
-    """A Selinger-style greedy left-deep plan.
+def greedy_atom_order(query: ConjunctiveQuery, database: Database
+                      ) -> tuple[int, ...]:
+    """The Selinger-style greedy atom order, as indices into ``query.atoms``.
 
     Start from the smallest relation and repeatedly add the connected atom
     with the smallest relation (falling back to a cartesian product only when
     no connected atom remains), which is what a simple cost-based optimizer
-    without WCOJ support would do.
+    without WCOJ support would do.  This single helper feeds the plan
+    builder, the engine's binary executor, and the dispatcher's cost
+    simulation, so all three always price and run the *same* plan.
     """
     query.validate_against(database)
-    sizes = {
-        query.edge_key(i): len(database.get(atom.relation))
-        for i, atom in enumerate(query.atoms)
-    }
-    atom_vars = {
-        query.edge_key(i): set(atom.variables)
-        for i, atom in enumerate(query.atoms)
-    }
+    sizes = {i: len(database.get(atom.relation))
+             for i, atom in enumerate(query.atoms)}
+    atom_vars = {i: set(atom.variables)
+                 for i, atom in enumerate(query.atoms)}
     remaining = set(sizes.keys())
-    first = min(remaining, key=lambda k: (sizes[k], k))
+    first = min(remaining, key=lambda i: (sizes[i], i))
     order = [first]
     covered = set(atom_vars[first])
     remaining.discard(first)
     while remaining:
-        connected = [k for k in remaining if atom_vars[k] & covered]
-        pool = connected if connected else list(remaining)
-        chosen = min(pool, key=lambda k: (sizes[k], k))
+        connected = [i for i in remaining if atom_vars[i] & covered]
+        pool = connected if connected else sorted(remaining)
+        chosen = min(pool, key=lambda i: (sizes[i], i))
         order.append(chosen)
         covered |= atom_vars[chosen]
         remaining.discard(chosen)
-    return left_deep_plan(order)
+    return tuple(order)
+
+
+def greedy_left_deep_plan(query: ConjunctiveQuery, database: Database) -> JoinPlan:
+    """A Selinger-style greedy left-deep plan (see :func:`greedy_atom_order`)."""
+    order = greedy_atom_order(query, database)
+    return left_deep_plan([query.edge_key(i) for i in order])
 
 
 def all_left_deep_plans(query: ConjunctiveQuery, max_plans: int = 720,

@@ -11,11 +11,23 @@ With cardinality constraints only, the total work is within the AGM bound
 O(N^{rho*}), which the benchmark harness verifies via operation counts.
 Algorithm 1 of the paper is exactly this algorithm specialized to the
 triangle query with the order (A, B, C).
+
+The module exposes two entry points sharing one recursion:
+
+* :func:`generic_join_stream` — a generator that lazily yields result
+  tuples.  Because the recursion suspends at every ``yield``, abandoning the
+  generator abandons the remaining search tree, which is how the query
+  engine pushes ``LIMIT`` down into the join itself.
+* :func:`generic_join` — the classical batch API returning a
+  :class:`Relation`.
+
+Both accept prebuilt :class:`TrieIndex` objects per atom so a long-lived
+engine can amortize index construction across queries.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
@@ -25,10 +37,117 @@ from repro.relational.index import TrieIndex
 from repro.relational.relation import Relation
 
 
-def generic_join(query: ConjunctiveQuery, database: Database,
-                 order: Sequence[str] | None = None,
-                 counter: OperationCounter | None = None) -> Relation:
-    """Evaluate a full conjunctive query with Generic-Join.
+def resolve_tries(query: ConjunctiveQuery, database: Database,
+                  order: Sequence[str],
+                  tries: Mapping[str, TrieIndex] | None = None,
+                  ) -> tuple[dict[str, TrieIndex], dict[str, tuple[str, ...]]]:
+    """Per-atom tries and per-atom variable orders for a WCOJ run.
+
+    Missing entries of ``tries`` are built from scratch; provided entries
+    must have been built level-compatible with the restriction of ``order``
+    to the atom's variables (the engine's index registry guarantees this by
+    construction).
+    """
+    bound_relations = query.bind(database)
+    trie_map: dict[str, TrieIndex] = {}
+    trie_orders: dict[str, tuple[str, ...]] = {}
+    for edge_key, relation in bound_relations.items():
+        atom_order = tuple(v for v in order if v in relation.schema)
+        trie_orders[edge_key] = atom_order
+        provided = tries.get(edge_key) if tries is not None else None
+        if provided is not None:
+            trie_map[edge_key] = provided
+        else:
+            trie_map[edge_key] = TrieIndex(relation, atom_order)
+    return trie_map, trie_orders
+
+
+def wcoj_stream(query: ConjunctiveQuery, database: Database,
+                intersect: Callable[[list, OperationCounter | None], list],
+                order: Sequence[str] | None = None,
+                counter: OperationCounter | None = None,
+                tries: Mapping[str, TrieIndex] | None = None,
+                ) -> Iterator[tuple]:
+    """The shared variable-at-a-time WCOJ recursion.
+
+    Generic-Join and Leapfrog Triejoin differ *only* in how they enumerate
+    the intersection of the per-atom candidate sets (the paper's single
+    algorithmic assumption); everything else — trie resolution, the
+    relevant-atom map, the suspending recursion — is this one generator.
+    ``intersect(value_lists, counter)`` supplies that primitive: it receives
+    the per-atom sorted value lists and returns their intersection.
+
+    Yields tuples over ``query.variables``; because the recursion suspends
+    at every ``yield``, abandoning the iterator abandons the remaining
+    search tree (``LIMIT`` pushdown).
+    """
+    if order is None:
+        order = min_degree_order(query)
+    else:
+        order = validate_order(query, order)
+
+    trie_map, trie_orders = resolve_tries(query, database, order, tries)
+
+    # For each variable, the atoms whose candidate sets constrain it.
+    relevant: dict[str, list[str]] = {v: [] for v in order}
+    for edge_key, atom_order in trie_orders.items():
+        for v in atom_order:
+            relevant[v].append(edge_key)
+
+    variables = query.variables
+    binding: dict[str, Any] = {}
+
+    def candidates_for(variable: str) -> list[Any]:
+        value_lists: list[list[Any]] = []
+        for edge_key in relevant[variable]:
+            atom_order = trie_orders[edge_key]
+            depth = atom_order.index(variable)
+            prefix = tuple(binding[v] for v in atom_order[:depth])
+            value_lists.append(trie_map[edge_key].values(prefix))
+        return intersect(value_lists, counter)
+
+    def recurse(depth: int) -> Iterator[tuple]:
+        if depth == len(order):
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+            yield tuple(binding[v] for v in variables)
+            return
+        variable = order[depth]
+        if counter is not None:
+            counter.charge(search_nodes=1)
+        for value in candidates_for(variable):
+            binding[variable] = value
+            yield from recurse(depth + 1)
+            del binding[variable]
+
+    yield from recurse(0)
+
+
+def hash_probe_intersect(value_lists: list,
+                         counter: OperationCounter | None = None) -> list:
+    """Intersect sorted value lists smallest-first with hash probes.
+
+    This is Generic-Join's realization of the O(min size) intersection
+    assumption: iterate the smallest list and probe the others as sets.
+    """
+    if not value_lists:
+        return []
+    value_lists = sorted(value_lists, key=len)
+    smallest = value_lists[0]
+    if counter is not None:
+        counter.charge(intersection_steps=len(smallest))
+    if len(value_lists) == 1:
+        return list(smallest)
+    other_sets = [set(lst) for lst in value_lists[1:]]
+    return [v for v in smallest if all(v in s for s in other_sets)]
+
+
+def generic_join_stream(query: ConjunctiveQuery, database: Database,
+                        order: Sequence[str] | None = None,
+                        counter: OperationCounter | None = None,
+                        tries: Mapping[str, TrieIndex] | None = None,
+                        ) -> Iterator[tuple]:
+    """Lazily enumerate the full join, yielding tuples over ``query.variables``.
 
     Parameters
     ----------
@@ -43,72 +162,25 @@ def generic_join(query: ConjunctiveQuery, database: Database,
     counter:
         Optional operation counter; intersection steps, emitted tuples and
         search nodes are charged to it.
-
-    Returns
-    -------
-    Relation
-        The join result over the query's head variables.
+    tries:
+        Optional prebuilt tries keyed by edge key (see :func:`resolve_tries`).
     """
-    if order is None:
-        order = min_degree_order(query)
-    else:
-        order = validate_order(query, order)
+    return wcoj_stream(query, database, hash_probe_intersect,
+                       order=order, counter=counter, tries=tries)
 
-    bound_relations = query.bind(database)
 
-    # One trie per atom, levels ordered by the global variable order.
-    tries: dict[str, TrieIndex] = {}
-    trie_orders: dict[str, tuple[str, ...]] = {}
-    for edge_key, relation in bound_relations.items():
-        atom_order = tuple(v for v in order if v in relation.schema)
-        tries[edge_key] = TrieIndex(relation, atom_order)
-        trie_orders[edge_key] = atom_order
+def generic_join(query: ConjunctiveQuery, database: Database,
+                 order: Sequence[str] | None = None,
+                 counter: OperationCounter | None = None,
+                 tries: Mapping[str, TrieIndex] | None = None) -> Relation:
+    """Evaluate a full conjunctive query with Generic-Join.
 
-    # For each variable, the atoms whose candidate sets constrain it.
-    relevant: dict[str, list[str]] = {v: [] for v in order}
-    for edge_key, atom_order in trie_orders.items():
-        for v in atom_order:
-            relevant[v].append(edge_key)
-
-    variables = query.variables
-    results: list[tuple] = []
-    binding: dict[str, Any] = {}
-
-    def candidates_for(variable: str) -> list[Any]:
-        """Intersect, smallest-first, the per-atom candidate sets."""
-        value_lists: list[list[Any]] = []
-        for edge_key in relevant[variable]:
-            atom_order = trie_orders[edge_key]
-            depth = atom_order.index(variable)
-            prefix = tuple(binding[v] for v in atom_order[:depth])
-            value_lists.append(tries[edge_key].values(prefix))
-        if not value_lists:
-            return []
-        value_lists.sort(key=len)
-        smallest = value_lists[0]
-        if counter is not None:
-            counter.charge(intersection_steps=len(smallest))
-        if len(value_lists) == 1:
-            return list(smallest)
-        other_sets = [set(lst) for lst in value_lists[1:]]
-        return [v for v in smallest if all(v in s for s in other_sets)]
-
-    def recurse(depth: int) -> None:
-        if depth == len(order):
-            results.append(tuple(binding[v] for v in variables))
-            if counter is not None:
-                counter.charge(tuples_emitted=1)
-            return
-        variable = order[depth]
-        if counter is not None:
-            counter.charge(search_nodes=1)
-        for value in candidates_for(variable):
-            binding[variable] = value
-            recurse(depth + 1)
-            del binding[variable]
-
-    recurse(0)
-    output = Relation(query.name, variables, results)
-    if tuple(query.head) != tuple(variables):
+    Parameters are those of :func:`generic_join_stream`; the stream is
+    materialized into a :class:`Relation` over the query's head variables.
+    """
+    results = generic_join_stream(query, database, order=order,
+                                  counter=counter, tries=tries)
+    output = Relation(query.name, query.variables, results)
+    if tuple(query.head) != tuple(query.variables):
         output = output.project(query.head, name=query.name)
     return output

@@ -8,16 +8,21 @@ with the *leapfrog* procedure, which repeatedly seeks each iterator to the
 current maximum key.  The number of seeks is O(min size * log(max/min)),
 satisfying the O~(min size) intersection requirement and hence the AGM
 runtime bound.
+
+Like :mod:`repro.joins.generic_join`, the algorithm is exposed both as a
+lazy generator (:func:`leapfrog_stream`, used by the engine for ``LIMIT``
+pushdown) and as the batch API (:func:`leapfrog_triejoin`), and both accept
+prebuilt tries so index construction can be amortized across queries.
 """
 
 from __future__ import annotations
 
 import bisect
-from typing import Any, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
+from repro.joins.generic_join import wcoj_stream
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
-from repro.query.variable_order import min_degree_order, validate_order
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
 from repro.relational.relation import Relation
@@ -91,63 +96,37 @@ def leapfrog_intersect(sorted_lists: Sequence[Sequence[Any]],
     return result
 
 
+def leapfrog_stream(query: ConjunctiveQuery, database: Database,
+                    order: Sequence[str] | None = None,
+                    counter: OperationCounter | None = None,
+                    tries: Mapping[str, TrieIndex] | None = None,
+                    ) -> Iterator[tuple]:
+    """Lazily enumerate the full join with Leapfrog Triejoin.
+
+    Parameters are identical to
+    :func:`repro.joins.generic_join.generic_join_stream`; the difference is
+    purely in how the per-variable intersections are computed (sorted
+    leapfrog seeks instead of hash probes), which is the design-choice
+    ablation benchmarked in ``benchmarks/bench_intersection.py``.  Both
+    share the variable-at-a-time recursion of
+    :func:`repro.joins.generic_join.wcoj_stream`.
+    """
+    return wcoj_stream(query, database, leapfrog_intersect,
+                       order=order, counter=counter, tries=tries)
+
+
 def leapfrog_triejoin(query: ConjunctiveQuery, database: Database,
                       order: Sequence[str] | None = None,
-                      counter: OperationCounter | None = None) -> Relation:
+                      counter: OperationCounter | None = None,
+                      tries: Mapping[str, TrieIndex] | None = None) -> Relation:
     """Evaluate a full conjunctive query with Leapfrog Triejoin.
 
-    Parameters are identical to :func:`repro.joins.generic_join.generic_join`;
-    the difference is purely in how the per-variable intersections are
-    computed (sorted leapfrog seeks instead of hash probes), which is the
-    design-choice ablation benchmarked in ``benchmarks/bench_intersection.py``.
+    Parameters are those of :func:`leapfrog_stream`; the stream is
+    materialized into a :class:`Relation` over the query's head variables.
     """
-    if order is None:
-        order = min_degree_order(query)
-    else:
-        order = validate_order(query, order)
-
-    bound_relations = query.bind(database)
-    tries: dict[str, TrieIndex] = {}
-    trie_orders: dict[str, tuple[str, ...]] = {}
-    for edge_key, relation in bound_relations.items():
-        atom_order = tuple(v for v in order if v in relation.schema)
-        tries[edge_key] = TrieIndex(relation, atom_order)
-        trie_orders[edge_key] = atom_order
-
-    relevant: dict[str, list[str]] = {v: [] for v in order}
-    for edge_key, atom_order in trie_orders.items():
-        for v in atom_order:
-            relevant[v].append(edge_key)
-
-    variables = query.variables
-    results: list[tuple] = []
-    binding: dict[str, Any] = {}
-
-    def candidates_for(variable: str) -> list[Any]:
-        value_lists = []
-        for edge_key in relevant[variable]:
-            atom_order = trie_orders[edge_key]
-            depth = atom_order.index(variable)
-            prefix = tuple(binding[v] for v in atom_order[:depth])
-            value_lists.append(tries[edge_key].values(prefix))
-        return leapfrog_intersect(value_lists, counter)
-
-    def recurse(depth: int) -> None:
-        if depth == len(order):
-            results.append(tuple(binding[v] for v in variables))
-            if counter is not None:
-                counter.charge(tuples_emitted=1)
-            return
-        variable = order[depth]
-        if counter is not None:
-            counter.charge(search_nodes=1)
-        for value in candidates_for(variable):
-            binding[variable] = value
-            recurse(depth + 1)
-            del binding[variable]
-
-    recurse(0)
-    output = Relation(query.name, variables, results)
-    if tuple(query.head) != tuple(variables):
+    results = leapfrog_stream(query, database, order=order,
+                              counter=counter, tries=tries)
+    output = Relation(query.name, query.variables, results)
+    if tuple(query.head) != tuple(query.variables):
         output = output.project(query.head, name=query.name)
     return output

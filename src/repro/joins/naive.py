@@ -8,7 +8,7 @@ same set of output tuples.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
@@ -16,24 +16,24 @@ from repro.relational.database import Database
 from repro.relational.relation import Relation
 
 
-def nested_loop_join(query: ConjunctiveQuery, database: Database,
-                     counter: OperationCounter | None = None) -> Relation:
-    """Evaluate the query by brute-force backtracking over atom tuples.
+def nested_loop_stream(query: ConjunctiveQuery, database: Database,
+                       counter: OperationCounter | None = None
+                       ) -> Iterator[tuple]:
+    """Lazily enumerate the join by brute-force backtracking over atom tuples.
 
-    The algorithm picks atoms one at a time (in body order) and extends a
-    partial variable binding with every compatible tuple; it is exponential
-    but obviously correct, which is the point.
+    Yields duplicate-free tuples over ``query.variables``: a full binding
+    determines the supporting tuple of every atom uniquely (relations are
+    sets), so each binding is reached along exactly one search path.
     """
     bound_relations = query.bind(database)
     atoms = [(query.edge_key(i), atom) for i, atom in enumerate(query.atoms)]
     variables = query.variables
-    results: set[tuple] = set()
 
-    def extend(index: int, binding: dict[str, Any]) -> None:
+    def extend(index: int, binding: dict[str, Any]) -> Iterator[tuple]:
         if index == len(atoms):
-            results.add(tuple(binding[v] for v in variables))
             if counter is not None:
                 counter.charge(tuples_emitted=1)
+            yield tuple(binding[v] for v in variables)
             return
         edge_key, atom = atoms[index]
         relation = bound_relations[edge_key]
@@ -49,11 +49,21 @@ def nested_loop_join(query: ConjunctiveQuery, database: Database,
                 continue
             new_binding = dict(binding)
             new_binding.update(zip(atom.variables, tup))
-            extend(index + 1, new_binding)
+            yield from extend(index + 1, new_binding)
 
-    extend(0, {})
-    head = query.head
-    output = Relation(query.name, variables, results)
-    if tuple(head) != tuple(variables):
-        output = output.project(head, name=query.name)
+    yield from extend(0, {})
+
+
+def nested_loop_join(query: ConjunctiveQuery, database: Database,
+                     counter: OperationCounter | None = None) -> Relation:
+    """Evaluate the query by brute-force backtracking over atom tuples.
+
+    The algorithm picks atoms one at a time (in body order) and extends a
+    partial variable binding with every compatible tuple; it is exponential
+    but obviously correct, which is the point.
+    """
+    results = nested_loop_stream(query, database, counter=counter)
+    output = Relation(query.name, query.variables, results)
+    if tuple(query.head) != tuple(query.variables):
+        output = output.project(query.head, name=query.name)
     return output

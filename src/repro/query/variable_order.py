@@ -22,16 +22,20 @@ def natural_order(query: ConjunctiveQuery) -> tuple[str, ...]:
 
 def min_degree_order(query: ConjunctiveQuery) -> tuple[str, ...]:
     """Order variables by decreasing atom-degree (number of atoms containing
-    them), breaking ties by first occurrence.
+    them), breaking ties by variable name.
 
     Variables shared by many atoms are intersected against many relations,
-    which tends to shrink the search space early.
+    which tends to shrink the search space early.  The explicit name
+    tie-break makes the order a pure function of the query *structure*, not
+    of the order atoms happen to be listed in — two syntactic permutations of
+    the same query always evaluate with the same variable order, which is
+    what the engine's plan cache relies on when it reuses orders across
+    isomorphic queries.
     """
-    occurrence = {v: i for i, v in enumerate(query.variables)}
     return tuple(
         sorted(
             query.variables,
-            key=lambda v: (-len(query.atoms_containing(v)), occurrence[v]),
+            key=lambda v: (-len(query.atoms_containing(v)), v),
         )
     )
 

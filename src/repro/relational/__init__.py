@@ -24,9 +24,12 @@ from repro.relational.operators import (
 )
 from repro.relational.statistics import (
     cardinality,
+    database_statistics,
     degree,
     max_degree,
     relation_statistics,
+    size_bucket,
+    statistics_fingerprint,
 )
 
 __all__ = [
@@ -45,7 +48,10 @@ __all__ = [
     "intersect_sorted",
     "cartesian_product",
     "cardinality",
+    "database_statistics",
     "degree",
     "max_degree",
     "relation_statistics",
+    "size_bucket",
+    "statistics_fingerprint",
 ]

@@ -5,6 +5,13 @@ relation to every atom of the query.  Here the catalog maps relation names to
 :class:`Relation` objects and offers convenience accessors plus overall size
 statistics (``|D|`` = total number of tuples, the data-size term every WCOJ
 runtime bound carries).
+
+Each registered name also carries a monotonically increasing *version*
+number, bumped every time the name is (re)bound to a relation.  Relations
+themselves are immutable, so ``(name, version)`` pins down the exact tuple
+set a name referred to at some point in time — the hook the query engine's
+index registry and result cache use to reuse work safely across queries and
+invalidate it on mutation.
 """
 
 from __future__ import annotations
@@ -24,10 +31,11 @@ class Database:
         Relations to register.  Names must be unique.
     """
 
-    __slots__ = ("_relations",)
+    __slots__ = ("_relations", "_versions")
 
     def __init__(self, relations: Iterable[Relation] = ()):
         self._relations: dict[str, Relation] = {}
+        self._versions: dict[str, int] = {}
         for rel in relations:
             self.add(rel)
 
@@ -49,10 +57,20 @@ class Database:
         if relation.name in self._relations:
             raise SchemaError(f"relation {relation.name!r} already registered")
         self._relations[relation.name] = relation
+        self._versions[relation.name] = self._versions.get(relation.name, 0) + 1
 
     def replace(self, relation: Relation) -> None:
         """Register a relation, overwriting any existing one with that name."""
         self._relations[relation.name] = relation
+        self._versions[relation.name] = self._versions.get(relation.name, 0) + 1
+
+    def version(self, name: str) -> int:
+        """The mutation version of ``name``: bumped on every add/replace.
+
+        Indexes and cached results derived from a relation are valid exactly
+        as long as the stored version matches; 0 means "never registered".
+        """
+        return self._versions.get(name, 0)
 
     def get(self, name: str) -> Relation:
         """Return the relation registered under ``name``."""

@@ -16,6 +16,7 @@ from itertools import combinations
 from typing import Sequence
 
 from repro.errors import SchemaError
+from repro.relational.database import Database
 from repro.relational.relation import Relation
 
 
@@ -131,3 +132,34 @@ def relation_statistics(relation: Relation, max_key_size: int = 1) -> RelationSt
         attribute_cardinalities=attribute_cardinalities,
         degrees=degrees,
     )
+
+
+def database_statistics(database: Database, max_key_size: int = 1
+                        ) -> dict[str, RelationStatistics]:
+    """Collect :func:`relation_statistics` for every relation in the catalog."""
+    return {rel.name: relation_statistics(rel, max_key_size=max_key_size)
+            for rel in database}
+
+
+def size_bucket(n: int) -> int:
+    """Bucket a cardinality by order of magnitude (``n.bit_length()``).
+
+    Two relation sizes in the same power-of-two bucket are treated as
+    equivalent by the plan cache: a plan chosen for one is reused for the
+    other, so small inserts do not evict otherwise-identical plans while any
+    order-of-magnitude shift forces a fresh optimization.
+    """
+    if n < 0:
+        raise SchemaError(f"cardinality cannot be negative, got {n}")
+    return int(n).bit_length()
+
+
+def statistics_fingerprint(database: Database, relation_names: Sequence[str]
+                           ) -> tuple[int, ...]:
+    """A coarse statistics fingerprint: bucketed sizes of the named relations.
+
+    The fingerprint is positional — callers pass relation names in a
+    canonical atom order so that isomorphic queries over the same data
+    produce identical fingerprints (and hence share plan-cache entries).
+    """
+    return tuple(size_bucket(len(database.get(name))) for name in relation_names)

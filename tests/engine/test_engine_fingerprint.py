@@ -1,0 +1,90 @@
+"""Tests for canonical query forms (the plan-cache key)."""
+
+from repro.engine.fingerprint import canonical_query
+from repro.query.atoms import Atom, ConjunctiveQuery, triangle_query
+from repro.query.parser import parse_query
+
+
+class TestCanonicalForm:
+    def test_identical_queries_share_form(self):
+        a = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        b = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        assert canonical_query(a).form == canonical_query(b).form
+
+    def test_renamed_variables_share_form(self):
+        a = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        b = parse_query("P(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)")
+        assert canonical_query(a).form == canonical_query(b).form
+
+    def test_permuted_atoms_share_form(self):
+        a = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        b = parse_query("Q(A,B,C) :- T(A,C), R(A,B), S(B,C)")
+        assert canonical_query(a).form == canonical_query(b).form
+
+    def test_query_name_does_not_matter(self):
+        a = ConjunctiveQuery([Atom("R", ("A", "B"))], name="first")
+        b = ConjunctiveQuery([Atom("R", ("A", "B"))], name="second")
+        assert canonical_query(a).form == canonical_query(b).form
+
+    def test_different_relations_differ(self):
+        a = parse_query("R(A,B), S(B,C)")
+        b = parse_query("R(A,B), U(B,C)")
+        assert canonical_query(a).form != canonical_query(b).form
+
+    def test_different_join_structure_differs(self):
+        chain = parse_query("R(A,B), S(B,C)")
+        fork = parse_query("R(A,B), S(A,C)")
+        assert canonical_query(chain).form != canonical_query(fork).form
+
+    def test_head_projection_differs_from_full(self):
+        full = parse_query("Q(A,B) :- R(A,B)")
+        projected = parse_query("Q(A) :- R(A,B)")
+        assert canonical_query(full).form != canonical_query(projected).form
+
+    def test_head_order_is_part_of_the_form(self):
+        ab = parse_query("Q(A,B) :- R(A,B)")
+        ba = parse_query("Q(B,A) :- R(A,B)")
+        assert canonical_query(ab).form != canonical_query(ba).form
+
+
+class TestTranslation:
+    def test_variable_round_trip(self):
+        query = parse_query("P(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)")
+        canon = canonical_query(query)
+        for variable in query.variables:
+            canonical_name = canon.to_canonical[variable]
+            assert canon.from_canonical[canonical_name] == variable
+
+    def test_translate_variables_inverts_canonicalize(self):
+        query = triangle_query()
+        canon = canonical_query(query)
+        order = ("B", "C", "A")
+        assert canon.translate_variables(
+            canon.canonicalize_variables(order)) == order
+
+    def test_atom_order_is_a_permutation(self):
+        query = parse_query("Q(A,B,C) :- T(A,C), R(A,B), S(B,C)")
+        canon = canonical_query(query)
+        assert sorted(canon.atom_order) == [0, 1, 2]
+
+    def test_atom_position_round_trip(self):
+        query = parse_query("Q(A,B,C) :- T(A,C), R(A,B), S(B,C)")
+        canon = canonical_query(query)
+        for i in range(len(query.atoms)):
+            assert canon.atom_index_at(canon.canonical_position_of(i)) == i
+
+    def test_isomorphic_queries_map_to_same_relations_per_position(self):
+        # The atom at canonical position p must reference the same relation
+        # in both queries — that is what makes cached plans transferable.
+        a = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        b = parse_query("P(Z,X,Y) :- T(Z,Y), S(X,Y), R(Z,X)")
+        ca, cb = canonical_query(a), canonical_query(b)
+        assert ca.form == cb.form
+        for position in range(3):
+            assert (a.atoms[ca.atom_index_at(position)].relation
+                    == b.atoms[cb.atom_index_at(position)].relation)
+
+    def test_self_join_form_is_stable(self):
+        a = parse_query("E(A,B), E(B,C), E(A,C)")
+        b = parse_query("E(X,Y), E(Y,Z), E(X,Z)")
+        assert canonical_query(a).form == canonical_query(b).form

@@ -1,0 +1,98 @@
+"""Tests for the version-checked index registry."""
+
+from repro.engine.registry import IndexRegistry
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def make_database():
+    return Database([
+        Relation("R", ("A", "B"), [(1, 2), (2, 3), (3, 1)]),
+        Relation("S", ("B", "C"), [(2, 3), (3, 1)]),
+    ])
+
+
+class TestTrieReuse:
+    def test_same_layout_returns_same_object(self):
+        registry = IndexRegistry(make_database())
+        first = registry.trie("R", ("A", "B"))
+        second = registry.trie("R", ("A", "B"))
+        assert first is second
+        assert registry.builds == 1
+        assert registry.reuses == 1
+
+    def test_different_layouts_build_separately(self):
+        registry = IndexRegistry(make_database())
+        ab = registry.trie("R", ("A", "B"))
+        ba = registry.trie("R", ("B", "A"))
+        assert ab is not ba
+        assert registry.builds == 2
+        assert ab.values(()) == [1, 2, 3]
+        assert ba.values(()) == [1, 2, 3]  # B-values of R
+
+    def test_hash_index_reuse(self):
+        registry = IndexRegistry(make_database())
+        first = registry.hash_index("R", ("A",))
+        second = registry.hash_index("R", ("A",))
+        assert first is second
+        assert registry.builds == 1
+
+
+class TestInvalidation:
+    def test_version_bump_rebuilds(self):
+        database = make_database()
+        registry = IndexRegistry(database)
+        stale = registry.trie("R", ("A", "B"))
+        database.replace(Relation("R", ("A", "B"), [(7, 8)]))
+        fresh = registry.trie("R", ("A", "B"))
+        assert fresh is not stale
+        assert fresh.values(()) == [7]
+        assert registry.builds == 2
+
+    def test_is_warm_tracks_versions(self):
+        database = make_database()
+        registry = IndexRegistry(database)
+        assert not registry.is_warm("R", ("A", "B"))
+        registry.trie("R", ("A", "B"))
+        assert registry.is_warm("R", ("A", "B"))
+        database.replace(Relation("R", ("A", "B"), [(7, 8)]))
+        assert not registry.is_warm("R", ("A", "B"))
+
+    def test_invalidate_single_relation(self):
+        registry = IndexRegistry(make_database())
+        registry.trie("R", ("A", "B"))
+        registry.trie("S", ("B", "C"))
+        dropped = registry.invalidate("R")
+        assert dropped == 1
+        assert len(registry) == 1
+        assert registry.is_warm("S", ("B", "C"))
+
+    def test_invalidate_all(self):
+        registry = IndexRegistry(make_database())
+        registry.trie("R", ("A", "B"))
+        registry.hash_index("S", ("B",))
+        assert registry.invalidate() == 2
+        assert len(registry) == 0
+
+    def test_warm_layouts_excludes_stale(self):
+        database = make_database()
+        registry = IndexRegistry(database)
+        registry.trie("R", ("A", "B"))
+        registry.trie("S", ("B", "C"))
+        database.replace(Relation("S", ("B", "C"), [(9, 9)]))
+        assert registry.warm_layouts() == [("R", ("A", "B"))]
+
+
+class TestDatabaseVersions:
+    def test_add_sets_version(self):
+        database = Database()
+        assert database.version("R") == 0
+        database.add(Relation("R", ("A",), [(1,)]))
+        assert database.version("R") == 1
+
+    def test_replace_bumps_version(self):
+        database = make_database()
+        v0 = database.version("R")
+        database.replace(Relation("R", ("A", "B"), [(5, 6)]))
+        assert database.version("R") == v0 + 1
+        assert database.version("S") == 1

@@ -28,6 +28,26 @@ class TestOrders:
         q = path_query(4)
         assert sorted(min_degree_order(q)) == sorted(q.variables)
 
+    def test_min_degree_order_breaks_ties_by_name(self):
+        # All three variables occur in exactly one atom; occurrence order is
+        # (Z, Y, X) but the tie-break must be the variable name.
+        q = ConjunctiveQuery([Atom("R", ("Z", "Y")), Atom("S", ("X",))])
+        assert min_degree_order(q) == ("X", "Y", "Z")
+
+    def test_min_degree_order_is_stable_across_runs(self):
+        q = triangle_query()
+        orders = {min_degree_order(q) for _ in range(50)}
+        assert orders == {("A", "B", "C")}
+
+    def test_min_degree_order_ignores_atom_listing_order(self):
+        # The same structure with atoms permuted must give the same order:
+        # the engine's plan cache reuses orders across syntactic variants.
+        base = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                                 Atom("T", ("A", "C"))])
+        permuted = ConjunctiveQuery([Atom("T", ("A", "C")), Atom("S", ("B", "C")),
+                                     Atom("R", ("A", "B"))])
+        assert min_degree_order(base) == min_degree_order(permuted)
+
     def test_greedy_min_domain_order(self):
         q = triangle_query()
         db = Database([

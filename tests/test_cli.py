@@ -1,8 +1,8 @@
-"""Tests for the command-line experiment runner."""
+"""Tests for the command-line experiment runner and engine subcommand."""
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_engine_parser, build_parser, main
 
 
 class TestCli:
@@ -40,3 +40,109 @@ class TestCli:
     def test_package_version_exposed(self):
         import repro
         assert repro.__version__ == "1.0.0"
+
+
+class TestEngineCli:
+    def test_demo_run(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "engine session over 3 relations" in out
+        assert "Q_triangle" in out
+        assert "EngineStats" in out
+
+    def test_repeat_reports_cache_hits(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--repeat", "2", "--explain", "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "plan cache:     miss" in out
+        assert "plan cache:     hit" in out
+        assert "result_hits=1" in out
+
+    def test_explicit_query_against_demo_data(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "40",
+                     "-q", "P(X,Y,Z) :- R(X,Y), S(Y,Z), T(X,Z)",
+                     "--mode", "leapfrog", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "P: 5 tuples" in out
+
+    def test_csv_relations_and_query_file(self, tmp_path, capsys):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("A,B\n1,2\n2,3\n1,3\n")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("# transitive triangles\n"
+                           "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)\n")
+        assert main(["engine", "--relation", f"E={edges}",
+                     "--query-file", str(queries)]) == 0
+        out = capsys.readouterr().out
+        assert "E(3)" in out
+        assert "Q: 1 tuples" in out  # only 1->2->3 closes with the chord 1->3
+
+    def test_csv_mixed_type_relation_stays_fully_textual(self, tmp_path,
+                                                         capsys):
+        # One non-numeric cell anywhere keeps the WHOLE relation textual:
+        # per-column coercion would leave an int column joining against a
+        # str column, silently losing the textual triangle 1-2-3.
+        edges = tmp_path / "edges.csv"
+        edges.write_text("A,B\n1,2\nx,1\n2,3\n1,3\n")
+        assert main(["engine", "--relation", f"E={edges}",
+                     "-q", "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"]) == 0
+        out = capsys.readouterr().out
+        assert "E(4)" in out
+        assert "Q: 1 tuples" in out
+        assert "('1', '2', '3')" in out
+
+    @pytest.mark.parametrize("mode", ["auto", "generic", "leapfrog"])
+    def test_cross_relation_type_mismatch_is_a_clean_error(self, tmp_path,
+                                                           capsys, mode):
+        # An all-int relation joined with a textual one can never match
+        # (and crashes the sorted engines); the CLI must report it upfront
+        # in EVERY mode, not return a silently empty answer in some.
+        ints = tmp_path / "ints.csv"
+        ints.write_text("A,B\n1,2\n2,3\n")
+        text = tmp_path / "text.csv"
+        text.write_text("B,C\n2,x\n3,y\n")
+        assert main(["engine", "--relation", f"R={ints}",
+                     "--relation", f"S={text}",
+                     "-q", "Q(A,B,C) :- R(A,B), S(B,C)",
+                     "--mode", mode]) == 2
+        assert "mixed value types" in capsys.readouterr().err
+
+    def test_no_queries_errors(self, capsys):
+        assert main(["engine"]) == 2
+        assert "no queries" in capsys.readouterr().err
+
+    def test_bad_relation_spec_errors(self, capsys):
+        assert main(["engine", "--relation", "nonsense", "-q", "R(A,B)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_ragged_csv_row_errors_with_line_number(self, tmp_path, capsys):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("A,B\n1,2\n3,4,5\n2,3\n")
+        assert main(["engine", "--relation", f"E={edges}",
+                     "-q", "E(A,B)"]) == 2
+        err = capsys.readouterr().err
+        assert ":3:" in err and "3 cells" in err
+
+    def test_duplicate_relation_name_errors(self, tmp_path, capsys):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("A,B\n1,2\n")
+        assert main(["engine", "--relation", f"E={edges}",
+                     "--relation", f"E={edges}", "-q", "E(A,B)"]) == 2
+        assert "already registered" in capsys.readouterr().err
+
+    def test_missing_relation_file_errors(self, capsys):
+        assert main(["engine", "--relation", "E=/does/not/exist.csv",
+                     "-q", "E(A,B)"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_unparsable_query_errors(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "20",
+                     "-q", "this is not datalog ("]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_engine_parser_defaults(self):
+        args = build_engine_parser().parse_args(["--demo", "lw4"])
+        assert args.mode == "auto"
+        assert args.repeat == 1
+        assert args.limit is None
