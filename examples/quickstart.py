@@ -14,9 +14,12 @@ Run with:  python examples/quickstart.py
 
 from repro import (
     Database,
+    Engine,
     OperationCounter,
+    Q,
     Relation,
     agm_bound,
+    count,
     generic_join,
     leapfrog_triejoin,
     parse_query,
@@ -59,6 +62,22 @@ def main() -> None:
     print(f"best pairwise plan:     {pairwise.counter.total():,} operations, "
           f"largest intermediate {pairwise.max_intermediate:,} tuples")
     print("(the WCOJ engines never materialize an intermediate at all)")
+
+    # 6. The unified declarative surface through a persistent Engine:
+    #    selections pushed below the join, aggregates, and top-k results.
+    engine = Engine(database=database)
+    busiest = engine.execute(
+        Q.from_("R", "A", "B").from_("S", "B", "C").from_("T", "A", "C")
+         .select("A", count()).group_by("A").order_by("-count").limit(3)
+    )
+    print("top-3 triangle-corner vertices (vertex, triangles through it):")
+    for row in engine.stream(
+            Q.from_("R", "A", "B").from_("S", "B", "C").from_("T", "A", "C")
+             .select("A", count()).group_by("A").order_by("-count").limit(3)):
+        print(f"    {row}")
+    assert len(busiest) <= 3
+    constrained = engine.execute("Q(A) :- R(A,B), S(B,C), T(A,C), A < B, B < C")
+    print(f"vertices starting an ordered triangle A<B<C: {len(constrained)}")
 
 
 if __name__ == "__main__":

@@ -27,6 +27,17 @@ The most common entry points are re-exported here.
 
 from repro.relational import Database, Relation
 from repro.query import ConjunctiveQuery, Atom, parse_query
+from repro.query.builder import Q, Query, QueryBuilder
+from repro.query.semiring import (
+    Aggregate,
+    Semiring,
+    count,
+    max_,
+    min_,
+    register_semiring,
+    sum_,
+)
+from repro.query.terms import Comparison, Constant
 from repro.query.atoms import (
     triangle_query,
     clique_query,
@@ -58,6 +69,18 @@ __all__ = [
     "Relation",
     "ConjunctiveQuery",
     "Atom",
+    "Q",
+    "Query",
+    "QueryBuilder",
+    "Aggregate",
+    "Semiring",
+    "count",
+    "sum_",
+    "min_",
+    "max_",
+    "register_semiring",
+    "Comparison",
+    "Constant",
     "parse_query",
     "triangle_query",
     "clique_query",

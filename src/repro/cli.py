@@ -12,6 +12,11 @@ Usage::
     repro engine --relation E=edges.csv -q "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"
     repro engine --demo lw4 --query-file queries.txt --repeat 3 --mode auto
 
+    # The unified query surface: constants, selections, aggregates; and
+    # machine-consumable output via --format json / --format csv:
+    repro engine --relation E=edges.csv -q "Q(A) :- E(A,B), E(B,5), A < B"
+    repro engine --relation E=edges.csv -q "Q(A, COUNT(*)) :- E(A,B)" --format json
+
 (``python -m repro ...`` works identically when the package is not
 installed.)  Experiments print the same tables the benchmark harness embeds,
 so this is the quickest way to regenerate a single paper artifact without
@@ -136,7 +141,14 @@ def build_engine_parser() -> argparse.ArgumentParser:
                            help="print the chosen plan, AGM bound, and "
                                 "cache provenance before each query")
     execution.add_argument("--show", type=int, default=3,
-                           help="sample result rows to print per query")
+                           help="sample result rows to print per query "
+                                "(table format only)")
+    output = parser.add_argument_group("output")
+    output.add_argument("--format", choices=("table", "json", "csv"),
+                        default="table", dest="format",
+                        help="result format; json/csv print every result "
+                             "row to stdout (machine-consumable) and move "
+                             "the session chatter to stderr")
     return parser
 
 
@@ -218,9 +230,14 @@ def _mixed_type_variables(query, database) -> list[str]:
 
     Such joins can never match (and crash the sorted-merge engines), so the
     CLI reports them upfront — the diagnostic must not depend on which
-    executor the cost model happens to pick.
+    executor the cost model happens to pick.  Rich queries are checked on
+    their lowered conjunctive core (fresh constant-bound variables
+    included: a constant that can never match is merely empty, not an
+    error).
     """
     query.validate_against(database)  # arity errors first, with their own message
+    if hasattr(query, "core"):  # rich Query -> its variables-only core
+        query = query.core
     kinds: dict[str, set[str]] = {}
     for atom in query.atoms:
         relation = database.get(atom.relation)
@@ -228,6 +245,40 @@ def _mixed_type_variables(query, database) -> list[str]:
             column_kinds = {type(t[position]).__name__ for t in relation.tuples}
             kinds.setdefault(variable, set()).update(column_kinds)
     return sorted(v for v, k in kinds.items() if len(k) > 1)
+
+
+def _ordered_rows(result, query) -> list[tuple]:
+    """Every result row, honouring the query's ORDER BY (sorted otherwise
+    for deterministic output)."""
+    from repro.query.builder import sort_rows
+
+    order_by = getattr(query, "order_by", ())
+    if order_by:
+        return sort_rows(result.tuples, result.attributes, order_by)
+    return result.sorted_tuples()
+
+
+def _emit_result(result, query, fmt: str, show: int) -> None:
+    """Print one query result to stdout in the requested format."""
+    import json
+
+    if fmt == "json":
+        print(json.dumps({
+            "name": result.name,
+            "columns": list(result.attributes),
+            "rows": [list(row) for row in _ordered_rows(result, query)],
+        }))
+    elif fmt == "csv":
+        writer = csv.writer(sys.stdout)
+        writer.writerow(result.attributes)
+        writer.writerows(_ordered_rows(result, query))
+    elif show > 0:
+        if getattr(query, "order_by", ()):
+            for row in _ordered_rows(result, query)[:show]:
+                print(f"    {row}")
+        else:  # O(n) sample, not a full O(n log n) sort
+            for row in heapq.nsmallest(show, result.tuples):
+                print(f"    {row}")
 
 
 def engine_main(argv: list[str] | None = None) -> int:
@@ -279,10 +330,14 @@ def engine_main(argv: list[str] | None = None) -> int:
         return 2
 
     engine = Engine(database=database)
+    # In the machine-consumable formats, only result rows go to stdout;
+    # the session chatter (banner, explain, timing, stats) moves to stderr.
+    chatter = sys.stdout if args.format == "table" else sys.stderr
     relation_summary = ", ".join(
         f"{name}({len(database.get(name))})" for name in database.relation_names
     )
-    print(f"engine session over {len(database)} relations: {relation_summary}")
+    print(f"engine session over {len(database)} relations: {relation_summary}",
+          file=chatter)
     try:
         # Parse and type-check once: the query list and catalog are fixed
         # for the whole run, and the repeat rounds exist to time the engine,
@@ -301,32 +356,38 @@ def engine_main(argv: list[str] | None = None) -> int:
         for round_index in range(args.repeat):
             for query in parsed_queries:
                 if args.explain:
-                    print()
-                    print(engine.explain(query, mode=args.mode).render())
+                    print(file=chatter)
+                    print(engine.explain(query, mode=args.mode).render(),
+                          file=chatter)
                 started = time.perf_counter()
                 try:
                     result = engine.execute(query, mode=args.mode,
                                             limit=args.limit)
                 except TypeError as error:
                     # Joining an all-int relation against a textual one
-                    # compares incomparable values in the sorted engines.
-                    # Narrow to this call so other TypeErrors traceback.
-                    print(f"error: {error} (are joined relations loaded "
-                          f"with different value types? int and text "
-                          f"columns do not join)", file=sys.stderr)
+                    # compares incomparable values in the sorted engines;
+                    # with aggregates, the semiring fold can also hit a
+                    # non-numeric column.  Narrow to this call so other
+                    # TypeErrors traceback, and point at the right culprit.
+                    if getattr(query, "aggregates", ()):
+                        hint = ("is an aggregate (SUM/MIN/MAX) applied to "
+                                "a column whose values do not support it?")
+                    else:
+                        hint = ("are joined relations loaded with "
+                                "different value types? int and text "
+                                "columns do not join")
+                    print(f"error: {error} ({hint})", file=sys.stderr)
                     return 2
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 label = f"[run {round_index + 1}/{args.repeat}]"
                 print(f"{label} {result.name}: {len(result)} tuples "
-                      f"in {elapsed_ms:.2f} ms")
-                if args.show > 0:  # O(n) sample, not a full O(n log n) sort
-                    for row in heapq.nsmallest(args.show, result.tuples):
-                        print(f"    {row}")
+                      f"in {elapsed_ms:.2f} ms", file=chatter)
+                _emit_result(result, query, args.format, args.show)
     except ReproError as error:  # parse/schema/dispatch problems
         print(f"error: {error}", file=sys.stderr)
         return 2
-    print()
-    print(engine.stats)
+    print(file=chatter)
+    print(engine.stats, file=chatter)
     return 0
 
 

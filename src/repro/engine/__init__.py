@@ -28,7 +28,13 @@ from repro.engine.cost import (
     dispatch,
     estimate_costs,
 )
-from repro.engine.executors import EXECUTORS, executor_for, head_projected
+from repro.engine.executors import (
+    EXECUTORS,
+    executor_for,
+    head_projected,
+    pushed_instance,
+    split_pushable_selections,
+)
 from repro.engine.fingerprint import CanonicalQuery, canonical_query
 from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
 from repro.engine.registry import IndexRegistry
@@ -43,6 +49,8 @@ __all__ = [
     "EXECUTORS",
     "executor_for",
     "head_projected",
+    "pushed_instance",
+    "split_pushable_selections",
     "CanonicalQuery",
     "canonical_query",
     "CachedPlan",

@@ -134,16 +134,43 @@ def _binary_cost(query: ConjunctiveQuery, database: Database,
     return cost
 
 
+def _selected_size(query: ConjunctiveQuery, atom_index: int,
+                   database: Database, selections) -> int:
+    """The atom's scan size after pushing its single-atom selections.
+
+    Counts the tuples surviving every selection whose variables all live in
+    this atom (the filters every executor pushes below the join), so the
+    dispatcher prices selective constants honestly instead of assuming full
+    scans.
+    """
+    atom = query.atoms[atom_index]
+    relation = database.get(atom.relation)
+    applicable = [s for s in selections if s.variables <= atom.variable_set]
+    if not applicable:
+        return len(relation)
+    positions = {v: p for p, v in enumerate(atom.variables)}
+    count = 0
+    for tup in relation:
+        binding = {v: tup[p] for v, p in positions.items()}
+        if all(s.evaluate(binding) for s in applicable):
+            count += 1
+    return count
+
+
 def estimate_costs(query: ConjunctiveQuery, database: Database,
                    agm: AGMBound, acyclic: bool,
-                   binary_order: tuple[int, ...] | None = None
-                   ) -> dict[str, float]:
+                   binary_order: tuple[int, ...] | None = None,
+                   selections=()) -> dict[str, float]:
     """Estimated operation counts for every strategy on this instance.
 
     ``binary_order`` lets the dispatcher share one greedy-order computation
     between pricing and planning; it is recomputed when omitted.
+    ``selections`` (rich-query predicates) shrink the per-atom scan sizes
+    for the strategies that push them below the join; the AGM term stays on
+    the unfiltered statistics — it is a sound worst-case envelope either
+    way.
     """
-    sizes = {i: len(database.get(atom.relation))
+    sizes = {i: _selected_size(query, i, database, selections)
              for i, atom in enumerate(query.atoms)}
     total = float(sum(sizes.values()))
     bound = _capped(agm.bound)
@@ -169,7 +196,7 @@ def estimate_costs(query: ConjunctiveQuery, database: Database,
 
 
 def dispatch(query: ConjunctiveQuery, database: Database,
-             mode: str = "auto") -> DispatchDecision:
+             mode: str = "auto", selections=()) -> DispatchDecision:
     """Choose an executor for the query (or validate a forced choice).
 
     Parameters
@@ -180,6 +207,10 @@ def dispatch(query: ConjunctiveQuery, database: Database,
         ``"yannakakis"`` on a cyclic query).  Forced modes skip the cost
         estimation (the per-join degree scans in particular), paying only
         the acyclicity test and the AGM LP that ``explain()`` reports.
+    selections:
+        Rich-query comparison predicates; single-atom ones shrink the
+        per-atom scan estimates (every executor pushes them below the
+        join).
     """
     if mode not in MODES:
         raise QueryError(f"unknown engine mode {mode!r}; expected one of {MODES}")
@@ -189,7 +220,8 @@ def dispatch(query: ConjunctiveQuery, database: Database,
     if mode == "auto":
         binary_order = greedy_atom_order(query, database)
         costs = estimate_costs(query, database, bound, acyclic,
-                               binary_order=binary_order)
+                               binary_order=binary_order,
+                               selections=selections)
         strategy = min(STRATEGIES,
                        key=lambda s: (costs[s], STRATEGIES.index(s)))
     else:

@@ -1,20 +1,29 @@
 """The common executor protocol behind ``Engine.execute``.
 
 Every join algorithm in :mod:`repro.joins` is adapted here to one uniform
-shape so the dispatcher can treat them interchangeably:
+shape so the dispatcher can treat them interchangeably.  Executors receive
+the rich :class:`~repro.query.builder.Query` (the ``spec``) and are
+responsible for the *relational* part of it — the join, the selections,
+and the projection; the engine layers aggregation, ordering and LIMIT on
+top of the streams they return:
 
-* ``plan(query, database)`` produces the strategy-specific plan payload
+* ``plan(spec, database)`` produces the strategy-specific plan payload
   (a variable order, an atom order, or nothing);
 * ``canonical_payload`` / ``payload_from_canonical`` translate that payload
   to and from canonical vocabulary, so the plan cache can serve isomorphic
   queries;
 * ``index_requests`` names the registry indexes the executor would use,
   letting the engine prebuild and share them across a batch;
-* ``stream`` lazily yields result tuples over the query's *head* variables.
-  WCOJ executors stream straight out of the join recursion (so an
-  abandoned iterator abandons the remaining search — ``LIMIT`` pushdown);
-  materializing executors (binary plans, Yannakakis) yield from their
-  finished result in sorted order.
+* ``stream`` lazily yields result tuples over ``spec.stream_variables`` —
+  deduplicated head tuples normally, full-variable tuples when aggregates
+  need to observe them.
+
+Selections are pushed *below* the join everywhere: the WCOJ executors
+prune candidate values inside the join recursion at the depth where each
+predicate's variables are bound; the naive executor prunes partial
+bindings at the earliest covering atom; the materializing executors
+(binary plans, Yannakakis) filter base-relation scans for single-atom
+predicates and only post-filter genuinely cross-atom comparisons.
 """
 
 from __future__ import annotations
@@ -31,8 +40,10 @@ from repro.joins.leapfrog import leapfrog_stream
 from repro.joins.naive import nested_loop_stream
 from repro.joins.plan import execute_plan, left_deep_plan
 from repro.joins.yannakakis import yannakakis
-from repro.query.atoms import ConjunctiveQuery
-from repro.query.variable_order import min_degree_order
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.builder import Query
+from repro.query.terms import Comparison
+from repro.query.variable_order import pushdown_order
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
 
@@ -41,16 +52,17 @@ from repro.relational.index import TrieIndex
 IndexRequest = tuple[str, str, tuple[str, ...]]
 
 
-def head_projected(query: ConjunctiveQuery, stream: Iterator[tuple]
-                   ) -> Iterator[tuple]:
+def head_projected(query: ConjunctiveQuery, stream: Iterator[tuple],
+                   head: Sequence[str] | None = None) -> Iterator[tuple]:
     """Project a stream of full-variable tuples onto the head, deduplicating.
 
-    Full queries (head == variables) pass through untouched, and permuted
-    full heads only reorder columns (an injective map needs no dedup
-    bookkeeping); only strict-subset heads pay for a seen-set.
+    ``head`` defaults to ``query.head``.  Full heads pass through
+    untouched, and permuted full heads only reorder columns (an injective
+    map needs no dedup bookkeeping); only strict-subset heads pay for a
+    seen-set.
     """
     variables = query.variables
-    head = tuple(query.head)
+    head = tuple(query.head if head is None else head)
     if head == tuple(variables):
         yield from stream
         return
@@ -65,6 +77,73 @@ def head_projected(query: ConjunctiveQuery, stream: Iterator[tuple]
         if projected not in seen:
             seen.add(projected)
             yield projected
+
+
+def residual_filtered(stream: Iterator[tuple], variables: Sequence[str],
+                      selections: Sequence[Comparison]) -> Iterator[tuple]:
+    """Filter full-variable tuples by the predicates (post-join fallback)."""
+    names = tuple(variables)
+    for row in stream:
+        binding = dict(zip(names, row))
+        if all(sel.evaluate(binding) for sel in selections):
+            yield row
+
+
+def split_pushable_selections(spec: Query) -> tuple[list[list[Comparison]],
+                                                    list[Comparison]]:
+    """Partition selections into per-atom pushable lists and a residual.
+
+    A selection is pushable into *every* atom containing all its variables
+    (applying a conjunctive filter at each covering scan is sound and
+    prunes most); only predicates spanning atoms (``A < B`` with A and B
+    in different relations) stay residual.
+    """
+    core = spec.core
+    per_atom: list[list[Comparison]] = [[] for _ in core.atoms]
+    residual: list[Comparison] = []
+    for sel in spec.all_selections:
+        covering = [i for i, atom in enumerate(core.atoms)
+                    if sel.variables <= atom.variable_set]
+        for i in covering:
+            per_atom[i].append(sel)
+        if not covering:
+            residual.append(sel)
+    return per_atom, residual
+
+
+def pushed_instance(spec: Query, database: Database
+                    ) -> tuple[ConjunctiveQuery, Database, list[Comparison]]:
+    """A derived (query, database) with single-atom selections pre-applied.
+
+    For the materializing executors: each atom with pushable selections is
+    rebound to a filtered copy of its relation (selection strictly below
+    the join), leaving only cross-atom predicates to post-filter.  Atoms
+    without selections keep their original relations — no copying.
+    """
+    per_atom, residual = split_pushable_selections(spec)
+    core = spec.core
+    if not any(per_atom):
+        return core, database, residual
+    relations = {}
+    new_atoms: list[Atom] = []
+    for i, atom in enumerate(core.atoms):
+        if not per_atom[i]:
+            new_atoms.append(atom)
+            relations.setdefault(atom.relation, database.get(atom.relation))
+            continue
+        relation = database.get(atom.relation)
+        attr_to_var = dict(zip(relation.attributes, atom.variables))
+        selections = per_atom[i]
+
+        def keep(row: dict, _map=attr_to_var, _sels=selections) -> bool:
+            binding = {_map[a]: v for a, v in row.items()}
+            return all(s.evaluate(binding) for s in _sels)
+
+        derived_name = f"{atom.relation}#sel{i}"
+        relations[derived_name] = relation.filter(keep, name=derived_name)
+        new_atoms.append(Atom(derived_name, atom.variables))
+    derived_query = ConjunctiveQuery(new_atoms, name=core.name)
+    return derived_query, Database(relations.values()), residual
 
 
 def _trie_requests(query: ConjunctiveQuery, database: Database,
@@ -91,9 +170,18 @@ class _WcojExecutor:
 
     name: str
 
-    def plan(self, query: ConjunctiveQuery, database: Database) -> tuple[str, ...]:
-        """The global variable order (the only planning WCOJ engines need)."""
-        return min_degree_order(query)
+    def plan(self, spec: Query, database: Database) -> tuple[str, ...]:
+        """The global variable order (the only planning WCOJ engines need).
+
+        Constant-pinned variables come first (they restrict every
+        containing atom for the whole search), then the head variables (so
+        projection deduplicates early via the existential tail), then the
+        rest — see :func:`repro.query.variable_order.pushdown_order`.  For
+        full unselected queries this degenerates to the classical
+        min-degree order.
+        """
+        return pushdown_order(spec.core, fixed=spec.fixed_variables,
+                              leading=spec.head_vars)
 
     def canonical_payload(self, payload: tuple[str, ...],
                           canon: CanonicalQuery) -> tuple[str, ...]:
@@ -101,30 +189,32 @@ class _WcojExecutor:
 
     def payload_from_canonical(self, payload: tuple[str, ...],
                                canon: CanonicalQuery,
-                               query: ConjunctiveQuery) -> tuple[str, ...]:
+                               spec: Query) -> tuple[str, ...]:
         return canon.translate_variables(payload)
 
-    def index_requests(self, query: ConjunctiveQuery, database: Database,
+    def index_requests(self, spec: Query, database: Database,
                        payload: tuple[str, ...]) -> list[IndexRequest]:
-        return _trie_requests(query, database, payload)
+        return _trie_requests(spec.core, database, payload)
 
     def _stream_fn(self):
         raise NotImplementedError
 
-    def stream(self, query: ConjunctiveQuery, database: Database,
+    def stream(self, spec: Query, database: Database,
                payload: tuple[str, ...],
                registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
+        core = spec.core
         tries: dict[str, TrieIndex] | None = None
         if registry is not None:
             tries = {
                 edge_key: registry.trie(relation_name, layout)
                 for edge_key, relation_name, layout
-                in _trie_requests(query, database, payload)
+                in _trie_requests(core, database, payload)
             }
-        inner = self._stream_fn()(query, database, order=payload,
-                                  counter=counter, tries=tries)
-        return head_projected(query, inner)
+        head = None if spec.aggregates else spec.head_vars
+        return self._stream_fn()(core, database, order=payload,
+                                 counter=counter, tries=tries,
+                                 selections=spec.all_selections, head=head)
 
 
 class GenericJoinExecutor(_WcojExecutor):
@@ -152,17 +242,17 @@ class _NoPayloadExecutor:
     trio when (like the binary executor) they do carry a plan.
     """
 
-    def plan(self, query: ConjunctiveQuery, database: Database) -> None:
+    def plan(self, spec: Query, database: Database) -> None:
         return None
 
     def canonical_payload(self, payload, canon: CanonicalQuery):
         return payload
 
     def payload_from_canonical(self, payload, canon: CanonicalQuery,
-                               query: ConjunctiveQuery):
+                               spec: Query):
         return payload
 
-    def index_requests(self, query: ConjunctiveQuery, database: Database,
+    def index_requests(self, spec: Query, database: Database,
                        payload) -> list[IndexRequest]:
         return []
 
@@ -172,14 +262,29 @@ class NaiveExecutor(_NoPayloadExecutor):
 
     name = "naive"
 
-    def stream(self, query: ConjunctiveQuery, database: Database,
+    def stream(self, spec: Query, database: Database,
                payload: None, registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
-        return head_projected(query, nested_loop_stream(query, database,
-                                                        counter=counter))
+        inner = nested_loop_stream(spec.core, database, counter=counter,
+                                   selections=spec.all_selections)
+        if spec.aggregates:
+            return inner
+        return head_projected(spec.core, inner, head=spec.head_vars)
 
 
-class BinaryPlanExecutor(_NoPayloadExecutor):
+class _MaterializingExecutor(_NoPayloadExecutor):
+    """Shared post-processing for the materializing strategies."""
+
+    def _finalize(self, spec: Query, rows: Iterator[tuple],
+                  residual: Sequence[Comparison]) -> Iterator[tuple]:
+        if residual:
+            rows = residual_filtered(rows, spec.core.variables, residual)
+        if spec.aggregates:
+            return rows
+        return head_projected(spec.core, rows, head=spec.head_vars)
+
+
+class BinaryPlanExecutor(_MaterializingExecutor):
     """Greedy left-deep pairwise plans behind the common protocol.
 
     The payload is a tuple of atom *indices* (not edge keys): indices
@@ -190,9 +295,8 @@ class BinaryPlanExecutor(_NoPayloadExecutor):
 
     name = "binary"
 
-    def plan(self, query: ConjunctiveQuery, database: Database
-             ) -> tuple[int, ...]:
-        return greedy_atom_order(query, database)
+    def plan(self, spec: Query, database: Database) -> tuple[int, ...]:
+        return greedy_atom_order(spec.core, database)
 
     def canonical_payload(self, payload: tuple[int, ...],
                           canon: CanonicalQuery) -> tuple[int, ...]:
@@ -200,28 +304,31 @@ class BinaryPlanExecutor(_NoPayloadExecutor):
 
     def payload_from_canonical(self, payload: tuple[int, ...],
                                canon: CanonicalQuery,
-                               query: ConjunctiveQuery) -> tuple[int, ...]:
+                               spec: Query) -> tuple[int, ...]:
         return tuple(canon.atom_index_at(p) for p in payload)
 
-    def stream(self, query: ConjunctiveQuery, database: Database,
+    def stream(self, spec: Query, database: Database,
                payload: tuple[int, ...],
                registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
-        plan = left_deep_plan([query.edge_key(i) for i in payload])
-        execution = execute_plan(plan, query, database, counter=counter)
-        return iter(execution.result.sorted_tuples())
+        derived, derived_db, residual = pushed_instance(spec, database)
+        plan = left_deep_plan([derived.edge_key(i) for i in payload])
+        execution = execute_plan(plan, derived, derived_db, counter=counter)
+        return self._finalize(spec, iter(execution.result.sorted_tuples()),
+                              residual)
 
 
-class YannakakisExecutor(_NoPayloadExecutor):
+class YannakakisExecutor(_MaterializingExecutor):
     """Yannakakis' acyclic-query algorithm behind the common protocol."""
 
     name = "yannakakis"
 
-    def stream(self, query: ConjunctiveQuery, database: Database,
+    def stream(self, spec: Query, database: Database,
                payload: None, registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
-        result = yannakakis(query, database, counter=counter)
-        return iter(result.sorted_tuples())
+        derived, derived_db, residual = pushed_instance(spec, database)
+        result = yannakakis(derived, derived_db, counter=counter)
+        return self._finalize(spec, iter(result.sorted_tuples()), residual)
 
 
 #: Executor instances, keyed by strategy name (executors are stateless).

@@ -26,6 +26,7 @@ from types import MappingProxyType
 from typing import Mapping
 
 from repro.query.atoms import ConjunctiveQuery
+from repro.query.builder import Query
 
 
 @dataclass(frozen=True)
@@ -70,8 +71,26 @@ class CanonicalQuery:
         return self.atom_order.index(atom_index)
 
 
-def canonical_query(query: ConjunctiveQuery) -> CanonicalQuery:
-    """Compute the canonical form of a conjunctive query."""
+def canonical_query(query: ConjunctiveQuery | Query) -> CanonicalQuery:
+    """Compute the canonical form of a (possibly rich) query.
+
+    For a plain :class:`ConjunctiveQuery` the form covers atom structure
+    and head — unchanged from the original scheme.  For a rich
+    :class:`~repro.query.builder.Query` the form is computed over the
+    lowered full-CQ core and extended with canonical renderings of the
+    selections (constant values included — two queries selecting different
+    constants must not share result-cache entries), the aggregate heads
+    (aliases excluded: results translate positionally), the ORDER BY keys,
+    and the LIMIT.  Isomorphic projected/selected/aggregated queries
+    therefore share one plan-cache entry.
+    """
+    rich = query if isinstance(query, Query) else None
+    core = rich.core if rich is not None else query
+    return _canonical_core(core, rich)
+
+
+def _canonical_core(query: ConjunctiveQuery,
+                    rich: Query | None) -> CanonicalQuery:
     atoms = query.atoms
     unnamed = len(query.variables)  # sorts after every assigned index
     assigned: dict[str, int] = {}
@@ -102,9 +121,36 @@ def canonical_query(query: ConjunctiveQuery) -> CanonicalQuery:
         f"{atoms[i].relation}({','.join(to_canonical[v] for v in atoms[i].variables)})"
         for i in order
     )
-    head = ",".join(to_canonical[v] for v in query.head)
+    if rich is None:
+        head = ",".join(to_canonical[v] for v in query.head)
+        extras = ""
+    else:
+        head = ",".join(to_canonical[v] for v in rich.head_vars)
+        parts = []
+        if rich.all_selections:
+            rendered = sorted(sel.canonical_str(to_canonical)
+                              for sel in rich.all_selections)
+            parts.append("sel:" + ";".join(rendered))
+        if rich.aggregates:
+            parts.append("agg:" + ";".join(
+                f"{a.kind}({to_canonical[a.var] if a.var is not None else '*'})"
+                for a in rich.aggregates
+            ))
+        if rich.order_by:
+            # Output columns canonicalize to the head variable's canonical
+            # name or to the positional tag of the aggregate column.
+            tags = {col: to_canonical[col] for col in rich.head_vars}
+            tags.update({a.alias: f"agg{i}"
+                         for i, a in enumerate(rich.aggregates)})
+            parts.append("ord:" + ",".join(
+                ("-" if descending else "") + tags[column]
+                for column, descending in rich.order_by
+            ))
+        if rich.limit is not None:
+            parts.append(f"lim:{rich.limit}")
+        extras = "".join("|" + p for p in parts)
     return CanonicalQuery(
-        form=f"{body}=>{head}",
+        form=f"{body}=>{head}{extras}",
         to_canonical=MappingProxyType(to_canonical),
         from_canonical=MappingProxyType(from_canonical),
         atom_order=tuple(order),

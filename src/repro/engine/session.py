@@ -14,11 +14,21 @@ state a single-shot call throws away:
   binary-plan, Generic-Join, Leapfrog and Yannakakis executors behind the
   single ``execute(query, mode=...)`` API.
 
+Queries arrive through one declarative surface
+(:class:`~repro.query.builder.Query` / ``Q`` builder / datalog text /
+classical :class:`ConjunctiveQuery`, all interchangeable): projection
+heads, constants in atoms, comparison selections, semiring aggregates with
+group-by, ORDER BY and LIMIT.  The executors handle the join with
+selections pushed below it and projection deduplicated early; this module
+layers aggregation folds, ordering (heap-based top-k under LIMIT) and
+result materialization on the streams they return.
+
 Execution streams wherever the algorithm allows: for the WCOJ and naive
 strategies, ``stream()`` yields result tuples straight out of the join
 recursion and ``execute(..., limit=k)`` abandons the search after the k-th
 tuple, so ``LIMIT`` queries never pay for the full join (the materializing
-strategies — binary plans, Yannakakis — compute the join before yielding).
+strategies — binary plans, Yannakakis — compute the join before yielding;
+ordered and aggregated queries must also drain the stream first).
 ``execute_many`` plans a whole batch first and prebuilds the shared indexes
 before running it.
 """
@@ -27,25 +37,34 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import asdict, dataclass
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.engine.cost import MODES, dispatch
-from repro.engine.executors import executor_for
+from repro.engine.executors import executor_for, split_pushable_selections
 from repro.engine.fingerprint import CanonicalQuery, canonical_query
 from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
 from repro.engine.registry import IndexRegistry
 from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter
-from repro.query.atoms import ConjunctiveQuery
-from repro.query.parser import parse_query
+from repro.query.builder import Query, sort_rows
+from repro.query.semiring import fold_aggregates
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 from repro.relational.statistics import statistics_fingerprint
 
+#: Anything the engine accepts as a query (see ``Query.coerce``).
+QueryLike = Any
+
 
 @dataclass
 class EngineStats:
-    """Cumulative accounting of one engine session's cache behaviour."""
+    """Cumulative accounting of one engine session's cache behaviour.
+
+    ``plan_hits``/``plan_misses`` count plan-cache lookups,
+    ``result_hits``/``result_misses`` the result cache, and
+    ``index_builds``/``index_reuses`` the index registry (a reuse is a
+    registry hit, a build a miss).
+    """
 
     queries: int = 0
     plan_hits: int = 0
@@ -59,6 +78,12 @@ class EngineStats:
     def as_dict(self) -> dict[str, int]:
         """All counters as a plain dictionary."""
         return asdict(self)
+
+    def summary(self) -> str:
+        """The hit/miss counters in one compact line (used by explain)."""
+        return (f"plan {self.plan_hits} hit / {self.plan_misses} miss · "
+                f"result {self.result_hits} hit / {self.result_misses} miss · "
+                f"index {self.index_reuses} reused / {self.index_builds} built")
 
     def __str__(self) -> str:
         parts = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
@@ -95,6 +120,21 @@ class Explanation:                 # make a generated __hash__ crash
     warm_indexes / cold_indexes:
         Registry index layouts this plan needs, split by whether they are
         already built for the current data versions.
+    output_columns:
+        The result schema (head variables then aggregate aliases).
+    aggregates:
+        Rendered aggregate heads (empty for non-aggregate queries).
+    pushed_selections:
+        Where each selection lands *below* the join (recursion depth for
+        WCOJ, earliest covering atom for naive, filtered scan for the
+        materializing strategies).
+    residual_selections:
+        Cross-atom predicates a materializing strategy must apply
+        post-join (always empty for WCOJ/naive, which prune mid-search).
+    order_by / limit:
+        Result-ordering and top-k controls carried by the query.
+    session_stats:
+        A snapshot of the engine's cache counters at explain time.
     """
 
     query: str
@@ -109,6 +149,13 @@ class Explanation:                 # make a generated __hash__ crash
     result_cached: bool
     warm_indexes: tuple[str, ...]
     cold_indexes: tuple[str, ...]
+    output_columns: tuple[str, ...] = ()
+    aggregates: tuple[str, ...] = ()
+    pushed_selections: tuple[str, ...] = ()
+    residual_selections: tuple[str, ...] = ()
+    order_by: tuple[str, ...] = ()
+    limit: int | None = None
+    session_stats: dict[str, int] | None = None
 
     @property
     def agm_bound(self) -> float:
@@ -133,6 +180,23 @@ class Explanation:                 # make a generated __hash__ crash
         ]
         if self.variable_order is not None:
             lines.append(f"variable order: {' -> '.join(self.variable_order)}")
+        if self.output_columns:
+            lines.append(f"output:         ({', '.join(self.output_columns)})")
+        if self.aggregates:
+            lines.append(f"aggregates:     {', '.join(self.aggregates)}")
+        for label, entries in (("pushed below join", self.pushed_selections),
+                               ("post-join filters", self.residual_selections)):
+            if entries:
+                lines.append(f"{label}:")
+                lines.extend(f"    {entry}" for entry in entries)
+        if self.order_by or self.limit is not None:
+            order = ", ".join(self.order_by)
+            pieces = []
+            if order:
+                pieces.append(f"ORDER BY {order}")
+            if self.limit is not None:
+                pieces.append(f"LIMIT {self.limit}")
+            lines.append(f"order/limit:    {' '.join(pieces)}")
         lines.append(f"plan cache:     {self.plan_cache} "
                      f"[{self.canonical_form}]")
         lines.append(f"result cache:   "
@@ -141,6 +205,9 @@ class Explanation:                 # make a generated __hash__ crash
             lines.append("warm indexes:   " + ", ".join(self.warm_indexes))
         if self.cold_indexes:
             lines.append("cold indexes:   " + ", ".join(self.cold_indexes))
+        if self.session_stats is not None:
+            lines.append("session stats:  "
+                         + EngineStats(**self.session_stats).summary())
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -151,7 +218,7 @@ class Explanation:                 # make a generated __hash__ crash
 class _Prepared:
     """A query after planning: everything needed to run it."""
 
-    query: ConjunctiveQuery
+    query: Query
     mode: str
     canon: CanonicalQuery
     plan: CachedPlan
@@ -241,32 +308,33 @@ class Engine:
     # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
-    def _normalize(self, query: ConjunctiveQuery | str) -> ConjunctiveQuery:
+    def _normalize(self, query: QueryLike) -> Query:
         if isinstance(query, str):
             cached = self._parse_cache.get(query)
             if cached is None:
-                cached = parse_query(query)
+                cached = Query.coerce(query)
                 self._parse_cache.put(query, cached)
             return cached
-        return query
+        return Query.coerce(query)
 
-    def _canonical(self, query: ConjunctiveQuery) -> CanonicalQuery:
+    def _canonical(self, query: Query) -> CanonicalQuery:
         canon = self._canon_cache.get(query)
         if canon is None:
             canon = canonical_query(query)
             self._canon_cache.put(query, canon)
         return canon
 
-    def _prepare(self, query: ConjunctiveQuery | str, mode: str) -> _Prepared:
+    def _prepare(self, query: QueryLike, mode: str) -> _Prepared:
         if mode not in MODES:
             raise QueryError(
                 f"unknown engine mode {mode!r}; expected one of {MODES}"
             )
         query = self._normalize(query)
         canon = self._canonical(query)
+        core = query.core
         fingerprint = statistics_fingerprint(
             self._db,
-            [query.atoms[i].relation for i in canon.atom_order],
+            [core.atoms[i].relation for i in canon.atom_order],
         )
         key = (canon.form, fingerprint, mode)
         cached = self._plans.get(key)
@@ -278,7 +346,8 @@ class Engine:
             return _Prepared(query, mode, canon, cached, payload, "hit")
 
         self.stats.plan_misses += 1
-        decision = dispatch(query, self._db, mode)
+        decision = dispatch(core, self._db, mode,
+                            selections=query.all_selections)
         executor = executor_for(decision.strategy)
         # The dispatcher already computed the greedy order while pricing the
         # binary strategy — reuse it so the plan run is the plan priced.
@@ -301,10 +370,19 @@ class Engine:
         if limit is not None and limit < 0:
             raise QueryError(f"limit must be non-negative, got {limit}")
 
+    @staticmethod
+    def _effective_limit(query: Query, limit: int | None) -> int | None:
+        """Combine the query's own LIMIT with the per-call one (min wins)."""
+        if query.limit is None:
+            return limit
+        if limit is None:
+            return query.limit
+        return min(query.limit, limit)
+
     def _result_key(self, prepared: _Prepared) -> tuple:
         # Versions are listed in canonical atom order (like the statistics
         # fingerprint) so atom-permuted isomorphic queries share the key.
-        atoms = prepared.query.atoms
+        atoms = prepared.query.core.atoms
         versions = tuple(
             (atoms[i].relation, self._db.version(atoms[i].relation))
             for i in prepared.canon.atom_order
@@ -316,12 +394,13 @@ class Engine:
 
         Isomorphic queries share result-cache entries (the key is the
         canonical form), so the cached schema may use another query's
-        variable names; positions line up by construction, making a rename
-        sufficient — and cheap, since renames share the tuple set.
+        variable names or aggregate aliases; positions line up by
+        construction, making a rename sufficient — and cheap, since renames
+        share the tuple set.
         """
-        head = tuple(prepared.query.head)
-        if tuple(cached.attributes) != head:
-            cached = cached.rename(dict(zip(cached.attributes, head)),
+        columns = prepared.query.output_columns
+        if tuple(cached.attributes) != columns:
+            cached = cached.rename(dict(zip(cached.attributes, columns)),
                                    name=prepared.query.name)
         elif cached.name != prepared.query.name:
             cached = cached.with_name(prepared.query.name)
@@ -330,7 +409,7 @@ class Engine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def execute(self, query: ConjunctiveQuery | str, mode: str = "auto",
+    def execute(self, query: QueryLike, mode: str = "auto",
                 limit: int | None = None,
                 counter: OperationCounter | None = None) -> Relation:
         """Evaluate a query and return its result relation.
@@ -338,16 +417,20 @@ class Engine:
         Parameters
         ----------
         query:
-            A :class:`ConjunctiveQuery` or datalog-style text
-            (``"Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"``).
+            A :class:`~repro.query.builder.Query`, a ``Q`` builder chain, a
+            classical :class:`ConjunctiveQuery`, or datalog-style text
+            (``"Q(A) :- R(A,B), S(B,5), A < B"``).
         mode:
             ``"auto"`` (cost-based dispatch) or a forced strategy name.
         limit:
             Stop after this many result tuples; pushed down into the join
-            recursion for WCOJ strategies.  Limited queries always run the
-            executor (bypassing the result cache), so the same call returns
-            the same deterministic enumeration prefix whether or not the
-            cache is warm.
+            recursion for WCOJ strategies and combined (min) with the
+            query's own ``LIMIT``.  Passing a *per-call* limit always runs
+            the executor (bypassing the result cache, whose key does not
+            encode it), so the same call returns the same deterministic
+            enumeration prefix whether or not the cache is warm; a LIMIT
+            carried by the query itself is part of the cache key and its
+            results are cached normally.
         counter:
             Optional operation counter threaded through to the executor.
             Passing a counter bypasses the result cache: a cached answer
@@ -356,47 +439,57 @@ class Engine:
         """
         self._check_limit(limit)
         prepared = self._prepare(query, mode)
-        return self._execute_prepared(prepared, limit, counter)
+        effective = self._effective_limit(prepared.query, limit)
+        return self._execute_prepared(prepared, effective, counter,
+                                      cacheable=limit is None)
 
     def _execute_prepared(self, prepared: _Prepared, limit: int | None,
-                          counter: OperationCounter | None) -> Relation:
-        """The shared check-cache / run / materialize / fill-cache path."""
+                          counter: OperationCounter | None,
+                          cacheable: bool) -> Relation:
+        """The shared check-cache / run / materialize / fill-cache path.
+
+        ``cacheable`` is False exactly when a *per-call* limit was passed:
+        the result key does not encode it, so serving (or storing) would
+        confuse differently-limited calls.  A LIMIT carried by the query
+        itself is part of the canonical form — those results cache safely
+        (the repeated top-k workload the ordered surface exists for).
+        """
         self.stats.queries += 1
-        if self._cache_results and counter is None and limit is None:
+        cacheable = cacheable and self._cache_results and counter is None
+        if cacheable:
             cached = self._results.get(self._result_key(prepared))
             if cached is not None:
                 self.stats.result_hits += 1
                 return self._serve_cached(prepared, cached)
             self.stats.result_misses += 1
 
-        stream = self._run(prepared, counter)
-        if limit is not None:
-            stream = itertools.islice(stream, limit)
-        result = Relation(prepared.query.name, prepared.query.head, stream)
-        if self._cache_results and limit is None:
+        rows = self._run(prepared, counter, limit)
+        result = Relation(prepared.query.name,
+                          prepared.query.output_columns, rows)
+        if cacheable:
             self._results.put(self._result_key(prepared), result)
         return result
 
-    def stream(self, query: ConjunctiveQuery | str, mode: str = "auto",
+    def stream(self, query: QueryLike, mode: str = "auto",
                limit: int | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
-        """Lazily enumerate result tuples (over the head variables).
+        """Lazily enumerate result tuples (over the output columns).
 
         For the WCOJ and naive strategies, abandoning the iterator abandons
         the remaining join search, so consuming k tuples costs only the
         work of finding k tuples.  The materializing strategies (binary
         plans, Yannakakis) compute the full join before yielding the first
-        tuple; ``limit`` then merely truncates the iteration.
+        tuple, and ordered or aggregated queries must drain the join
+        first; ``limit`` then merely truncates the iteration (top-k for
+        ordered queries).
         """
         self._check_limit(limit)
         prepared = self._prepare(query, mode)
+        limit = self._effective_limit(prepared.query, limit)
         self.stats.queries += 1
-        stream = self._run(prepared, counter)
-        if limit is not None:
-            stream = itertools.islice(stream, limit)
-        return stream
+        return self._run(prepared, counter, limit)
 
-    def execute_many(self, queries: Sequence[ConjunctiveQuery | str],
+    def execute_many(self, queries: Sequence[QueryLike],
                      mode: str = "auto", limit: int | None = None
                      ) -> list[Relation]:
         """Evaluate a batch, sharing planning and index builds across it.
@@ -415,10 +508,14 @@ class Engine:
         for relation_name, layout in sorted(requested):
             self._registry.trie(relation_name, layout)
         self._sync_index_stats()
-        return [self._execute_prepared(prep, limit, None) for prep in prepared]
+        return [
+            self._execute_prepared(prep,
+                                   self._effective_limit(prep.query, limit),
+                                   None, cacheable=limit is None)
+            for prep in prepared
+        ]
 
-    def explain(self, query: ConjunctiveQuery | str, mode: str = "auto"
-                ) -> Explanation:
+    def explain(self, query: QueryLike, mode: str = "auto") -> Explanation:
         """Plan the query (without executing) and report the evidence.
 
         Explaining warms the plan cache: a subsequent ``execute`` of the
@@ -447,8 +544,10 @@ class Engine:
             tuple(prepared.payload)
             if prepared.plan.strategy in ("generic", "leapfrog") else None
         )
+        pushed, residual = self._selection_placement(prepared)
+        spec = prepared.query
         return Explanation(
-            query=str(prepared.query),
+            query=str(spec),
             mode=mode,
             strategy=prepared.plan.strategy,
             acyclic=prepared.plan.acyclic,
@@ -460,18 +559,75 @@ class Engine:
             result_cached=result_cached,
             warm_indexes=tuple(warm),
             cold_indexes=tuple(cold),
+            output_columns=spec.output_columns,
+            aggregates=tuple(f"{a} AS {a.alias}" for a in spec.aggregates),
+            pushed_selections=pushed,
+            residual_selections=residual,
+            order_by=tuple(f"{c} DESC" if d else c for c, d in spec.order_by),
+            limit=spec.limit,
+            session_stats=self.stats.as_dict(),
         )
+
+    @staticmethod
+    def _selection_placement(prepared: _Prepared
+                             ) -> tuple[tuple[str, ...], tuple[str, ...]]:
+        """Where each selection lands relative to the join, per strategy."""
+        spec = prepared.query
+        if not spec.all_selections:
+            return (), ()
+        strategy = prepared.plan.strategy
+        core = spec.core
+        if strategy in ("generic", "leapfrog"):
+            order = tuple(prepared.payload)
+            position = {v: i for i, v in enumerate(order)}
+            pushed = tuple(
+                f"{sel} — pruned at depth "
+                f"{max(position[v] for v in sel.variables)} "
+                f"(variable {order[max(position[v] for v in sel.variables)]}"
+                f") of the join recursion"
+                for sel in spec.all_selections
+            )
+            return pushed, ()
+        if strategy == "naive":
+            covered: set[str] = set()
+            placements = []
+            pending = list(spec.all_selections)
+            for i, atom in enumerate(core.atoms):
+                covered |= atom.variable_set
+                for sel in list(pending):
+                    if sel.variables <= covered:
+                        placements.append(
+                            f"{sel} — pruned at atom {i} ({atom})")
+                        pending.remove(sel)
+            return tuple(placements), ()
+        per_atom, residual = split_pushable_selections(spec)
+        pushed = tuple(
+            f"{sel} — filtered into the scan of {core.atoms[i].relation}"
+            for i, sels in enumerate(per_atom) for sel in sels
+        )
+        return pushed, tuple(f"{sel} — applied after the join"
+                             for sel in residual)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _run(self, prepared: _Prepared,
-             counter: OperationCounter | None) -> Iterator[tuple]:
+    def _run(self, prepared: _Prepared, counter: OperationCounter | None,
+             limit: int | None = None) -> Iterator[tuple]:
+        """Stream output rows: join → aggregate fold → order → limit."""
+        spec = prepared.query
         executor = executor_for(prepared.plan.strategy)
-        stream = executor.stream(prepared.query, self._db, prepared.payload,
-                                 registry=self._registry, counter=counter)
+        rows = executor.stream(spec, self._db, prepared.payload,
+                               registry=self._registry, counter=counter)
         self._sync_index_stats()
-        return stream
+        if spec.aggregates:
+            rows = fold_aggregates(rows, spec.core.variables,
+                                   spec.head_vars, spec.aggregates)
+        if spec.order_by:
+            return iter(sort_rows(rows, spec.output_columns, spec.order_by,
+                                  limit=limit))
+        if limit is not None:
+            return itertools.islice(rows, limit)
+        return rows
 
     def _sync_index_stats(self) -> None:
         self.stats.index_builds = self._registry.builds

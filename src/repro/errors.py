@@ -25,7 +25,20 @@ class QueryError(ReproError):
 
 
 class ParseError(QueryError):
-    """The textual (datalog-style) query representation could not be parsed."""
+    """The textual (datalog-style) query representation could not be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when the parser knows it (both None otherwise); the position
+    is also baked into the message.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        if line is not None:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+        self.line = line
+        self.column = column
 
 
 class ConstraintError(ReproError):

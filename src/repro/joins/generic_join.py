@@ -67,6 +67,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 order: Sequence[str] | None = None,
                 counter: OperationCounter | None = None,
                 tries: Mapping[str, TrieIndex] | None = None,
+                selections: Sequence = (),
+                head: Sequence[str] | None = None,
                 ) -> Iterator[tuple]:
     """The shared variable-at-a-time WCOJ recursion.
 
@@ -77,9 +79,24 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     ``intersect(value_lists, counter)`` supplies that primitive: it receives
     the per-atom sorted value lists and returns their intersection.
 
-    Yields tuples over ``query.variables``; because the recursion suspends
-    at every ``yield``, abandoning the iterator abandons the remaining
-    search tree (``LIMIT`` pushdown).
+    Selections (:class:`~repro.query.terms.Comparison` predicates over the
+    query variables) are pushed into the recursion at the *binding* level:
+    each predicate fires at the shallowest depth where all its variables
+    are bound, pruning the candidate loop there instead of filtering
+    finished tuples — constants and comparisons therefore cut the search
+    tree below the join, not after it.
+
+    With ``head`` (a subset/permutation of the variables) the stream yields
+    *deduplicated head tuples*.  When every non-head variable preceding the
+    last head variable in ``order`` is pinned by a ``== constant``
+    selection, deduplication is *early*: the tail variables after the head
+    prefix are existential, so the recursion probes them for a single
+    witness and abandons the rest of that subtree — no seen-set, no wasted
+    enumeration.  Otherwise a seen-set fallback keeps the semantics.
+
+    Yields tuples over ``query.variables`` (or ``head``); because the
+    recursion suspends at every ``yield``, abandoning the iterator abandons
+    the remaining search tree (``LIMIT`` pushdown).
     """
     if order is None:
         order = min_degree_order(query)
@@ -97,6 +114,39 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     variables = query.variables
     binding: dict[str, Any] = {}
 
+    # Selection pushdown: each predicate fires at the shallowest depth
+    # where all of its variables are bound.
+    position = {v: i for i, v in enumerate(order)}
+    checks_at: list[list] = [[] for _ in order]
+    for sel in selections:
+        unknown = [v for v in sel.variables if v not in position]
+        if unknown:
+            raise ValueError(
+                f"selection {sel} mentions variables {unknown} "
+                f"outside the query variables {variables}"
+            )
+        checks_at[max(position[v] for v in sel.variables)].append(sel)
+
+    # Projection: find the depth after which all head variables are bound,
+    # and whether the prefix guarantees distinct head tuples (every
+    # non-head variable in it is pinned to one value by a constant
+    # equality), enabling the existential early-stop.
+    if head is not None:
+        head = tuple(head)
+        missing = [h for h in head if h not in position]
+        if missing:
+            raise ValueError(f"head variables {missing} are not query variables")
+        head_set = set(head)
+        prefix_depth = max((position[h] for h in head), default=0) + 1 if head else 0
+        pinned = {sel.lhs for sel in selections
+                  if getattr(sel, "is_constant_equality", False)}
+        early_distinct = all(v in head_set or v in pinned
+                             for v in order[:prefix_depth])
+    else:
+        head_set = set()
+        prefix_depth = len(order) + 1
+        early_distinct = True
+
     def candidates_for(variable: str) -> list[Any]:
         value_lists: list[list[Any]] = []
         for edge_key in relevant[variable]:
@@ -106,21 +156,60 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             value_lists.append(trie_map[edge_key].values(prefix))
         return intersect(value_lists, counter)
 
-    def recurse(depth: int) -> Iterator[tuple]:
+    def passes(depth: int) -> bool:
+        return all(sel.evaluate(binding) for sel in checks_at[depth])
+
+    def exists(depth: int) -> bool:
+        """One-witness search over the existential tail variables."""
         if depth == len(order):
-            if counter is not None:
-                counter.charge(tuples_emitted=1)
-            yield tuple(binding[v] for v in variables)
+            return True
+        variable = order[depth]
+        if counter is not None:
+            counter.charge(search_nodes=1)
+        for value in candidates_for(variable):
+            binding[variable] = value
+            found = passes(depth) and exists(depth + 1)
+            del binding[variable]
+            if found:
+                return True
+        return False
+
+    def emit() -> tuple:
+        if counter is not None:
+            counter.charge(tuples_emitted=1)
+        if head is None:
+            return tuple(binding[v] for v in variables)
+        return tuple(binding[h] for h in head)
+
+    def recurse(depth: int) -> Iterator[tuple]:
+        if head is not None and depth == prefix_depth and early_distinct:
+            if depth == len(order) or exists(depth):
+                yield emit()
+            return
+        if depth == len(order):
+            yield emit()
             return
         variable = order[depth]
         if counter is not None:
             counter.charge(search_nodes=1)
         for value in candidates_for(variable):
             binding[variable] = value
-            yield from recurse(depth + 1)
+            if passes(depth):
+                yield from recurse(depth + 1)
             del binding[variable]
 
-    yield from recurse(0)
+    if head is not None and not early_distinct and set(head) != set(variables):
+        # Fallback: the order interleaves unpinned non-head variables with
+        # the head, so distinctness needs a seen-set.
+        def deduplicated() -> Iterator[tuple]:
+            seen: set[tuple] = set()
+            for projected in recurse(0):
+                if projected not in seen:
+                    seen.add(projected)
+                    yield projected
+        yield from deduplicated()
+    else:
+        yield from recurse(0)
 
 
 def hash_probe_intersect(value_lists: list,
@@ -146,6 +235,8 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
                         order: Sequence[str] | None = None,
                         counter: OperationCounter | None = None,
                         tries: Mapping[str, TrieIndex] | None = None,
+                        selections: Sequence = (),
+                        head: Sequence[str] | None = None,
                         ) -> Iterator[tuple]:
     """Lazily enumerate the full join, yielding tuples over ``query.variables``.
 
@@ -164,9 +255,16 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
         search nodes are charged to it.
     tries:
         Optional prebuilt tries keyed by edge key (see :func:`resolve_tries`).
+    selections:
+        Comparison predicates pushed into the recursion at the binding
+        level (see :func:`wcoj_stream`).
+    head:
+        Optional projection; with it the stream yields deduplicated head
+        tuples (early-deduplicating when the order allows).
     """
     return wcoj_stream(query, database, hash_probe_intersect,
-                       order=order, counter=counter, tries=tries)
+                       order=order, counter=counter, tries=tries,
+                       selections=selections, head=head)
 
 
 def generic_join(query: ConjunctiveQuery, database: Database,

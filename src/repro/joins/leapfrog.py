@@ -100,19 +100,24 @@ def leapfrog_stream(query: ConjunctiveQuery, database: Database,
                     order: Sequence[str] | None = None,
                     counter: OperationCounter | None = None,
                     tries: Mapping[str, TrieIndex] | None = None,
+                    selections: Sequence = (),
+                    head: Sequence[str] | None = None,
                     ) -> Iterator[tuple]:
     """Lazily enumerate the full join with Leapfrog Triejoin.
 
     Parameters are identical to
-    :func:`repro.joins.generic_join.generic_join_stream`; the difference is
-    purely in how the per-variable intersections are computed (sorted
-    leapfrog seeks instead of hash probes), which is the design-choice
-    ablation benchmarked in ``benchmarks/bench_intersection.py``.  Both
-    share the variable-at-a-time recursion of
+    :func:`repro.joins.generic_join.generic_join_stream` (including
+    binding-level ``selections`` pushdown and early-deduplicating ``head``
+    projection); the difference is purely in how the per-variable
+    intersections are computed (sorted leapfrog seeks instead of hash
+    probes), which is the design-choice ablation benchmarked in
+    ``benchmarks/bench_intersection.py``.  Both share the
+    variable-at-a-time recursion of
     :func:`repro.joins.generic_join.wcoj_stream`.
     """
     return wcoj_stream(query, database, leapfrog_intersect,
-                       order=order, counter=counter, tries=tries)
+                       order=order, counter=counter, tries=tries,
+                       selections=selections, head=head)
 
 
 def leapfrog_triejoin(query: ConjunctiveQuery, database: Database,

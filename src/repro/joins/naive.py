@@ -8,7 +8,7 @@ same set of output tuples.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Sequence
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
@@ -17,17 +17,40 @@ from repro.relational.relation import Relation
 
 
 def nested_loop_stream(query: ConjunctiveQuery, database: Database,
-                       counter: OperationCounter | None = None
-                       ) -> Iterator[tuple]:
+                       counter: OperationCounter | None = None,
+                       selections: Sequence = ()) -> Iterator[tuple]:
     """Lazily enumerate the join by brute-force backtracking over atom tuples.
 
     Yields duplicate-free tuples over ``query.variables``: a full binding
     determines the supporting tuple of every atom uniquely (relations are
     sets), so each binding is reached along exactly one search path.
+
+    ``selections`` (:class:`~repro.query.terms.Comparison` predicates) are
+    checked at the earliest atom whose extension binds all their variables,
+    pruning partial bindings instead of filtering finished tuples.
     """
     bound_relations = query.bind(database)
     atoms = [(query.edge_key(i), atom) for i, atom in enumerate(query.atoms)]
     variables = query.variables
+
+    # Each selection fires at the first atom index covering its variables.
+    checks_at: list[list] = [[] for _ in atoms]
+    covered: set[str] = set()
+    pending = list(selections)
+    for index, (_key, atom) in enumerate(atoms):
+        covered |= atom.variable_set
+        still_pending = []
+        for sel in pending:
+            if sel.variables <= covered:
+                checks_at[index].append(sel)
+            else:
+                still_pending.append(sel)
+        pending = still_pending
+    if pending:
+        raise ValueError(
+            f"selections {[str(s) for s in pending]} mention variables "
+            f"outside the query variables {variables}"
+        )
 
     def extend(index: int, binding: dict[str, Any]) -> Iterator[tuple]:
         if index == len(atoms):
@@ -49,7 +72,8 @@ def nested_loop_stream(query: ConjunctiveQuery, database: Database,
                 continue
             new_binding = dict(binding)
             new_binding.update(zip(atom.variables, tup))
-            yield from extend(index + 1, new_binding)
+            if all(sel.evaluate(new_binding) for sel in checks_at[index]):
+                yield from extend(index + 1, new_binding)
 
     yield from extend(0, {})
 

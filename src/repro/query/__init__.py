@@ -1,12 +1,32 @@
-"""Conjunctive-query model: atoms, queries, hypergraphs, parsing, orderings."""
+"""The query model: atoms, conjunctive queries, and the unified surface.
+
+Classical pieces (hypergraphs, orderings, decompositions) live beside the
+rich declarative surface: :class:`~repro.query.builder.Query` with its
+chainable ``Q`` builder, term constants, comparison selections, semiring
+aggregates, and ordered/top-k result controls.
+"""
 
 from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.builder import Q, Query, QueryAtom, QueryBuilder, sort_rows
 from repro.query.hypergraph import Hypergraph
-from repro.query.parser import parse_query
+from repro.query.parser import parse_condition, parse_query
+from repro.query.semiring import (
+    Aggregate,
+    Semiring,
+    SEMIRINGS,
+    count,
+    fold_aggregates,
+    max_,
+    min_,
+    register_semiring,
+    sum_,
+)
+from repro.query.terms import Comparison, Constant, comparison, make_term
 from repro.query.variable_order import (
     natural_order,
     greedy_min_domain_order,
     min_degree_order,
+    pushdown_order,
 )
 from repro.query.decomposition import (
     gyo_reduction,
@@ -23,11 +43,31 @@ from repro.query.widths import (
 __all__ = [
     "Atom",
     "ConjunctiveQuery",
+    "Q",
+    "Query",
+    "QueryAtom",
+    "QueryBuilder",
+    "sort_rows",
     "Hypergraph",
     "parse_query",
+    "parse_condition",
+    "Aggregate",
+    "Semiring",
+    "SEMIRINGS",
+    "count",
+    "fold_aggregates",
+    "max_",
+    "min_",
+    "register_semiring",
+    "sum_",
+    "Comparison",
+    "Constant",
+    "comparison",
+    "make_term",
     "natural_order",
     "greedy_min_domain_order",
     "min_degree_order",
+    "pushdown_order",
     "gyo_reduction",
     "is_alpha_acyclic",
     "join_tree",

@@ -1,0 +1,509 @@
+"""The unified declarative query surface: :class:`Query` and its builder.
+
+The paper's algorithms are stated for *full* conjunctive queries over
+variables only.  The engine's public surface is richer: one :class:`Query`
+object carries
+
+* atoms whose positions may hold **constants** (``R(A, 5)``),
+* **comparison selections** between terms (``A < B``, ``A != 3``),
+* a **projection head** (any subset / permutation of the variables),
+* **semiring aggregates** with group-by heads (``Q(A, COUNT(*))``),
+* **ordered / top-k** result control (``ORDER BY`` keys plus ``LIMIT``).
+
+A :class:`Query` *lowers* itself onto the paper's machinery at
+construction: constants and repeated in-atom variables are rewritten to
+fresh variables constrained by equality selections, producing a plain full
+:class:`~repro.query.atoms.ConjunctiveQuery` core plus a normalized
+selection list.  Executors push those selections into their join recursion
+(binding-level pruning) and the engine applies projection, aggregation and
+ordering on the streamed-out tuples.
+
+The chainable :class:`QueryBuilder` (exposed as the module-level ``Q``)
+is the programmatic front end::
+
+    Q.from_("R", "A", "B").where("A < B").select("A").order_by("A").limit(10)
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import QueryError
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.semiring import Aggregate, count, max_, min_, sum_
+from repro.query.terms import (
+    Comparison,
+    Constant,
+    Term,
+    VARIABLE_RE,
+    comparison,
+    make_term,
+)
+
+
+@dataclass(frozen=True)
+class QueryAtom:
+    """An atom over terms: ``R(A, 5, 'x')``.
+
+    Unlike :class:`~repro.query.atoms.Atom`, positions may hold constants
+    and the same variable may repeat (both are lowered to fresh variables
+    plus equality selections).
+    """
+
+    relation: str
+    terms: tuple[Term, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms",
+                           tuple(make_term(t) for t in terms))
+        if not self.terms:
+            raise QueryError(f"atom {relation}() has no terms")
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """The variable terms, in position order (repeats preserved)."""
+        return tuple(t for t in self.terms if isinstance(t, str))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+#: An ORDER BY key: (output column, descending?).
+OrderKey = tuple[str, bool]
+
+
+def _normalize_order_key(key: Any) -> OrderKey:
+    if isinstance(key, tuple) and len(key) == 2:
+        column, direction = key
+        if isinstance(direction, str):
+            direction = direction.strip().lower()
+            if direction not in ("asc", "desc"):
+                raise QueryError(f"order direction must be asc/desc, got {direction!r}")
+            return (column, direction == "desc")
+        return (column, bool(direction))
+    if isinstance(key, str):
+        text = key.strip()
+        if text.startswith("-"):
+            return (text[1:].strip(), True)
+        parts = text.split()
+        if len(parts) == 2 and parts[1].lower() in ("asc", "desc"):
+            return (parts[0], parts[1].lower() == "desc")
+        if len(parts) == 1:
+            return (parts[0], False)
+    raise QueryError(f"cannot interpret order-by key {key!r}")
+
+
+class _Desc:
+    """Sort-key wrapper inverting comparisons (for descending keys)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and other.value == self.value
+
+
+def sort_rows(rows: Iterable[tuple], columns: Sequence[str],
+              order_by: Sequence[OrderKey],
+              limit: int | None = None) -> list[tuple]:
+    """Order rows by the given keys; with ``limit``, a heap-based top-k.
+
+    Ties are broken by the full row so the result is deterministic.
+    """
+    positions = {c: i for i, c in enumerate(columns)}
+    keys = [(positions[column], descending) for column, descending in order_by]
+
+    def key_fn(row: tuple) -> tuple:
+        return tuple(_Desc(row[p]) if d else row[p] for p, d in keys) + row
+
+    if limit is not None:
+        return heapq.nsmallest(limit, rows, key=key_fn)
+    return sorted(rows, key=key_fn)
+
+
+class Query:
+    """The unified declarative query: body atoms + selections + head.
+
+    Parameters
+    ----------
+    atoms:
+        :class:`QueryAtom` (terms, constants allowed) or plain
+        :class:`~repro.query.atoms.Atom` instances.
+    selections:
+        :class:`~repro.query.terms.Comparison` predicates over body
+        variables.
+    head:
+        Projection / group-by variables.  Defaults to every (user-visible)
+        body variable when there are no aggregates, and to the empty group
+        otherwise.
+    aggregates:
+        :class:`~repro.query.semiring.Aggregate` head terms; their aliases
+        become output columns after the head variables.
+    order_by:
+        Keys over output columns: ``"A"``, ``"-A"``, ``"A DESC"`` or
+        ``(column, descending)`` pairs.
+    limit:
+        Keep only the first ``limit`` result rows (top-k under
+        ``order_by``, an enumeration prefix otherwise).
+    name:
+        Query name, used for the result relation.
+    """
+
+    def __init__(self, atoms: Iterable[QueryAtom | Atom],
+                 selections: Iterable[Comparison] = (),
+                 head: Sequence[str] | None = None,
+                 aggregates: Iterable[Aggregate] = (),
+                 order_by: Iterable[Any] = (),
+                 limit: int | None = None,
+                 name: str = "Q"):
+        self.atoms = tuple(
+            a if isinstance(a, QueryAtom) else QueryAtom(a.relation, a.variables)
+            for a in atoms
+        )
+        if not self.atoms:
+            raise QueryError("a query needs at least one atom")
+        self.selections = tuple(selections)
+        self.aggregates = tuple(aggregates)
+        self.limit = limit
+        self.name = name
+        if limit is not None and limit < 0:
+            raise QueryError(f"limit must be non-negative, got {limit}")
+
+        # ------------------------------------------------------------------
+        # Lowering: rewrite constants and repeated in-atom variables to
+        # fresh variables constrained by equality selections, yielding a
+        # full conjunctive-query core over variables only.
+        # ------------------------------------------------------------------
+        visible: list[str] = []
+        for atom in self.atoms:
+            for term in atom.terms:
+                if isinstance(term, str) and term not in visible:
+                    visible.append(term)
+        self.visible_variables = tuple(visible)
+
+        fresh_count = 0
+        taken = set(visible)
+
+        def fresh() -> str:
+            nonlocal fresh_count
+            while True:
+                candidate = f"_k{fresh_count}"
+                fresh_count += 1
+                if candidate not in taken:
+                    taken.add(candidate)
+                    return candidate
+
+        lowered_selections: list[Comparison] = []
+        core_atoms: list[Atom] = []
+        for atom in self.atoms:
+            seen_here: set[str] = set()
+            core_vars: list[str] = []
+            for term in atom.terms:
+                if isinstance(term, Constant):
+                    var = fresh()
+                    lowered_selections.append(Comparison(var, "==", term))
+                elif term in seen_here:
+                    var = fresh()
+                    lowered_selections.append(Comparison(term, "==", var))
+                else:
+                    var = term
+                    seen_here.add(term)
+                core_vars.append(var)
+            core_atoms.append(Atom(atom.relation, core_vars))
+        self.core = ConjunctiveQuery(core_atoms, name=name)  # full head
+
+        for sel in self.selections:
+            unknown = [v for v in sorted(sel.variables) if v not in visible]
+            if unknown:
+                raise QueryError(
+                    f"selection {sel} mentions variables {unknown} "
+                    "that do not occur in the body"
+                )
+        #: Every selection the executors must enforce, constant rewrites
+        #: included, in a deterministic order (user order, then lowering
+        #: order).
+        self.all_selections = self.selections + tuple(lowered_selections)
+
+        #: Variables pinned to a single value by a ``== constant``
+        #: selection — the executors order these first so the whole join
+        #: is evaluated under the bindings.
+        self.fixed_variables = frozenset(
+            sel.lhs for sel in self.all_selections if sel.is_constant_equality
+        )
+
+        # ------------------------------------------------------------------
+        # Head: projection / group-by columns plus aggregate aliases.
+        # ------------------------------------------------------------------
+        if head is None:
+            head = self.visible_variables if not self.aggregates else ()
+        self.head_vars = tuple(head)
+        unknown = [v for v in self.head_vars if v not in visible]
+        if unknown:
+            raise QueryError(f"head variables {unknown} do not occur in the body")
+        if len(set(self.head_vars)) != len(self.head_vars):
+            raise QueryError(f"head repeats a variable: {self.head_vars}")
+        for agg in self.aggregates:
+            agg.semiring()  # validates the aggregate kind
+            if agg.semiring().needs_variable:
+                if agg.var is None or agg.var not in visible:
+                    raise QueryError(
+                        f"aggregate {agg} needs a body variable, got {agg.var!r}"
+                    )
+            if not VARIABLE_RE.match(agg.alias):
+                raise QueryError(f"aggregate alias {agg.alias!r} is not an identifier")
+        self.output_columns = self.head_vars + tuple(a.alias for a in self.aggregates)
+        if not self.output_columns:
+            raise QueryError("query has an empty head and no aggregates")
+        if len(set(self.output_columns)) != len(self.output_columns):
+            raise QueryError(
+                f"output columns collide: {self.output_columns}"
+            )
+
+        self.order_by: tuple[OrderKey, ...] = tuple(
+            _normalize_order_key(k) for k in order_by
+        )
+        for column, _descending in self.order_by:
+            if column not in self.output_columns:
+                raise QueryError(
+                    f"ORDER BY column {column!r} is not an output column "
+                    f"{self.output_columns}"
+                )
+
+    # ------------------------------------------------------------------
+    # Derived shape predicates
+    # ------------------------------------------------------------------
+    @property
+    def is_plain(self) -> bool:
+        """True when the query is a classical (possibly projected) CQ —
+        no selections, aggregates, ordering or limit."""
+        return (not self.all_selections and not self.aggregates
+                and not self.order_by and self.limit is None)
+
+    @property
+    def is_full(self) -> bool:
+        """True when the head keeps every body variable (no aggregates)."""
+        return (not self.aggregates
+                and set(self.head_vars) == set(self.core.variables))
+
+    @property
+    def stream_variables(self) -> tuple[str, ...]:
+        """Columns of the executor-level stream: head columns normally,
+        every core variable when aggregates must observe full tuples."""
+        if self.aggregates:
+            return self.core.variables
+        return self.head_vars
+
+    # ------------------------------------------------------------------
+    # Adapters
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_conjunctive(cls, query: ConjunctiveQuery) -> "Query":
+        """Wrap a classical :class:`ConjunctiveQuery` (adapter for the
+        pre-redesign API)."""
+        return cls(
+            [QueryAtom(a.relation, a.variables) for a in query.atoms],
+            head=query.head,
+            name=query.name,
+        )
+
+    @classmethod
+    def coerce(cls, query: Any) -> "Query":
+        """Coerce any accepted query form into a :class:`Query`.
+
+        Accepts :class:`Query`, :class:`QueryBuilder`,
+        :class:`ConjunctiveQuery`, and datalog-style text.
+        """
+        if isinstance(query, cls):
+            return query
+        if isinstance(query, QueryBuilder):
+            return query.build()
+        if isinstance(query, ConjunctiveQuery):
+            return cls.from_conjunctive(query)
+        if isinstance(query, str):
+            from repro.query.parser import parse_query
+
+            parsed = parse_query(query)
+            return parsed if isinstance(parsed, cls) else cls.coerce(parsed)
+        raise QueryError(
+            f"cannot interpret {query!r} as a query; expected Query, "
+            "QueryBuilder, ConjunctiveQuery, or datalog text"
+        )
+
+    def validate_against(self, database) -> None:
+        """Check relations and arities (delegates to the lowered core)."""
+        self.core.validate_against(database)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def _key(self) -> tuple:
+        return (self.atoms, self.selections, self.head_vars, self.aggregates,
+                self.order_by, self.limit)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Query):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __str__(self) -> str:
+        head_terms = list(self.head_vars) + [str(a) for a in self.aggregates]
+        body = [str(a) for a in self.atoms] + [str(s) for s in self.selections]
+        text = f"{self.name}({', '.join(head_terms)}) :- {', '.join(body)}"
+        if self.order_by:
+            keys = ", ".join(f"{c} DESC" if d else c for c, d in self.order_by)
+            text += f" ORDER BY {keys}"
+        if self.limit is not None:
+            text += f" LIMIT {self.limit}"
+        return text
+
+    def __repr__(self) -> str:
+        return f"Query({str(self)!r})"
+
+
+class QueryBuilder:
+    """Chainable construction of a :class:`Query`.
+
+    Every method returns the builder, so queries read as one expression::
+
+        Q.from_("R", "A", "B").from_("S", "B", 5) \\
+         .where("A < B").select("A").order_by("-A").limit(10)
+
+    The engine accepts a builder anywhere it accepts a query (it calls
+    :meth:`build` internally).
+    """
+
+    def __init__(self, name: str = "Q"):
+        self._name = name
+        self._atoms: list[QueryAtom] = []
+        self._selections: list[Comparison] = []
+        self._head: list[str] = []
+        self._aggregates: list[Aggregate] = []
+        self._group_by: list[str] | None = None
+        self._order_by: list[Any] = []
+        self._limit: int | None = None
+
+    def from_(self, relation: str, *terms: Any) -> "QueryBuilder":
+        """Add a body atom; terms are variables, constants, or quoted text."""
+        self._atoms.append(QueryAtom(relation, terms))
+        return self
+
+    def where(self, *condition: Any) -> "QueryBuilder":
+        """Add a selection: ``where("A < B")`` or ``where("A", "<", "B")``
+        or a prebuilt :class:`~repro.query.terms.Comparison`."""
+        if len(condition) == 1 and isinstance(condition[0], Comparison):
+            self._selections.append(condition[0])
+        elif len(condition) == 1 and isinstance(condition[0], str):
+            from repro.query.parser import parse_condition
+
+            self._selections.append(parse_condition(condition[0]))
+        elif len(condition) == 3:
+            self._selections.append(comparison(*condition))
+        else:
+            raise QueryError(
+                "where() takes a condition string, a Comparison, or "
+                "(lhs, op, rhs) operands"
+            )
+        return self
+
+    def select(self, *items: Any) -> "QueryBuilder":
+        """Name the output: variables and/or aggregate terms.
+
+        Plain variables must come before aggregates — output columns are
+        always the head variables followed by the aggregate aliases, and
+        accepting an interleaved selection would silently reorder it.
+        """
+        for item in items:
+            if isinstance(item, Aggregate):
+                self._aggregates.append(item)
+            elif isinstance(item, str):
+                if self._aggregates:
+                    raise QueryError(
+                        f"select(): variable {item!r} follows an aggregate; "
+                        "list plain output variables before aggregates"
+                    )
+                self._head.append(item)
+            else:
+                raise QueryError(
+                    f"select() takes variable names and aggregates, got {item!r}"
+                )
+        return self
+
+    def group_by(self, *variables: str) -> "QueryBuilder":
+        """Declare the group keys explicitly (must match the plain
+        selected variables — the grouping SQL would infer)."""
+        self._group_by = list(variables)
+        return self
+
+    def order_by(self, *keys: Any) -> "QueryBuilder":
+        """Order results: ``"A"``, ``"-A"``, ``"A DESC"``, or
+        ``(column, descending)``."""
+        self._order_by.extend(keys)
+        return self
+
+    def limit(self, n: int) -> "QueryBuilder":
+        """Keep only the first ``n`` rows (top-k under an order)."""
+        self._limit = n
+        return self
+
+    def build(self) -> Query:
+        """Finalize the :class:`Query` (validating the whole shape)."""
+        if self._group_by is not None:
+            if sorted(self._group_by) != sorted(self._head):
+                raise QueryError(
+                    f"group_by({self._group_by}) must name exactly the "
+                    f"selected plain variables {self._head}"
+                )
+            if not self._aggregates:
+                raise QueryError("group_by() without aggregates has no effect; "
+                                 "add COUNT/SUM/MIN/MAX terms to select()")
+        head = self._head if (self._head or self._aggregates) else None
+        return Query(
+            self._atoms,
+            selections=self._selections,
+            head=head,
+            aggregates=self._aggregates,
+            order_by=self._order_by,
+            limit=self._limit,
+            name=self._name,
+        )
+
+    def __str__(self) -> str:
+        return str(self.build())
+
+
+class _QueryStart:
+    """The ``Q`` entry point: ``Q.from_(...)`` or ``Q("name").from_(...)``."""
+
+    def __call__(self, name: str = "Q") -> QueryBuilder:
+        return QueryBuilder(name)
+
+    def from_(self, relation: str, *terms: Any) -> QueryBuilder:
+        return QueryBuilder().from_(relation, *terms)
+
+
+#: The chainable query entry point.
+Q = _QueryStart()
+
+__all__ = [
+    "Query",
+    "QueryAtom",
+    "QueryBuilder",
+    "Q",
+    "OrderKey",
+    "sort_rows",
+    "count",
+    "sum_",
+    "min_",
+    "max_",
+]

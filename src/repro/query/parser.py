@@ -1,83 +1,329 @@
-"""A tiny datalog-style parser for conjunctive queries.
+"""A datalog-style parser for the unified query surface.
 
-The accepted grammar is a single rule of the form::
+The accepted grammar is a single rule::
 
-    Q(A, B, C) :- R(A, B), S(B, C), T(A, C).
+    query      := [ head ( ":-" | "<-" ) ] body [ "." ]
+    head       := IDENT "(" [ headterm { "," headterm } ] ")"
+    headterm   := IDENT | AGG "(" ( "*" | IDENT ) ")" [ "AS" IDENT ]
+    body       := item { "," item }
+    item       := atom | comparison
+    atom       := IDENT "(" term { "," term } ")"
+    term       := IDENT | INT | STRING
+    comparison := ( IDENT | INT | STRING ) CMPOP ( IDENT | INT | STRING )
 
-or, with the head omitted (a full CQ over every body variable)::
+so plain full conjunctive queries (``R(A,B), S(B,C)``), projections
+(``Q(A) :- R(A,B)``), constants (``S(B, 5)``, ``T(A, 'x')``), comparison
+selections (``A < B``, ``A != 3``; ``=`` is a synonym of ``==``) and
+aggregate heads (``Q(A, COUNT(*))``, ``Q(A, SUM(X) AS total)``) all parse.
+``AGG`` is any registered semiring aggregate, case-insensitive.
 
-    R(A, B), S(B, C), T(A, C)
+:func:`parse_query` returns a plain
+:class:`~repro.query.atoms.ConjunctiveQuery` whenever the text stays inside
+the classical fragment (variables only, no selections/aggregates), and a
+rich :class:`~repro.query.builder.Query` otherwise — both are accepted
+everywhere the engine takes a query.
 
-Whitespace is insignificant; the trailing period is optional; ``<-`` is
-accepted as a synonym of ``:-``.  Relation and variable names must match
-``[A-Za-z_][A-Za-z0-9_]*``.
+Errors are :class:`~repro.errors.ParseError` with the 1-based line and
+column of the offending token, and dangling text after the rule (including
+a trailing comma) is always rejected.
 """
 
 from __future__ import annotations
 
-import re
+from dataclasses import dataclass
+from typing import Any, Union
 
 from repro.errors import ParseError
 from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.builder import Query, QueryAtom
+from repro.query.semiring import SEMIRINGS, Aggregate
+from repro.query.terms import Comparison, Constant, comparison
 
-_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
-_ATOM_RE = re.compile(rf"\s*({_IDENT})\s*\(\s*([^)]*)\)\s*")
-
-
-def _parse_atom_list(text: str) -> list[Atom]:
-    atoms = []
-    position = 0
-    text = text.strip()
-    if text.endswith("."):
-        text = text[:-1]
-    while position < len(text):
-        match = _ATOM_RE.match(text, position)
-        if not match:
-            raise ParseError(f"could not parse atom at: {text[position:]!r}")
-        relation, var_text = match.group(1), match.group(2)
-        variables = [v.strip() for v in var_text.split(",") if v.strip()]
-        if not variables:
-            raise ParseError(f"atom {relation!r} has no variables")
-        for v in variables:
-            if not re.fullmatch(_IDENT, v):
-                raise ParseError(f"invalid variable name {v!r} in atom {relation!r}")
-        atoms.append(Atom(relation, variables))
-        position = match.end()
-        if position < len(text):
-            if text[position] != ",":
-                raise ParseError(
-                    f"expected ',' between atoms at: {text[position:]!r}"
-                )
-            position += 1
-    if not atoms:
-        raise ParseError("no atoms found")
-    return atoms
+_OPERATORS = (":-", "<-", "<=", ">=", "==", "!=", "=", "<", ">",
+              "(", ")", ",", ".", "*")
+_CMP_OPS = ("<=", ">=", "==", "!=", "=", "<", ">")
+_ARROWS = (":-", "<-")
 
 
-def parse_query(text: str) -> ConjunctiveQuery:
-    """Parse a datalog-style rule into a :class:`ConjunctiveQuery`.
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # "ident" | "int" | "string" | an operator literal | "end"
+    value: Any
+    line: int
+    column: int
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    i, line, column = 0, 1, 1
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            i, line, column = i + 1, line + 1, 1
+            continue
+        if ch.isspace():
+            i, column = i + 1, column + 1
+            continue
+        start_line, start_column = line, column
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(_Token("ident", text[i:j], start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            tokens.append(_Token("int", int(text[i:j]), start_line, start_column))
+            column += j - i
+            i = j
+            continue
+        if ch in "'\"":
+            j = text.find(ch, i + 1)
+            if j < 0 or "\n" in text[i + 1:j]:
+                raise ParseError(f"unterminated string starting with {ch}",
+                                 start_line, start_column)
+            tokens.append(_Token("string", text[i + 1:j], start_line, start_column))
+            column += j + 1 - i
+            i = j + 1
+            continue
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                # '<-' directly followed by a digit can never be the rule
+                # arrow (relation names cannot start with a digit): it is a
+                # '<' comparison against a negative constant, as in 'B<-3'.
+                if (op == "<-" and i + 2 < n and text[i + 2].isdigit()):
+                    op = "<"
+                tokens.append(_Token(op, op, start_line, start_column))
+                column += len(op)
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}",
+                             start_line, start_column)
+    end_column = column
+    tokens.append(_Token("end", None, line, end_column))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    def peek(self, ahead: int = 0) -> _Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token.kind != "end":
+            self._pos += 1
+        return token
+
+    def expect(self, kind: str, what: str) -> _Token:
+        token = self.peek()
+        if token.kind != kind:
+            self.fail(f"expected {what}, found {self._describe(token)}", token)
+        return self.advance()
+
+    @staticmethod
+    def _describe(token: _Token) -> str:
+        if token.kind == "end":
+            return "end of input"
+        if token.kind in ("ident", "int", "string"):
+            return f"{token.kind} {token.value!r}"
+        return repr(token.kind)
+
+    def fail(self, message: str, token: _Token | None = None) -> None:
+        token = token or self.peek()
+        raise ParseError(message, token.line, token.column)
+
+    # -- grammar --------------------------------------------------------
+    def parse_operand(self) -> Any:
+        token = self.peek()
+        if token.kind == "ident":
+            return self.advance().value
+        if token.kind == "int":
+            return Constant(self.advance().value)
+        if token.kind == "string":
+            return Constant(self.advance().value)
+        self.fail(f"expected a variable or constant, found "
+                  f"{self._describe(token)}", token)
+
+    def parse_comparison(self) -> Comparison:
+        lhs = self.parse_operand()
+        op_token = self.peek()
+        if op_token.kind not in _CMP_OPS:
+            self.fail(f"expected a comparison operator after {lhs}, found "
+                      f"{self._describe(op_token)}", op_token)
+        self.advance()
+        rhs = self.parse_operand()
+        return comparison(lhs, op_token.kind, rhs)
+
+    def parse_atom(self) -> QueryAtom:
+        name = self.expect("ident", "a relation name")
+        self.expect("(", "'('")
+        if self.peek().kind == ")":
+            self.fail(f"atom {name.value!r} has no terms")
+        terms = [self.parse_operand()]
+        while self.peek().kind == ",":
+            self.advance()
+            terms.append(self.parse_operand())
+        self.expect(")", "')' closing the atom")
+        return QueryAtom(name.value, terms)
+
+    def parse_body(self) -> tuple[list[QueryAtom], list[Comparison]]:
+        atoms: list[QueryAtom] = []
+        selections: list[Comparison] = []
+        while True:
+            token = self.peek()
+            if token.kind == "ident" and self.peek(1).kind == "(":
+                atoms.append(self.parse_atom())
+            else:
+                selections.append(self.parse_comparison())
+            if self.peek().kind != ",":
+                break
+            self.advance()
+        if not atoms:
+            self.fail("the query body has no atoms, only comparisons")
+        return atoms, selections
+
+    def parse_head_term(self) -> Union[str, Aggregate]:
+        name = self.expect("ident", "a head variable or aggregate")
+        if self.peek().kind != "(":
+            return name.value
+        kind = name.value.lower()
+        if kind not in SEMIRINGS:
+            self.fail(f"unknown aggregate {name.value!r}; expected one of "
+                      f"{sorted(s.upper() for s in SEMIRINGS)}", name)
+        self.advance()  # '('
+        token = self.peek()
+        var: str | None
+        if token.kind == "*":
+            self.advance()
+            var = None
+        elif token.kind == "ident":
+            var = self.advance().value
+        elif token.kind == ")" and not SEMIRINGS[kind].needs_variable:
+            var = None
+        else:
+            self.fail(f"expected a variable or '*' inside {name.value}(...), "
+                      f"found {self._describe(token)}", token)
+        self.expect(")", f"')' closing {name.value}(...)")
+        if SEMIRINGS[kind].needs_variable and var is None:
+            self.fail(f"aggregate {name.value} needs a variable argument", name)
+        alias = f"{kind}_{var}" if var is not None else kind
+        if (self.peek().kind == "ident"
+                and str(self.peek().value).lower() == "as"):
+            self.advance()
+            alias = self.expect("ident", "an alias after AS").value
+        return Aggregate(kind, var, alias)
+
+    def parse_head(self) -> tuple[str, list[str], list[Aggregate]]:
+        name = self.expect("ident", "the query name")
+        self.expect("(", "'(' after the query name")
+        head_vars: list[str] = []
+        aggregates: list[Aggregate] = []
+        if self.peek().kind != ")":
+            while True:
+                term_token = self.peek()
+                term = self.parse_head_term()
+                if isinstance(term, Aggregate):
+                    aggregates.append(term)
+                else:
+                    if aggregates:
+                        # Output columns are always head variables then
+                        # aggregate aliases; accepting an interleaved head
+                        # would silently reorder what the user wrote.
+                        self.fail(
+                            f"head variable {term!r} follows an aggregate; "
+                            "write plain head variables before aggregates",
+                            term_token)
+                    head_vars.append(term)
+                if self.peek().kind != ",":
+                    break
+                self.advance()
+        self.expect(")", "')' closing the head")
+        return name.value, head_vars, aggregates
+
+    def expect_end(self) -> None:
+        if self.peek().kind == ".":
+            self.advance()
+        token = self.peek()
+        if token.kind != "end":
+            self.fail(f"dangling text after the query: "
+                      f"{self._describe(token)}", token)
+
+
+def _has_arrow(tokens: list[_Token]) -> bool:
+    return any(t.kind in _ARROWS for t in tokens)
+
+
+def parse_query(text: str) -> ConjunctiveQuery | Query:
+    """Parse a datalog-style rule.
+
+    Returns a classical :class:`ConjunctiveQuery` for texts inside the
+    variables-only fragment, and a rich :class:`Query` when constants,
+    selections, or aggregates appear.
 
     Examples
     --------
     >>> q = parse_query("Q(A,B,C) :- R(A,B), S(B,C), T(A,C).")
     >>> q.variables
     ('A', 'B', 'C')
-    >>> len(q.atoms)
-    3
+    >>> rich = parse_query("Q(A) :- R(A,B), S(B,5), A < B")
+    >>> rich.output_columns
+    ('A',)
     """
-    text = text.strip()
-    if not text:
+    if not text.strip():
         raise ParseError("empty query text")
-    for arrow in (":-", "<-"):
-        if arrow in text:
-            head_text, body_text = text.split(arrow, 1)
-            head_match = _ATOM_RE.fullmatch(head_text)
-            if not head_match:
-                raise ParseError(f"could not parse query head: {head_text!r}")
-            name = head_match.group(1)
-            head_vars = [v.strip() for v in head_match.group(2).split(",") if v.strip()]
-            atoms = _parse_atom_list(body_text)
-            return ConjunctiveQuery(atoms, head=head_vars or None, name=name)
-    # No head: full CQ over the body variables.
-    atoms = _parse_atom_list(text)
-    return ConjunctiveQuery(atoms)
+    parser = _Parser(_tokenize(text))
+    name = "Q"
+    head_vars: list[str] = []
+    aggregates: list[Aggregate] = []
+    explicit_head = False
+    if _has_arrow(parser._tokens):
+        name, head_vars, aggregates = parser.parse_head()
+        token = parser.peek()
+        if token.kind not in _ARROWS:
+            parser.fail(f"expected ':-' after the query head, found "
+                        f"{parser._describe(token)}", token)
+        parser.advance()
+        explicit_head = bool(head_vars or aggregates)
+    atoms, selections = parser.parse_body()
+    parser.expect_end()
+
+    plain = (not selections and not aggregates
+             and all(isinstance(t, str) for atom in atoms for t in atom.terms)
+             and all(len(set(atom.terms)) == len(atom.terms) for atom in atoms))
+    if plain:
+        return ConjunctiveQuery(
+            [Atom(a.relation, a.variables) for a in atoms],
+            head=head_vars if explicit_head else None,
+            name=name,
+        )
+    return Query(
+        atoms,
+        selections=selections,
+        head=head_vars if explicit_head else None,
+        aggregates=aggregates,
+        name=name,
+    )
+
+
+def parse_condition(text: str) -> Comparison:
+    """Parse a single comparison like ``"A < B"`` or ``"A != 3"``."""
+    if not text.strip():
+        raise ParseError("empty condition text")
+    parser = _Parser(_tokenize(text))
+    result = parser.parse_comparison()
+    token = parser.peek()
+    if token.kind != "end":
+        parser.fail(f"dangling text after the condition: "
+                    f"{parser._describe(token)}", token)
+    return result

@@ -1,0 +1,168 @@
+"""Semiring aggregates: ``COUNT`` / ``SUM`` / ``MIN`` / ``MAX`` heads.
+
+The FAQ / AJAR line of work (and the paper's aggregation discussion in its
+open problems) observes that the variable-elimination machinery behind WCOJ
+algorithms evaluates *functional aggregate queries* over any commutative
+semiring, not just the boolean "does a tuple exist" semiring.  This module
+supplies the pluggable semiring layer for the unified query surface:
+
+* a :class:`Semiring` bundles an identity element with the fold operation
+  (``plus``) and the per-tuple lift;
+* an :class:`Aggregate` names one aggregate head term (``SUM(X) AS total``);
+* :func:`fold_aggregates` folds a stream of full join tuples into grouped
+  aggregate rows *tuple-at-a-time* — the stream is never materialized, so
+  selections and constants pushed below the join are also below the
+  aggregation (Yannakakis-style early aggregation at the stream level).
+
+Aggregation semantics follow the package's set-semantics relations: the
+aggregates range over the **distinct** full-join assignments, grouped by
+the plain head variables.  Custom semirings can be plugged in with
+:func:`register_semiring`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """One aggregate's fold: identity, combine, and per-tuple lift.
+
+    Attributes
+    ----------
+    name:
+        The aggregate keyword (``count``, ``sum``, ...).
+    zero:
+        The identity element (also the value reported for an empty,
+        group-free aggregate, SQL-style: ``COUNT`` of nothing is 0).
+    plus:
+        The commutative, associative combine operation.
+    lift:
+        Maps one aggregated column value into the semiring (``COUNT``
+        lifts everything to 1; ``SUM`` lifts to the value itself).
+    needs_variable:
+        Whether the aggregate reads a column (``COUNT`` does not).
+    """
+
+    name: str
+    zero: Any
+    plus: Callable[[Any, Any], Any]
+    lift: Callable[[Any], Any]
+    needs_variable: bool = True
+
+
+def _min_plus(a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    return b if b < a else a
+
+
+def _max_plus(a: Any, b: Any) -> Any:
+    if a is None:
+        return b
+    return b if b > a else a
+
+
+#: Built-in semirings, keyed by aggregate keyword.  ``MIN``/``MAX`` use
+#: ``None`` as the identity (reported for an empty, group-free aggregate).
+SEMIRINGS: dict[str, Semiring] = {
+    "count": Semiring("count", 0, lambda a, b: a + b, lambda _v: 1,
+                      needs_variable=False),
+    "sum": Semiring("sum", 0, lambda a, b: a + b, lambda v: v),
+    "min": Semiring("min", None, _min_plus, lambda v: v),
+    "max": Semiring("max", None, _max_plus, lambda v: v),
+}
+
+
+def register_semiring(semiring: Semiring) -> None:
+    """Register a custom aggregate semiring under ``semiring.name``."""
+    if semiring.name in SEMIRINGS:
+        raise QueryError(f"semiring {semiring.name!r} is already registered")
+    SEMIRINGS[semiring.name] = semiring
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate head term: ``kind(var) AS alias``.
+
+    ``var`` is None exactly for variable-free aggregates (``COUNT``).
+    """
+
+    kind: str
+    var: str | None
+    alias: str
+
+    def semiring(self) -> Semiring:
+        """The semiring implementing this aggregate."""
+        try:
+            return SEMIRINGS[self.kind]
+        except KeyError:
+            raise QueryError(
+                f"unknown aggregate {self.kind!r}; "
+                f"expected one of {sorted(SEMIRINGS)}"
+            ) from None
+
+    def __str__(self) -> str:
+        arg = self.var if self.var is not None else "*"
+        return f"{self.kind.upper()}({arg})"
+
+
+def count(alias: str = "count") -> Aggregate:
+    """A ``COUNT(*)`` head term."""
+    return Aggregate("count", None, alias)
+
+
+def sum_(var: str, alias: str | None = None) -> Aggregate:
+    """A ``SUM(var)`` head term."""
+    return Aggregate("sum", var, alias or f"sum_{var}")
+
+
+def min_(var: str, alias: str | None = None) -> Aggregate:
+    """A ``MIN(var)`` head term."""
+    return Aggregate("min", var, alias or f"min_{var}")
+
+
+def max_(var: str, alias: str | None = None) -> Aggregate:
+    """A ``MAX(var)`` head term."""
+    return Aggregate("max", var, alias or f"max_{var}")
+
+
+def fold_aggregates(stream: Iterable[tuple], variables: Sequence[str],
+                    group_vars: Sequence[str],
+                    aggregates: Sequence[Aggregate]) -> Iterator[tuple]:
+    """Fold a stream of distinct full-join tuples into grouped rows.
+
+    ``variables`` names the stream's columns; each output row is the group
+    key (values of ``group_vars``) followed by one folded value per
+    aggregate.  The stream is consumed one tuple at a time — nothing is
+    materialized beyond one accumulator per live group — so anything the
+    executors pushed below the join stays below the aggregation as well.
+
+    A group-free aggregation over an empty stream yields the single
+    all-identities row (``COUNT`` of nothing is 0), matching SQL.
+    """
+    positions = {v: i for i, v in enumerate(variables)}
+    group_pos = [positions[v] for v in group_vars]
+    semirings = [agg.semiring() for agg in aggregates]
+    value_pos = [positions[agg.var] if agg.var is not None else None
+                 for agg in aggregates]
+    groups: dict[tuple, list[Any]] = {}
+    for row in stream:
+        key = tuple(row[p] for p in group_pos)
+        accumulators = groups.get(key)
+        if accumulators is None:
+            accumulators = [sr.zero for sr in semirings]
+            groups[key] = accumulators
+        for i, sr in enumerate(semirings):
+            pos = value_pos[i]
+            lifted = sr.lift(row[pos] if pos is not None else None)
+            accumulators[i] = sr.plus(accumulators[i], lifted)
+    if not groups and not group_pos:
+        yield tuple(sr.zero for sr in semirings)
+        return
+    for key, accumulators in groups.items():
+        yield key + tuple(accumulators)

@@ -9,7 +9,7 @@ are the standard ones used by engines built on these algorithms.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Collection, Sequence
 
 from repro.query.atoms import ConjunctiveQuery
 from repro.relational.database import Database
@@ -36,6 +36,35 @@ def min_degree_order(query: ConjunctiveQuery) -> tuple[str, ...]:
         sorted(
             query.variables,
             key=lambda v: (-len(query.atoms_containing(v)), v),
+        )
+    )
+
+
+def pushdown_order(query: ConjunctiveQuery,
+                   fixed: Collection[str] = (),
+                   leading: Collection[str] = ()) -> tuple[str, ...]:
+    """A min-degree order refined for selection/projection pushdown.
+
+    Variables pinned to a single value by a constant-equality selection
+    (``fixed``) come first — binding them at the top restricts every atom
+    containing them for the entire search, which is what makes constant
+    pushdown run *below* the join.  The ``leading`` block (head /
+    group-by variables) follows, so that with every earlier variable
+    pinned, the head variables form a prefix of the order and projection
+    can deduplicate *early*: the trailing variables are existential and
+    the recursion stops at their first witness.  The remaining variables
+    close the order.  Within each block the min-degree heuristic (with
+    its name tie-break) applies, so the result is still a pure function
+    of the query structure.
+    """
+    blocks = {v: 0 for v in fixed}
+    for v in leading:
+        blocks.setdefault(v, 1)
+    return tuple(
+        sorted(
+            query.variables,
+            key=lambda v: (blocks.get(v, 2),
+                           -len(query.atoms_containing(v)), v),
         )
     )
 

@@ -1,0 +1,149 @@
+"""Tests for the unified Query object and its chainable builder."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.query.atoms import triangle_query
+from repro.query.builder import Q, Query, QueryAtom, QueryBuilder, sort_rows
+from repro.query.semiring import count, sum_
+from repro.query.terms import Comparison, Constant, comparison
+
+
+class TestLowering:
+    def test_constants_become_fresh_pinned_variables(self):
+        q = Query([QueryAtom("R", ("A", 5))])
+        assert len(q.core.variables) == 2
+        fresh = [v for v in q.core.variables if v != "A"]
+        assert q.fixed_variables == frozenset(fresh)
+        assert q.all_selections[0].is_constant_equality
+
+    def test_repeated_variable_becomes_equality(self):
+        q = Query([QueryAtom("R", ("A", "A"))])
+        assert len(q.core.variables) == 2
+        sel = q.all_selections[0]
+        assert sel.op == "==" and not sel.is_constant_equality
+
+    def test_visible_variables_exclude_fresh_ones(self):
+        q = Query([QueryAtom("R", ("A", 5)), QueryAtom("S", ("A", "B"))])
+        assert q.visible_variables == ("A", "B")
+        assert q.head_vars == ("A", "B")  # default head is the visible vars
+
+    def test_fresh_variables_avoid_user_collisions(self):
+        q = Query([QueryAtom("R", ("_k0", 5))])
+        assert len(set(q.core.variables)) == 2
+
+    def test_head_must_be_visible(self):
+        with pytest.raises(QueryError):
+            Query([QueryAtom("R", ("A", "B"))], head=("C",))
+
+    def test_selection_variables_must_be_visible(self):
+        with pytest.raises(QueryError):
+            Query([QueryAtom("R", ("A", "B"))],
+                  selections=[comparison("A", "<", "Z")])
+
+    def test_aggregate_defaults_to_empty_group(self):
+        q = Query([QueryAtom("R", ("A", "B"))], aggregates=[count()])
+        assert q.head_vars == ()
+        assert q.output_columns == ("count",)
+
+    def test_order_by_must_name_an_output_column(self):
+        with pytest.raises(QueryError):
+            Query([QueryAtom("R", ("A", "B"))], head=("A",), order_by=["B"])
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(QueryError):
+            Query([QueryAtom("R", ("A", "B"))], limit=-1)
+
+    def test_wrapping_a_conjunctive_query_preserves_head(self):
+        cq = triangle_query()
+        wrapped = Query.from_conjunctive(cq)
+        assert wrapped.head_vars == cq.head
+        assert wrapped.is_plain and wrapped.is_full
+        assert str(wrapped) == str(cq)
+
+    def test_coerce_accepts_all_forms(self):
+        cq = triangle_query()
+        from_text = Query.coerce("Q(A,B,C) :- R(A,B), S(B,C), T(A,C)")
+        from_cq = Query.coerce(cq)
+        builder = Q.from_("R", "A", "B").from_("S", "B", "C").from_("T", "A", "C")
+        assert from_text == from_cq == Query.coerce(builder)
+        with pytest.raises(QueryError):
+            Query.coerce(42)
+
+    def test_equality_and_hash(self):
+        a = Query.coerce("Q(A) :- R(A,B), S(B,5), A < B")
+        b = Query.coerce("Q(A) :- R(A,B), S(B,5), A < B")
+        c = Query.coerce("Q(A) :- R(A,B), S(B,6), A < B")
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestBuilder:
+    def test_chain_builds_the_expected_query(self):
+        q = (Q.from_("R", "A", "B").from_("S", "B", 5)
+             .where("A < B").select("A").order_by("-A").limit(10).build())
+        assert q.output_columns == ("A",)
+        assert q.order_by == (("A", True),)
+        assert q.limit == 10
+        assert len(q.all_selections) == 2  # A < B plus the constant pin
+
+    def test_where_accepts_operand_triples_and_comparisons(self):
+        q = (Q.from_("R", "A", "B")
+             .where("A", "<", "B")
+             .where(Comparison("A", "!=", Constant(3)))
+             .build())
+        assert len(q.selections) == 2
+
+    def test_where_rejects_nonsense(self):
+        with pytest.raises(QueryError):
+            Q.from_("R", "A", "B").where("A", "<")
+
+    def test_aggregate_select_with_group_by(self):
+        q = (Q.from_("R", "A", "B").select("A", count(), sum_("B", "total"))
+             .group_by("A").build())
+        assert q.head_vars == ("A",)
+        assert q.output_columns == ("A", "count", "total")
+
+    def test_group_by_must_match_selected_variables(self):
+        builder = Q.from_("R", "A", "B").select("A", count()).group_by("B")
+        with pytest.raises(QueryError):
+            builder.build()
+
+    def test_group_by_without_aggregates_rejected(self):
+        builder = Q.from_("R", "A", "B").select("A").group_by("A")
+        with pytest.raises(QueryError):
+            builder.build()
+
+    def test_named_builder(self):
+        q = Q("Triangles").from_("R", "A", "B").build()
+        assert q.name == "Triangles"
+
+    def test_string_constants_need_quotes(self):
+        q = Q.from_("R", "A", "'x'").build()
+        assert q.all_selections[0].rhs == Constant("x")
+        with pytest.raises(QueryError):
+            Q.from_("R", "A", "not an identifier!")
+
+    def test_select_rejects_non_terms(self):
+        with pytest.raises(QueryError):
+            Q.from_("R", "A", "B").select(3.14)
+
+    def test_select_rejects_variable_after_aggregate(self):
+        with pytest.raises(QueryError, match="before aggregates"):
+            Q.from_("R", "A", "B").select(count(), "A")
+
+
+class TestSortRows:
+    ROWS = [(1, "b"), (2, "a"), (1, "a"), (3, "c")]
+
+    def test_ascending(self):
+        assert sort_rows(self.ROWS, ("X", "Y"), [("X", False)]) == [
+            (1, "a"), (1, "b"), (2, "a"), (3, "c")]
+
+    def test_descending_and_secondary(self):
+        ordered = sort_rows(self.ROWS, ("X", "Y"), [("X", True), ("Y", False)])
+        assert ordered == [(3, "c"), (2, "a"), (1, "a"), (1, "b")]
+
+    def test_top_k_matches_full_sort_prefix(self):
+        full = sort_rows(self.ROWS, ("X", "Y"), [("Y", True)])
+        assert sort_rows(self.ROWS, ("X", "Y"), [("Y", True)], limit=2) == full[:2]

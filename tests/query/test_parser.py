@@ -4,7 +4,9 @@ import pytest
 
 from repro.errors import ParseError
 from repro.query.atoms import triangle_query
-from repro.query.parser import parse_query
+from repro.query.builder import Query
+from repro.query.parser import parse_condition, parse_query
+from repro.query.terms import Constant
 
 
 class TestParser:
@@ -67,3 +69,131 @@ class TestParser:
     def test_round_trip_through_str(self):
         q = triangle_query()
         assert parse_query(str(q)) == q
+
+
+class TestRichGrammar:
+    def test_integer_constants_lower_to_selections(self):
+        q = parse_query("Q(A) :- R(A,B), S(B,5)")
+        assert isinstance(q, Query)
+        assert q.output_columns == ("A",)
+        constants = [s for s in q.all_selections if s.is_constant_equality]
+        assert len(constants) == 1
+        assert constants[0].rhs == Constant(5)
+        # The core is a plain full CQ over variables only.
+        assert len(q.core.variables) == 3
+
+    def test_negative_integer_constant(self):
+        q = parse_query("R(A, -3)")
+        sel = q.all_selections[0]
+        assert sel.rhs == Constant(-3)
+
+    def test_quoted_string_constants(self):
+        single = parse_query("R(A, 'x y')")
+        double = parse_query('R(A, "x y")')
+        assert single.all_selections[0].rhs == Constant("x y")
+        assert double.all_selections[0].rhs == Constant("x y")
+
+    def test_comparison_selections(self):
+        q = parse_query("Q(A) :- R(A,B), A < B, A != 3")
+        ops = sorted(s.op for s in q.selections)
+        assert ops == ["!=", "<"]
+
+    def test_equals_is_a_synonym_of_double_equals(self):
+        q = parse_query("Q(A) :- R(A,B), B = 2")
+        assert q.selections[0].op == "=="
+
+    def test_constant_first_comparison_is_mirrored(self):
+        q = parse_query("Q(A) :- R(A,B), 3 < B")
+        sel = q.selections[0]
+        assert sel.lhs == "B" and sel.op == ">" and sel.rhs == Constant(3)
+
+    def test_less_than_negative_constant_is_not_an_arrow(self):
+        q = parse_query("Q(A) :- R(A,B), B<-3")
+        sel = q.selections[0]
+        assert sel.op == "<" and sel.rhs == Constant(-3)
+        headless = parse_query("R(A,B), B<-3")
+        assert headless.selections[0].rhs == Constant(-3)
+
+    def test_arrow_synonym_still_lexes_before_relation_names(self):
+        q = parse_query("Q(A, B) <- R(A, B)")
+        assert q.head == ("A", "B")
+
+    def test_head_variable_after_aggregate_rejected(self):
+        with pytest.raises(ParseError, match="before aggregates"):
+            parse_query("Q(COUNT(*), A) :- R(A,B)")
+
+    def test_repeated_variable_in_atom_lowers_to_equality(self):
+        q = parse_query("R(A, A)")
+        assert isinstance(q, Query)
+        assert len(q.core.variables) == 2
+        assert len(q.all_selections) == 1
+
+    def test_aggregate_heads(self):
+        q = parse_query("Q(A, COUNT(*), SUM(B) AS total) :- R(A,B)")
+        assert q.head_vars == ("A",)
+        assert [a.kind for a in q.aggregates] == ["count", "sum"]
+        assert q.output_columns == ("A", "count", "total")
+
+    def test_aggregates_are_case_insensitive(self):
+        q = parse_query("Q(min(B), Max(B)) :- R(A,B)")
+        assert [a.kind for a in q.aggregates] == ["min", "max"]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(MEDIAN(B)) :- R(A,B)")
+
+    def test_sum_needs_a_variable(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(SUM(*)) :- R(A,B)")
+
+    def test_plain_fragment_still_returns_conjunctive_query(self):
+        from repro.query.atoms import ConjunctiveQuery
+
+        q = parse_query("Q(A) :- R(A,B)")
+        assert isinstance(q, ConjunctiveQuery)
+
+    def test_parse_condition(self):
+        sel = parse_condition("A != 3")
+        assert sel.lhs == "A" and sel.rhs == Constant(3)
+        with pytest.raises(ParseError):
+            parse_condition("A < B junk")
+
+
+class TestErrorPositions:
+    def test_dangling_text_after_final_atom_rejected(self):
+        with pytest.raises(ParseError, match="dangling"):
+            parse_query("R(A,B) junk")
+
+    def test_trailing_comma_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("R(A,B),")
+
+    def test_text_after_period_rejected(self):
+        with pytest.raises(ParseError, match="dangling"):
+            parse_query("R(A,B). S(B,C)")
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("Q(A) :- R(A,B),\n  S(B C)")
+        assert info.value.line == 2
+        assert info.value.column == 7
+        assert "line 2, column 7" in str(info.value)
+
+    def test_error_column_on_first_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("R(A,B) ; S(B,C)")
+        assert info.value.line == 1
+        assert info.value.column == 8
+
+    def test_unterminated_string_rejected_with_position(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("R(A, 'oops)")
+        assert info.value.column == 6
+
+    def test_comparison_only_body_rejected(self):
+        with pytest.raises(ParseError, match="no atoms"):
+            parse_query("A < B")
+
+    def test_missing_arrow_after_head_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("Q(A) R(A,B)")

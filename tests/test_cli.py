@@ -146,3 +146,64 @@ class TestEngineCli:
         assert args.mode == "auto"
         assert args.repeat == 1
         assert args.limit is None
+        assert args.format == "table"
+
+
+class TestEngineCliRichQueries:
+    def _edges(self, tmp_path):
+        edges = tmp_path / "edges.csv"
+        edges.write_text("A,B\n1,2\n2,3\n1,3\n3,4\n")
+        return str(edges)
+
+    def test_selection_and_constant_query(self, tmp_path, capsys):
+        assert main(["engine", "--relation", f"E={self._edges(tmp_path)}",
+                     "-q", "Q(A) :- E(A,B), E(B,3), A < B"]) == 0
+        out = capsys.readouterr().out
+        # Only A=1 qualifies: E(1,2), E(2,3), 1 < 2 (no edge enters 1).
+        assert "Q: 1 tuples" in out
+        assert "(1,)" in out
+
+    def test_parse_error_reports_position(self, tmp_path, capsys):
+        assert main(["engine", "--relation", f"E={self._edges(tmp_path)}",
+                     "-q", "Q(A) :- E(A,B) junk"]) == 2
+        err = capsys.readouterr().err
+        assert "line 1, column 16" in err and "dangling" in err
+
+    def test_json_format_prints_machine_readable_rows(self, tmp_path, capsys):
+        import json
+
+        assert main(["engine", "--relation", f"E={self._edges(tmp_path)}",
+                     "-q", "Q(A, COUNT(*)) :- E(A,B)",
+                     "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["columns"] == ["A", "count"]
+        assert sorted(payload["rows"]) == [[1, 2], [2, 1], [3, 1]]
+        # The session chatter moved to stderr.
+        assert "engine session" in captured.err
+        assert "engine session" not in captured.out
+
+    def test_csv_format_prints_header_and_all_rows(self, tmp_path, capsys):
+        assert main(["engine", "--relation", f"E={self._edges(tmp_path)}",
+                     "-q", "Q(A,B) :- E(A,B), A < B",
+                     "--format", "csv"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line]
+        assert lines[0] == "A,B"
+        assert sorted(lines[1:]) == ["1,2", "1,3", "2,3", "3,4"]
+
+    def test_aggregate_type_error_gets_aggregate_hint(self, tmp_path, capsys):
+        data = tmp_path / "s.csv"
+        data.write_text("A,B\n1,x\n2,y\n")
+        assert main(["engine", "--relation", f"E={data}",
+                     "-q", "Q(SUM(B)) :- E(A,B)"]) == 2
+        err = capsys.readouterr().err
+        assert "aggregate" in err
+        assert "do not join" not in err
+
+    def test_explain_shows_pushdown_in_cli(self, tmp_path, capsys):
+        assert main(["engine", "--relation", f"E={self._edges(tmp_path)}",
+                     "-q", "Q(A) :- E(A,B), E(B,3), A < B",
+                     "--explain", "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "pushed below join" in out
+        assert "session stats:" in out
