@@ -31,6 +31,7 @@ from repro.query.builder import Q, Query, QueryBuilder
 from repro.query.semiring import (
     Aggregate,
     Semiring,
+    avg_,
     count,
     max_,
     min_,
@@ -78,6 +79,7 @@ __all__ = [
     "sum_",
     "min_",
     "max_",
+    "avg_",
     "register_semiring",
     "Comparison",
     "Constant",

@@ -102,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def build_engine_parser() -> argparse.ArgumentParser:
     """Build the ``engine`` subcommand parser (exposed for testing)."""
-    from repro.engine import MODES
+    from repro.engine import AGGREGATE_MODES, MODES
 
     parser = argparse.ArgumentParser(
         prog="repro engine",
@@ -134,6 +134,12 @@ def build_engine_parser() -> argparse.ArgumentParser:
     execution = parser.add_argument_group("execution")
     execution.add_argument("--mode", default="auto", choices=MODES,
                            help="executor dispatch mode")
+    execution.add_argument("--aggregate-mode", default="auto",
+                           choices=AGGREGATE_MODES, dest="aggregate_mode",
+                           help="aggregate execution: 'recursion' folds "
+                                "eliminated variables inside the join "
+                                "(FAQ-style), 'fold' drains the join and "
+                                "folds its output, 'auto' prices both")
     execution.add_argument("--limit", type=int, default=None,
                            help="stop each query after this many tuples "
                                 "(pushed into the join recursion)")
@@ -357,12 +363,15 @@ def engine_main(argv: list[str] | None = None) -> int:
             for query in parsed_queries:
                 if args.explain:
                     print(file=chatter)
-                    print(engine.explain(query, mode=args.mode).render(),
-                          file=chatter)
+                    print(engine.explain(
+                        query, mode=args.mode,
+                        aggregate_mode=args.aggregate_mode,
+                    ).render(), file=chatter)
                 started = time.perf_counter()
                 try:
-                    result = engine.execute(query, mode=args.mode,
-                                            limit=args.limit)
+                    result = engine.execute(
+                        query, mode=args.mode, limit=args.limit,
+                        aggregate_mode=args.aggregate_mode)
                 except TypeError as error:
                     # Joining an all-int relation against a textual one
                     # compares incomparable values in the sorted engines;

@@ -22,15 +22,18 @@ multi-backend) plug into:
 """
 
 from repro.engine.cost import (
+    AGGREGATE_MODES,
     MODES,
     STRATEGIES,
     DispatchDecision,
     dispatch,
     estimate_costs,
+    selection_envelope,
 )
 from repro.engine.executors import (
     EXECUTORS,
     executor_for,
+    filtered_instance,
     head_projected,
     pushed_instance,
     split_pushable_selections,
@@ -41,12 +44,15 @@ from repro.engine.registry import IndexRegistry
 from repro.engine.session import Engine, EngineStats, Explanation
 
 __all__ = [
+    "AGGREGATE_MODES",
     "MODES",
     "STRATEGIES",
     "DispatchDecision",
     "dispatch",
     "estimate_costs",
+    "selection_envelope",
     "EXECUTORS",
+    "filtered_instance",
     "executor_for",
     "head_projected",
     "pushed_instance",

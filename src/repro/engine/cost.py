@@ -16,11 +16,25 @@ distinct-count estimates for pairwise intermediates — into one comparable
   shared variables.  Worst-case estimation is what makes the dispatcher
   sound on skew — independence-style estimates are exactly what the
   "skew strikes back" instances fool;
-* ``generic`` / ``leapfrog`` — index build plus the AGM bound, the
-  worst-case optimal envelope (the constants separating the two reflect
-  hashing vs galloping in this pure-Python setting);
+* ``generic`` / ``leapfrog`` — index build plus the WCOJ envelope (the
+  constants separating the two reflect hashing vs galloping in this
+  pure-Python setting);
 * ``yannakakis`` — input-linear semijoin passes plus a discounted output
   term; only *feasible* for alpha-acyclic queries.
+
+Two refinements sharpen the envelope beyond the raw AGM bound:
+
+* **selectivity**: when the query carries selections, the envelope is the
+  degree-aware output-size bound of the *filtered* instance (single-atom
+  predicates applied to the scans, :mod:`repro.bounds.degree_aware`),
+  taken against the unfiltered AGM bound with ``min`` — selective
+  constants therefore shrink the WCOJ estimate, not just the scan terms;
+* **aggregation**: aggregate queries are priced in both execution modes —
+  *stream-fold* (drain the join, fold the output; join-linear) and
+  *in-recursion* (FAQ-style variable elimination; bounded by
+  ``N^faq-width`` of the aggregate-aware order, output-linear for acyclic
+  group-bys) — and the dispatcher resolves the mode per strategy, reporting
+  both estimates so ``explain()`` can show the comparison.
 
 These are heuristics on top of exact theory: the AGM term is a worst case,
 not an expectation, and the binary estimates assume independence.  The
@@ -34,10 +48,14 @@ import math
 from dataclasses import dataclass
 
 from repro.bounds.agm import AGMBound, agm_bound
+from repro.bounds.degree_aware import output_size_bound
+from repro.constraints.degree import constraints_from_database
+from repro.engine.executors import filtered_instance
 from repro.errors import QueryError
 from repro.joins.binary_plans import greedy_atom_order
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import is_alpha_acyclic
+from repro.query.variable_order import aggregate_elimination_order
 from repro.relational.database import Database
 from repro.relational.statistics import degree
 
@@ -46,6 +64,17 @@ STRATEGIES = ("generic", "leapfrog", "yannakakis", "binary", "naive")
 
 #: Accepted values for ``Engine.execute(..., mode=...)``.
 MODES = ("auto",) + STRATEGIES
+
+#: Accepted values for ``Engine.execute(..., aggregate_mode=...)``:
+#: ``recursion`` forces in-recursion / in-pass semiring aggregation,
+#: ``fold`` forces drain-and-fold over the streamed join, ``auto`` prices
+#: both and picks per strategy.
+AGGREGATE_MODES = ("auto", "recursion", "fold")
+
+#: Strategies that can evaluate aggregates inside the join itself (the
+#: WCOJ recursions eliminate in-recursion; Yannakakis aggregates during
+#: its join-tree passes, which additionally needs product semirings).
+RECURSION_CAPABLE = ("generic", "leapfrog", "yannakakis")
 
 #: Cap applied to every estimate so products cannot overflow comparisons.
 _COST_CAP = 1e30
@@ -70,14 +99,31 @@ class DispatchDecision:
     acyclic:
         Whether the query hypergraph is alpha-acyclic.
     agm:
-        The AGM bound on the given database.
+        The AGM bound on the given database (unfiltered — the classical
+        envelope ``explain()`` reports).
     costs:
         Estimated operation counts per strategy (``inf`` = infeasible).
-        Empty for forced modes, which skip the estimation work.
+        Empty for forced modes, which skip the estimation work.  For
+        aggregate queries the informational ``agg[recursion]`` /
+        ``agg[fold]`` entries record the two execution-mode envelopes the
+        dispatcher compared.
     binary_order:
         The greedy atom order the cost simulation priced — reused as the
         binary executor's plan so the plan run is the plan priced.  None
         when the binary strategy was neither priced nor chosen.
+    aggregate_mode:
+        The resolved aggregate execution mode for the chosen strategy
+        (``"recursion"`` / ``"fold"``); None for non-aggregate queries.
+    payload:
+        The plan payload for the chosen strategy when the dispatcher
+        already computed it (the mode-tagged aggregate order for WCOJ
+        strategies, the mode tag for Yannakakis) — reused by the engine so
+        the plan run is the plan priced.  None when the executor's own
+        ``plan()`` should be used.
+    faq_width:
+        The fractional-hypertree width of the aggregate-aware variable
+        order (the FAQ-width proxy priced for in-recursion mode); None
+        for non-aggregate queries.
     """
 
     strategy: str
@@ -85,6 +131,9 @@ class DispatchDecision:
     agm: AGMBound
     costs: dict[str, float]
     binary_order: tuple[int, ...] | None
+    aggregate_mode: str | None = None
+    payload: tuple | None = None
+    faq_width: float | None = None
 
 
 def _capped(value: float) -> float:
@@ -134,46 +183,104 @@ def _binary_cost(query: ConjunctiveQuery, database: Database,
     return cost
 
 
-def _selected_size(query: ConjunctiveQuery, atom_index: int,
-                   database: Database, selections) -> int:
-    """The atom's scan size after pushing its single-atom selections.
+def selection_envelope(query: ConjunctiveQuery, database: Database,
+                       selections, agm: AGMBound
+                       ) -> tuple[dict[int, int], float]:
+    """Filtered per-atom scan sizes and the sharpened WCOJ envelope.
 
-    Counts the tuples surviving every selection whose variables all live in
-    this atom (the filters every executor pushes below the join), so the
-    dispatcher prices selective constants honestly instead of assuming full
-    scans.
+    Single-atom selections are applied to the scans (every executor pushes
+    them below the join), and the WCOJ envelope becomes the degree-aware
+    worst-case output bound of that *filtered* instance
+    (:func:`repro.bounds.degree_aware.output_size_bound`) — taken with
+    ``min`` against the unfiltered AGM bound, it is still a sound worst
+    case but no longer ignores the selectivity the executors exploit.
+    Data-derived degree constraints (single-variable conditioning) are
+    tried first; when their dependency graph is cyclic — where only the
+    exponential polymatroid LP would apply — the envelope falls back to
+    the plain AGM bound of the filtered instance, keeping planning cheap.
     """
-    atom = query.atoms[atom_index]
-    relation = database.get(atom.relation)
-    applicable = [s for s in selections if s.variables <= atom.variable_set]
-    if not applicable:
-        return len(relation)
-    positions = {v: p for p, v in enumerate(atom.variables)}
-    count = 0
-    for tup in relation:
-        binding = {v: tup[p] for v, p in positions.items()}
-        if all(s.evaluate(binding) for s in applicable):
-            count += 1
-    return count
+    derived_query, derived_db, _residual = filtered_instance(
+        query, selections, database)
+    sizes = {i: len(derived_db.get(atom.relation))
+             for i, atom in enumerate(derived_query.atoms)}
+    if derived_db is database:
+        return sizes, _capped(agm.bound)
+    dc = constraints_from_database(derived_query, derived_db, max_key_size=1)
+    if dc.is_acyclic():
+        sharpened = output_size_bound(derived_query, derived_db, dc=dc).bound
+    else:
+        sharpened = output_size_bound(derived_query, derived_db).bound
+    return sizes, _capped(min(agm.bound, sharpened))
+
+
+def plan_aggregation(query: ConjunctiveQuery, selections, aggregates,
+                     group) -> dict:
+    """The aggregate-aware order and the facts mode resolution needs.
+
+    Returns a dict with the binding ``order`` (constant-pinned variables,
+    then the group prefix, then the width-minimizing elimination tail),
+    its fractional-hypertree ``width``, whether any variable is actually
+    eliminated (``has_elimination``), and whether every aggregate's
+    semiring carries a product (``product_ok`` — the precondition for
+    Yannakakis' in-pass mode).
+    """
+    fixed = {sel.lhs for sel in selections
+             if getattr(sel, "is_constant_equality", False)}
+    order, width = aggregate_elimination_order(query, group=group, fixed=fixed)
+    return {
+        "order": order,
+        "width": width,
+        "has_elimination": bool(set(query.variables) - set(group)),
+        "product_ok": all(a.semiring().has_product for a in aggregates),
+    }
+
+
+def _resolve_mode(forced: str, recursion_cost: float, fold_cost: float,
+                  recursion_ok: bool, prefer_recursion: bool
+                  ) -> tuple[str | None, float]:
+    """Pick an aggregate mode for one strategy (None = infeasible)."""
+    if forced == "recursion":
+        return ("recursion", recursion_cost) if recursion_ok else (None, math.inf)
+    if forced == "fold":
+        return ("fold", fold_cost)
+    if not recursion_ok:
+        return ("fold", fold_cost)
+    if recursion_cost < fold_cost or (recursion_cost == fold_cost
+                                      and prefer_recursion):
+        return ("recursion", recursion_cost)
+    return ("fold", fold_cost)
 
 
 def estimate_costs(query: ConjunctiveQuery, database: Database,
                    agm: AGMBound, acyclic: bool,
                    binary_order: tuple[int, ...] | None = None,
-                   selections=()) -> dict[str, float]:
+                   selections=(), aggregates=(), group=(),
+                   aggregate_mode: str = "auto",
+                   ) -> dict[str, float]:
     """Estimated operation counts for every strategy on this instance.
 
     ``binary_order`` lets the dispatcher share one greedy-order computation
     between pricing and planning; it is recomputed when omitted.
     ``selections`` (rich-query predicates) shrink the per-atom scan sizes
-    for the strategies that push them below the join; the AGM term stays on
-    the unfiltered statistics — it is a sound worst-case envelope either
-    way.
+    *and* the WCOJ envelope (see :func:`selection_envelope`); with
+    ``aggregates`` the in-recursion and stream-fold execution modes are
+    both priced (see :func:`dispatch` for how the mode is then resolved).
     """
-    sizes = {i: _selected_size(query, i, database, selections)
-             for i, atom in enumerate(query.atoms)}
+    sizes, envelope = selection_envelope(query, database, selections, agm)
+    agg_plan = (plan_aggregation(query, selections, aggregates, group)
+                if aggregates else None)
+    costs, _modes = _estimate(query, database, sizes, envelope, acyclic,
+                              binary_order, agg_plan, aggregate_mode)
+    return costs
+
+
+def _estimate(query: ConjunctiveQuery, database: Database,
+              sizes: dict[int, int], envelope: float, acyclic: bool,
+              binary_order: tuple[int, ...] | None,
+              agg_plan: dict | None, aggregate_mode: str,
+              ) -> tuple[dict[str, float], dict[str, str | None]]:
+    """Per-strategy costs plus each strategy's resolved aggregate mode."""
     total = float(sum(sizes.values()))
-    bound = _capped(agm.bound)
     if binary_order is None:
         binary_order = greedy_atom_order(query, database)
 
@@ -181,22 +288,85 @@ def estimate_costs(query: ConjunctiveQuery, database: Database,
     for size in sizes.values():
         naive = _capped(naive * max(size, 1))
 
-    costs = {
-        "naive": naive,
-        "binary": _binary_cost(query, database, sizes, binary_order),
-        "generic": _capped(total + _GENERIC_FACTOR * bound),
-        "leapfrog": _capped(total + _LEAPFROG_FACTOR * bound),
-        "yannakakis": (
+    modes: dict[str, str | None] = {s: None for s in STRATEGIES}
+    costs: dict[str, float] = {}
+
+    if agg_plan is None:
+        costs["generic"] = _capped(total + _GENERIC_FACTOR * envelope)
+        costs["leapfrog"] = _capped(total + _LEAPFROG_FACTOR * envelope)
+        costs["yannakakis"] = (
             _capped(_YANNAKAKIS_PASSES * total
-                    + _YANNAKAKIS_OUTPUT_DISCOUNT * bound)
+                    + _YANNAKAKIS_OUTPUT_DISCOUNT * envelope)
             if acyclic else math.inf
-        ),
-    }
-    return costs
+        )
+        costs["binary"] = _binary_cost(query, database, sizes, binary_order)
+        costs["naive"] = naive
+        return costs, modes
+
+    # Aggregate pricing: the in-recursion envelope is the FAQ-width term
+    # of the aggregate-aware order (capped by the join envelope — memoized
+    # elimination never expands more nodes than enumeration), the fold
+    # envelope is the full join.  A group-by keeping every variable
+    # eliminates nothing, so both modes enumerate the same nodes and are
+    # priced identically (auto then resolves to the simpler fold).
+    n_max = float(max(sizes.values(), default=1))
+    fold_env = envelope
+    if agg_plan["has_elimination"]:
+        recursion_env = _capped(min(envelope,
+                                    max(n_max, 1.0) ** agg_plan["width"]))
+    else:
+        recursion_env = fold_env
+    costs["agg[recursion]"] = _capped(total + _GENERIC_FACTOR * recursion_env)
+    costs["agg[fold]"] = _capped(total + _GENERIC_FACTOR * fold_env)
+    prefer = agg_plan["has_elimination"]
+
+    for name, factor in (("generic", _GENERIC_FACTOR),
+                         ("leapfrog", _LEAPFROG_FACTOR)):
+        mode, env = _resolve_mode(
+            aggregate_mode,
+            _capped(total + factor * recursion_env),
+            _capped(total + factor * fold_env),
+            recursion_ok=True, prefer_recursion=prefer)
+        modes[name] = mode
+        costs[name] = env
+    if acyclic:
+        mode, env = _resolve_mode(
+            aggregate_mode,
+            _capped(_YANNAKAKIS_PASSES * total
+                    + _YANNAKAKIS_OUTPUT_DISCOUNT * recursion_env),
+            _capped(_YANNAKAKIS_PASSES * total
+                    + _YANNAKAKIS_OUTPUT_DISCOUNT * fold_env),
+            recursion_ok=agg_plan["product_ok"], prefer_recursion=prefer)
+        modes["yannakakis"] = mode
+        costs["yannakakis"] = env
+    else:
+        costs["yannakakis"] = math.inf
+    # The materializing and naive strategies can only fold the stream.
+    if aggregate_mode == "recursion":
+        costs["binary"] = math.inf
+        costs["naive"] = math.inf
+    else:
+        costs["binary"] = _binary_cost(query, database, sizes, binary_order)
+        costs["naive"] = naive
+        modes["binary"] = modes["naive"] = "fold"
+    return costs, modes
+
+
+def _payload_for(strategy: str, mode: str | None,
+                 agg_plan: dict | None) -> tuple | None:
+    """The dispatcher-computed plan payload for the chosen strategy."""
+    if agg_plan is None or mode is None:
+        return None
+    if strategy in ("generic", "leapfrog"):
+        return (mode, agg_plan["order"])
+    if strategy == "yannakakis":
+        return (mode, ())
+    return None
 
 
 def dispatch(query: ConjunctiveQuery, database: Database,
-             mode: str = "auto", selections=()) -> DispatchDecision:
+             mode: str = "auto", selections=(), aggregates=(), group=(),
+             aggregate_mode: str = "auto") -> DispatchDecision:
     """Choose an executor for the query (or validate a forced choice).
 
     Parameters
@@ -209,21 +379,54 @@ def dispatch(query: ConjunctiveQuery, database: Database,
         the acyclicity test and the AGM LP that ``explain()`` reports.
     selections:
         Rich-query comparison predicates; single-atom ones shrink the
-        per-atom scan estimates (every executor pushes them below the
-        join).
+        per-atom scan estimates *and* sharpen the WCOJ envelope to the
+        degree-aware bound of the filtered instance.
+    aggregates / group:
+        The query's semiring aggregate heads and group-by variables; when
+        present, both aggregate execution modes are priced and the
+        decision carries the aggregate-aware variable order.
+    aggregate_mode:
+        ``"auto"`` resolves the mode per strategy by cost;
+        ``"recursion"``/``"fold"`` force it (forcing ``"recursion"``
+        restricts dispatch to the strategies that support it and raises
+        when a forced strategy does not).
     """
     if mode not in MODES:
         raise QueryError(f"unknown engine mode {mode!r}; expected one of {MODES}")
+    if aggregate_mode not in AGGREGATE_MODES:
+        raise QueryError(
+            f"unknown aggregate mode {aggregate_mode!r}; "
+            f"expected one of {AGGREGATE_MODES}"
+        )
+    aggregates = tuple(aggregates)
+    if aggregate_mode != "auto" and not aggregates:
+        raise QueryError(
+            f"aggregate_mode={aggregate_mode!r} needs an aggregate query"
+        )
     acyclic = is_alpha_acyclic(query.hypergraph())
     bound = agm_bound(query, database)
+    # The elimination-order search only serves auto pricing and the
+    # recursion-capable strategies; a forced binary/naive run would
+    # discard it (it always folds).
+    needs_agg_plan = bool(aggregates) and (mode == "auto"
+                                           or mode in RECURSION_CAPABLE)
+    agg_plan = (plan_aggregation(query, selections, aggregates, group)
+                if needs_agg_plan else None)
 
     if mode == "auto":
         binary_order = greedy_atom_order(query, database)
-        costs = estimate_costs(query, database, bound, acyclic,
-                               binary_order=binary_order,
-                               selections=selections)
+        sizes, envelope = selection_envelope(query, database, selections,
+                                             bound)
+        costs, modes = _estimate(query, database, sizes, envelope, acyclic,
+                                 binary_order, agg_plan, aggregate_mode)
         strategy = min(STRATEGIES,
                        key=lambda s: (costs[s], STRATEGIES.index(s)))
+        if costs[strategy] == math.inf:
+            raise QueryError(
+                f"no feasible strategy for query {query.name!r} under "
+                f"aggregate_mode={aggregate_mode!r}"
+            )
+        resolved = modes[strategy]
     else:
         strategy = mode
         if strategy == "yannakakis" and not acyclic:
@@ -234,5 +437,37 @@ def dispatch(query: ConjunctiveQuery, database: Database,
         binary_order = (greedy_atom_order(query, database)
                         if strategy == "binary" else None)
         costs = {}
-    return DispatchDecision(strategy=strategy, acyclic=acyclic, agm=bound,
-                            costs=costs, binary_order=binary_order)
+        resolved = None
+        if aggregates:
+            # Forced strategies skip the cost comparison; the auto rule is
+            # simply "aggregate inside the join when it eliminates
+            # something and the strategy supports it" — matching how the
+            # priced path resolves equal envelopes.
+            if strategy in ("generic", "leapfrog"):
+                resolved = (aggregate_mode if aggregate_mode != "auto"
+                            else ("recursion" if agg_plan["has_elimination"]
+                                  else "fold"))
+            elif strategy == "yannakakis":
+                if aggregate_mode == "recursion" and not agg_plan["product_ok"]:
+                    raise QueryError(
+                        "aggregate_mode='recursion' needs product semirings "
+                        "for every aggregate under strategy 'yannakakis'"
+                    )
+                resolved = (aggregate_mode if aggregate_mode != "auto"
+                            else ("recursion" if (agg_plan["has_elimination"]
+                                                  and agg_plan["product_ok"])
+                                  else "fold"))
+            else:
+                if aggregate_mode == "recursion":
+                    raise QueryError(
+                        f"strategy {strategy!r} cannot aggregate in-recursion; "
+                        "use a WCOJ mode, 'yannakakis', or aggregate_mode='fold'"
+                    )
+                resolved = "fold"
+    return DispatchDecision(
+        strategy=strategy, acyclic=acyclic, agm=bound, costs=costs,
+        binary_order=binary_order,
+        aggregate_mode=resolved,
+        payload=_payload_for(strategy, resolved, agg_plan),
+        faq_width=agg_plan["width"] if agg_plan is not None else None,
+    )

@@ -4,33 +4,46 @@ Every join algorithm in :mod:`repro.joins` is adapted here to one uniform
 shape so the dispatcher can treat them interchangeably.  Executors receive
 the rich :class:`~repro.query.builder.Query` (the ``spec``) and are
 responsible for the *relational* part of it — the join, the selections,
-and the projection; the engine layers aggregation, ordering and LIMIT on
-top of the streams they return:
+the projection, and (when the plan says so) the aggregation; the engine
+layers the remaining folds, ordering and LIMIT on top of the streams they
+return:
 
 * ``plan(spec, database)`` produces the strategy-specific plan payload
-  (a variable order, an atom order, or nothing);
+  (a variable order, an atom order, a mode-tagged aggregate order, or
+  nothing);
 * ``canonical_payload`` / ``payload_from_canonical`` translate that payload
   to and from canonical vocabulary, so the plan cache can serve isomorphic
   queries;
 * ``index_requests`` names the registry indexes the executor would use,
   letting the engine prebuild and share them across a batch;
+* ``handles_aggregation`` reports whether the plan evaluates the
+  aggregates itself (in-recursion / in-pass), in which case ``stream``
+  yields finalized aggregate rows and the engine skips its stream-fold;
 * ``stream`` lazily yields result tuples over ``spec.stream_variables`` —
-  deduplicated head tuples normally, full-variable tuples when aggregates
-  need to observe them.
+  deduplicated head tuples normally, full-variable tuples when a
+  stream-fold must observe them, aggregate rows when the plan aggregates
+  inside the join.
 
 Selections are pushed *below* the join everywhere: the WCOJ executors
 prune candidate values inside the join recursion at the depth where each
 predicate's variables are bound; the naive executor prunes partial
 bindings at the earliest covering atom; the materializing executors
 (binary plans, Yannakakis) filter base-relation scans for single-atom
-predicates and only post-filter genuinely cross-atom comparisons.
+predicates and apply genuinely cross-atom comparisons during the pairwise
+joins, at the first join that binds both sides.
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Sequence
 
-from repro.engine.fingerprint import CanonicalQuery
+from repro.engine.fingerprint import (
+    CanonicalQuery,
+    canonicalize_wcoj_payload,
+    payload_aggregate_mode,
+    payload_order,
+    translate_wcoj_payload,
+)
 from repro.engine.registry import IndexRegistry
 from repro.errors import QueryError
 from repro.joins.binary_plans import greedy_atom_order
@@ -39,11 +52,14 @@ from repro.joins.instrumentation import OperationCounter
 from repro.joins.leapfrog import leapfrog_stream
 from repro.joins.naive import nested_loop_stream
 from repro.joins.plan import execute_plan, left_deep_plan
-from repro.joins.yannakakis import yannakakis
+from repro.joins.yannakakis import yannakakis, yannakakis_aggregate_stream
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.builder import Query
 from repro.query.terms import Comparison
-from repro.query.variable_order import pushdown_order
+from repro.query.variable_order import (
+    aggregate_elimination_order,
+    pushdown_order,
+)
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
 
@@ -79,18 +95,8 @@ def head_projected(query: ConjunctiveQuery, stream: Iterator[tuple],
             yield projected
 
 
-def residual_filtered(stream: Iterator[tuple], variables: Sequence[str],
-                      selections: Sequence[Comparison]) -> Iterator[tuple]:
-    """Filter full-variable tuples by the predicates (post-join fallback)."""
-    names = tuple(variables)
-    for row in stream:
-        binding = dict(zip(names, row))
-        if all(sel.evaluate(binding) for sel in selections):
-            yield row
-
-
-def split_pushable_selections(spec: Query) -> tuple[list[list[Comparison]],
-                                                    list[Comparison]]:
+def split_selections(core: ConjunctiveQuery, selections: Sequence[Comparison]
+                     ) -> tuple[list[list[Comparison]], list[Comparison]]:
     """Partition selections into per-atom pushable lists and a residual.
 
     A selection is pushable into *every* atom containing all its variables
@@ -98,10 +104,9 @@ def split_pushable_selections(spec: Query) -> tuple[list[list[Comparison]],
     prunes most); only predicates spanning atoms (``A < B`` with A and B
     in different relations) stay residual.
     """
-    core = spec.core
     per_atom: list[list[Comparison]] = [[] for _ in core.atoms]
     residual: list[Comparison] = []
-    for sel in spec.all_selections:
+    for sel in selections:
         covering = [i for i, atom in enumerate(core.atoms)
                     if sel.variables <= atom.variable_set]
         for i in covering:
@@ -111,17 +116,26 @@ def split_pushable_selections(spec: Query) -> tuple[list[list[Comparison]],
     return per_atom, residual
 
 
-def pushed_instance(spec: Query, database: Database
-                    ) -> tuple[ConjunctiveQuery, Database, list[Comparison]]:
+def split_pushable_selections(spec: Query) -> tuple[list[list[Comparison]],
+                                                    list[Comparison]]:
+    """:func:`split_selections` over a rich query's core and selections."""
+    return split_selections(spec.core, spec.all_selections)
+
+
+def filtered_instance(core: ConjunctiveQuery,
+                      selections: Sequence[Comparison],
+                      database: Database
+                      ) -> tuple[ConjunctiveQuery, Database, list[Comparison]]:
     """A derived (query, database) with single-atom selections pre-applied.
 
-    For the materializing executors: each atom with pushable selections is
-    rebound to a filtered copy of its relation (selection strictly below
-    the join), leaving only cross-atom predicates to post-filter.  Atoms
-    without selections keep their original relations — no copying.
+    For the materializing executors (and the dispatcher's selectivity-aware
+    envelope): each atom with pushable selections is rebound to a filtered
+    copy of its relation (selection strictly below the join), leaving only
+    cross-atom predicates in the returned residual.  Atoms without
+    selections keep their original relations — no copying; when nothing is
+    pushable at all, the original query and database are returned as-is.
     """
-    per_atom, residual = split_pushable_selections(spec)
-    core = spec.core
+    per_atom, residual = split_selections(core, selections)
     if not any(per_atom):
         return core, database, residual
     relations = {}
@@ -133,9 +147,9 @@ def pushed_instance(spec: Query, database: Database
             continue
         relation = database.get(atom.relation)
         attr_to_var = dict(zip(relation.attributes, atom.variables))
-        selections = per_atom[i]
+        atom_selections = per_atom[i]
 
-        def keep(row: dict, _map=attr_to_var, _sels=selections) -> bool:
+        def keep(row: dict, _map=attr_to_var, _sels=atom_selections) -> bool:
             binding = {_map[a]: v for a, v in row.items()}
             return all(s.evaluate(binding) for s in _sels)
 
@@ -144,6 +158,12 @@ def pushed_instance(spec: Query, database: Database
         new_atoms.append(Atom(derived_name, atom.variables))
     derived_query = ConjunctiveQuery(new_atoms, name=core.name)
     return derived_query, Database(relations.values()), residual
+
+
+def pushed_instance(spec: Query, database: Database
+                    ) -> tuple[ConjunctiveQuery, Database, list[Comparison]]:
+    """:func:`filtered_instance` over a rich query's core and selections."""
+    return filtered_instance(spec.core, spec.all_selections, database)
 
 
 def _trie_requests(query: ConjunctiveQuery, database: Database,
@@ -170,49 +190,74 @@ class _WcojExecutor:
 
     name: str
 
-    def plan(self, spec: Query, database: Database) -> tuple[str, ...]:
-        """The global variable order (the only planning WCOJ engines need).
+    def plan(self, spec: Query, database: Database) -> tuple:
+        """The global variable order (plus the aggregate mode when needed).
 
-        Constant-pinned variables come first (they restrict every
-        containing atom for the whole search), then the head variables (so
-        projection deduplicates early via the existential tail), then the
-        rest — see :func:`repro.query.variable_order.pushdown_order`.  For
-        full unselected queries this degenerates to the classical
-        min-degree order.
+        Without aggregates: constant-pinned variables come first (they
+        restrict every containing atom for the whole search), then the
+        head variables (so projection deduplicates early via the
+        existential tail), then the rest — see
+        :func:`repro.query.variable_order.pushdown_order`.  For full
+        unselected queries this degenerates to the classical min-degree
+        order.
+
+        With aggregates: the aggregate-aware order (group prefix, then the
+        width-minimizing elimination tail), mode-tagged ``"recursion"``
+        when any variable is eliminated and ``"fold"`` otherwise.  The
+        dispatcher normally precomputes this payload (with cost-resolved
+        and user-forced modes); this standalone fallback applies the
+        default rule.
         """
+        if spec.aggregates:
+            order, _width = aggregate_elimination_order(
+                spec.core, group=spec.head_vars, fixed=spec.fixed_variables)
+            eliminated = set(spec.core.variables) - set(spec.head_vars)
+            return ("recursion" if eliminated else "fold", order)
         return pushdown_order(spec.core, fixed=spec.fixed_variables,
                               leading=spec.head_vars)
 
-    def canonical_payload(self, payload: tuple[str, ...],
-                          canon: CanonicalQuery) -> tuple[str, ...]:
-        return canon.canonicalize_variables(payload)
+    def canonical_payload(self, payload: tuple,
+                          canon: CanonicalQuery) -> tuple:
+        return canonicalize_wcoj_payload(payload, canon)
 
-    def payload_from_canonical(self, payload: tuple[str, ...],
+    def payload_from_canonical(self, payload: tuple,
                                canon: CanonicalQuery,
-                               spec: Query) -> tuple[str, ...]:
-        return canon.translate_variables(payload)
+                               spec: Query) -> tuple:
+        return translate_wcoj_payload(payload, canon)
 
     def index_requests(self, spec: Query, database: Database,
-                       payload: tuple[str, ...]) -> list[IndexRequest]:
-        return _trie_requests(spec.core, database, payload)
+                       payload: tuple) -> list[IndexRequest]:
+        return _trie_requests(spec.core, database, payload_order(payload))
+
+    def handles_aggregation(self, spec: Query, payload) -> bool:
+        return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
 
     def _stream_fn(self):
         raise NotImplementedError
 
     def stream(self, spec: Query, database: Database,
-               payload: tuple[str, ...],
+               payload: tuple,
                registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
         core = spec.core
+        order = payload_order(payload)
         tries: dict[str, TrieIndex] | None = None
         if registry is not None:
             tries = {
                 edge_key: registry.trie(relation_name, layout)
                 for edge_key, relation_name, layout
-                in _trie_requests(core, database, payload)
+                in _trie_requests(core, database, order)
             }
+        if self.handles_aggregation(spec, payload):
+            # In-recursion elimination: the stream is already the
+            # finalized aggregate rows over the output columns.
+            return self._stream_fn()(core, database, order=order,
+                                     counter=counter, tries=tries,
+                                     selections=spec.all_selections,
+                                     head=spec.head_vars,
+                                     aggregates=spec.aggregates)
         head = None if spec.aggregates else spec.head_vars
-        return self._stream_fn()(core, database, order=payload,
+        return self._stream_fn()(core, database, order=order,
                                  counter=counter, tries=tries,
                                  selections=spec.all_selections, head=head)
 
@@ -242,7 +287,7 @@ class _NoPayloadExecutor:
     trio when (like the binary executor) they do carry a plan.
     """
 
-    def plan(self, spec: Query, database: Database) -> None:
+    def plan(self, spec: Query, database: Database):
         return None
 
     def canonical_payload(self, payload, canon: CanonicalQuery):
@@ -255,6 +300,9 @@ class _NoPayloadExecutor:
     def index_requests(self, spec: Query, database: Database,
                        payload) -> list[IndexRequest]:
         return []
+
+    def handles_aggregation(self, spec: Query, payload) -> bool:
+        return False
 
 
 class NaiveExecutor(_NoPayloadExecutor):
@@ -272,25 +320,15 @@ class NaiveExecutor(_NoPayloadExecutor):
         return head_projected(spec.core, inner, head=spec.head_vars)
 
 
-class _MaterializingExecutor(_NoPayloadExecutor):
-    """Shared post-processing for the materializing strategies."""
-
-    def _finalize(self, spec: Query, rows: Iterator[tuple],
-                  residual: Sequence[Comparison]) -> Iterator[tuple]:
-        if residual:
-            rows = residual_filtered(rows, spec.core.variables, residual)
-        if spec.aggregates:
-            return rows
-        return head_projected(spec.core, rows, head=spec.head_vars)
-
-
-class BinaryPlanExecutor(_MaterializingExecutor):
+class BinaryPlanExecutor(_NoPayloadExecutor):
     """Greedy left-deep pairwise plans behind the common protocol.
 
     The payload is a tuple of atom *indices* (not edge keys): indices
     translate cleanly through the canonical atom order, whereas edge keys
     embed relation occurrence numbering that can differ between isomorphic
-    queries.
+    queries.  Cross-atom comparison predicates are applied *inside*
+    :func:`repro.joins.plan.execute_plan`, at the first pairwise join that
+    binds both sides.
     """
 
     name = "binary"
@@ -313,22 +351,56 @@ class BinaryPlanExecutor(_MaterializingExecutor):
                counter: OperationCounter | None = None) -> Iterator[tuple]:
         derived, derived_db, residual = pushed_instance(spec, database)
         plan = left_deep_plan([derived.edge_key(i) for i in payload])
-        execution = execute_plan(plan, derived, derived_db, counter=counter)
-        return self._finalize(spec, iter(execution.result.sorted_tuples()),
-                              residual)
+        execution = execute_plan(plan, derived, derived_db, counter=counter,
+                                 selections=residual)
+        rows = iter(execution.result.sorted_tuples())
+        if spec.aggregates:
+            return rows
+        return head_projected(spec.core, rows, head=spec.head_vars)
 
 
-class YannakakisExecutor(_MaterializingExecutor):
-    """Yannakakis' acyclic-query algorithm behind the common protocol."""
+class YannakakisExecutor(_NoPayloadExecutor):
+    """Yannakakis' acyclic-query algorithm behind the common protocol.
+
+    The payload is empty for plain queries and a mode tag for aggregate
+    ones: ``("recursion", ())`` runs the in-pass aggregation of
+    :func:`repro.joins.yannakakis.yannakakis_aggregate_stream` (semiring
+    product at joins, fold at projections — never materializing the join),
+    ``("fold", ())`` materializes the join and leaves the fold to the
+    engine.  Cross-atom comparisons are applied during the join passes in
+    both modes.
+    """
 
     name = "yannakakis"
 
+    def plan(self, spec: Query, database: Database):
+        # Standalone fallback mirroring the dispatcher's auto rule:
+        # in-pass aggregation needs product semirings AND something to
+        # eliminate (a full group-by gains nothing over the fold).
+        if spec.aggregates:
+            product_ok = all(a.semiring().has_product
+                             for a in spec.aggregates)
+            eliminated = set(spec.core.variables) - set(spec.head_vars)
+            return ("recursion" if product_ok and eliminated else "fold", ())
+        return None
+
+    def handles_aggregation(self, spec: Query, payload) -> bool:
+        return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
+
     def stream(self, spec: Query, database: Database,
-               payload: None, registry: IndexRegistry | None = None,
+               payload, registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
         derived, derived_db, residual = pushed_instance(spec, database)
-        result = yannakakis(derived, derived_db, counter=counter)
-        return self._finalize(spec, iter(result.sorted_tuples()), residual)
+        if self.handles_aggregation(spec, payload):
+            return yannakakis_aggregate_stream(
+                derived, derived_db, spec.head_vars, spec.aggregates,
+                selections=residual, counter=counter)
+        result = yannakakis(derived, derived_db, counter=counter,
+                            selections=residual)
+        rows = iter(result.sorted_tuples())
+        if spec.aggregates:
+            return rows
+        return head_projected(spec.core, rows, head=spec.head_vars)
 
 
 #: Executor instances, keyed by strategy name (executors are stateless).

@@ -71,6 +71,59 @@ class CanonicalQuery:
         return self.atom_order.index(atom_index)
 
 
+# WCOJ plan payloads are either a plain variable order (enumeration plans)
+# or an (aggregate mode, variable order) pair once aggregates are planned —
+# "recursion" for in-recursion semiring elimination, "fold" for
+# drain-and-fold over the streamed join.
+
+#: The aggregate-mode tags a structured WCOJ/Yannakakis payload may carry.
+AGGREGATE_MODE_TAGS = ("recursion", "fold")
+
+
+def _is_mode_tagged(payload) -> bool:
+    return (isinstance(payload, tuple) and len(payload) == 2
+            and payload[0] in AGGREGATE_MODE_TAGS
+            and isinstance(payload[1], tuple))
+
+
+def payload_order(payload: tuple) -> tuple[str, ...]:
+    """The variable order inside a (possibly mode-tagged) WCOJ payload."""
+    if _is_mode_tagged(payload):
+        return payload[1]
+    return payload
+
+
+def payload_aggregate_mode(payload) -> str | None:
+    """The aggregate-mode tag of a plan payload (None when untagged)."""
+    if _is_mode_tagged(payload):
+        return payload[0]
+    return None
+
+
+def canonicalize_wcoj_payload(payload: tuple, canon: CanonicalQuery) -> tuple:
+    """Render a WCOJ plan payload in canonical variable names.
+
+    Plan-cache entries must be expressed over canonical vocabulary so
+    isomorphic queries can share them; aggregate-mode plans carry a
+    ``(mode, order)`` pair whose mode tag is name-free and whose order
+    translates like a plain payload — keeping the tag inside the cached
+    payload is what makes an in-recursion plan replay as an in-recursion
+    plan (and a fold plan as a fold plan) for every isomorphic query.
+    """
+    if _is_mode_tagged(payload):
+        mode, order = payload
+        return (mode, canon.canonicalize_variables(order))
+    return canon.canonicalize_variables(payload)
+
+
+def translate_wcoj_payload(payload: tuple, canon: CanonicalQuery) -> tuple:
+    """Map a canonical WCOJ plan payload back to a query's vocabulary."""
+    if _is_mode_tagged(payload):
+        mode, order = payload
+        return (mode, canon.translate_variables(order))
+    return canon.translate_variables(payload)
+
+
 def canonical_query(query: ConjunctiveQuery | Query) -> CanonicalQuery:
     """Compute the canonical form of a (possibly rich) query.
 

@@ -19,18 +19,20 @@ Queries arrive through one declarative surface
 classical :class:`ConjunctiveQuery`, all interchangeable): projection
 heads, constants in atoms, comparison selections, semiring aggregates with
 group-by, ORDER BY and LIMIT.  The executors handle the join with
-selections pushed below it and projection deduplicated early; this module
-layers aggregation folds, ordering (heap-based top-k under LIMIT) and
-result materialization on the streams they return.
+selections pushed below it, projection deduplicated early, and — under
+in-recursion plans — the aggregates folded inside the join itself; this
+module layers the remaining stream-folds, ordering (heap-based top-k
+under LIMIT) and result materialization on the streams they return.
 
 Execution streams wherever the algorithm allows: for the WCOJ and naive
 strategies, ``stream()`` yields result tuples straight out of the join
 recursion and ``execute(..., limit=k)`` abandons the search after the k-th
 tuple, so ``LIMIT`` queries never pay for the full join (the materializing
-strategies — binary plans, Yannakakis — compute the join before yielding;
-ordered and aggregated queries must also drain the stream first).
-``execute_many`` plans a whole batch first and prebuilds the shared indexes
-before running it.
+strategies — binary plans, Yannakakis — compute their result before
+yielding; ordered and stream-folded aggregate queries must also drain
+first, while in-recursion aggregate plans stream finalized group rows
+group-at-a-time).  ``execute_many`` plans a whole batch first and
+prebuilds the shared indexes before running it.
 """
 
 from __future__ import annotations
@@ -39,8 +41,13 @@ import itertools
 from dataclasses import asdict, dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.engine.cost import MODES, dispatch
-from repro.engine.executors import executor_for, split_pushable_selections
+from repro.engine.cost import AGGREGATE_MODES, MODES, dispatch
+from repro.engine.executors import (
+    executor_for,
+    payload_aggregate_mode,
+    payload_order,
+    split_pushable_selections,
+)
 from repro.engine.fingerprint import CanonicalQuery, canonical_query
 from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
 from repro.engine.registry import IndexRegistry
@@ -124,13 +131,23 @@ class Explanation:                 # make a generated __hash__ crash
         The result schema (head variables then aggregate aliases).
     aggregates:
         Rendered aggregate heads (empty for non-aggregate queries).
+    aggregate_mode:
+        The resolved aggregate execution mode — ``"recursion"``
+        (in-recursion semiring elimination / Yannakakis in-pass) or
+        ``"fold"`` (drain-and-fold); None without aggregates.
+    elimination:
+        Per-variable elimination placement for in-recursion plans (which
+        variables form the group prefix, which are folded away and at
+        what depth), or a one-line description of the fold/in-pass
+        placement.
     pushed_selections:
         Where each selection lands *below* the join (recursion depth for
-        WCOJ, earliest covering atom for naive, filtered scan for the
-        materializing strategies).
+        WCOJ, earliest covering atom for naive, filtered scan or
+        first-covering pairwise join for the materializing strategies).
     residual_selections:
-        Cross-atom predicates a materializing strategy must apply
-        post-join (always empty for WCOJ/naive, which prune mid-search).
+        Predicates applied after the join (none under the current
+        executors, which push every predicate below or into the join;
+        kept for forward compatibility).
     order_by / limit:
         Result-ordering and top-k controls carried by the query.
     session_stats:
@@ -151,6 +168,8 @@ class Explanation:                 # make a generated __hash__ crash
     cold_indexes: tuple[str, ...]
     output_columns: tuple[str, ...] = ()
     aggregates: tuple[str, ...] = ()
+    aggregate_mode: str | None = None
+    elimination: tuple[str, ...] = ()
     pushed_selections: tuple[str, ...] = ()
     residual_selections: tuple[str, ...] = ()
     order_by: tuple[str, ...] = ()
@@ -183,7 +202,12 @@ class Explanation:                 # make a generated __hash__ crash
         if self.output_columns:
             lines.append(f"output:         ({', '.join(self.output_columns)})")
         if self.aggregates:
-            lines.append(f"aggregates:     {', '.join(self.aggregates)}")
+            lines.append(f"aggregates:     {', '.join(self.aggregates)}"
+                         + (f" [{self.aggregate_mode}]"
+                            if self.aggregate_mode else ""))
+        if self.elimination:
+            lines.append("elimination:")
+            lines.extend(f"    {entry}" for entry in self.elimination)
         for label, entries in (("pushed below join", self.pushed_selections),
                                ("post-join filters", self.residual_selections)):
             if entries:
@@ -324,19 +348,33 @@ class Engine:
             self._canon_cache.put(query, canon)
         return canon
 
-    def _prepare(self, query: QueryLike, mode: str) -> _Prepared:
+    def _prepare(self, query: QueryLike, mode: str,
+                 aggregate_mode: str = "auto") -> _Prepared:
         if mode not in MODES:
             raise QueryError(
                 f"unknown engine mode {mode!r}; expected one of {MODES}"
             )
+        if aggregate_mode not in AGGREGATE_MODES:
+            raise QueryError(
+                f"unknown aggregate mode {aggregate_mode!r}; "
+                f"expected one of {AGGREGATE_MODES}"
+            )
         query = self._normalize(query)
+        if aggregate_mode != "auto" and not query.aggregates:
+            raise QueryError(
+                f"aggregate_mode={aggregate_mode!r} needs an aggregate query"
+            )
         canon = self._canonical(query)
         core = query.core
         fingerprint = statistics_fingerprint(
             self._db,
             [core.atoms[i].relation for i in canon.atom_order],
         )
-        key = (canon.form, fingerprint, mode)
+        # The requested aggregate mode is a plan axis like the strategy
+        # mode: a plan resolved under "fold" must not serve a "recursion"
+        # request (the cached payload's mode tag would disagree).
+        key = (canon.form, fingerprint, mode,
+               aggregate_mode if query.aggregates else "auto")
         cached = self._plans.get(key)
         if cached is not None:
             self.stats.plan_hits += 1
@@ -347,12 +385,18 @@ class Engine:
 
         self.stats.plan_misses += 1
         decision = dispatch(core, self._db, mode,
-                            selections=query.all_selections)
+                            selections=query.all_selections,
+                            aggregates=query.aggregates,
+                            group=query.head_vars,
+                            aggregate_mode=aggregate_mode)
         executor = executor_for(decision.strategy)
         # The dispatcher already computed the greedy order while pricing the
-        # binary strategy — reuse it so the plan run is the plan priced.
+        # binary strategy (and the aggregate-aware order while resolving the
+        # aggregate mode) — reuse them so the plan run is the plan priced.
         if decision.strategy == "binary":
             payload: tuple | None = decision.binary_order
+        elif decision.payload is not None:
+            payload = decision.payload
         else:
             payload = executor.plan(query, self._db)
         plan = CachedPlan(
@@ -411,7 +455,8 @@ class Engine:
     # ------------------------------------------------------------------
     def execute(self, query: QueryLike, mode: str = "auto",
                 limit: int | None = None,
-                counter: OperationCounter | None = None) -> Relation:
+                counter: OperationCounter | None = None,
+                aggregate_mode: str = "auto") -> Relation:
         """Evaluate a query and return its result relation.
 
         Parameters
@@ -422,6 +467,14 @@ class Engine:
             (``"Q(A) :- R(A,B), S(B,5), A < B"``).
         mode:
             ``"auto"`` (cost-based dispatch) or a forced strategy name.
+        aggregate_mode:
+            How aggregate heads are evaluated: ``"auto"`` lets the
+            dispatcher price in-recursion elimination against
+            drain-and-fold per strategy, ``"recursion"`` forces the
+            aggregation inside the join (in-recursion for the WCOJ
+            strategies, in-pass for Yannakakis; restricting dispatch to
+            strategies that support it), ``"fold"`` forces the
+            join-then-fold route.  Only valid on aggregate queries.
         limit:
             Stop after this many result tuples; pushed down into the join
             recursion for WCOJ strategies and combined (min) with the
@@ -438,7 +491,7 @@ class Engine:
             zero work and verify bounds vacuously.
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode)
+        prepared = self._prepare(query, mode, aggregate_mode)
         effective = self._effective_limit(prepared.query, limit)
         return self._execute_prepared(prepared, effective, counter,
                                       cacheable=limit is None)
@@ -472,33 +525,38 @@ class Engine:
 
     def stream(self, query: QueryLike, mode: str = "auto",
                limit: int | None = None,
-               counter: OperationCounter | None = None) -> Iterator[tuple]:
+               counter: OperationCounter | None = None,
+               aggregate_mode: str = "auto") -> Iterator[tuple]:
         """Lazily enumerate result tuples (over the output columns).
 
         For the WCOJ and naive strategies, abandoning the iterator abandons
         the remaining join search, so consuming k tuples costs only the
-        work of finding k tuples.  The materializing strategies (binary
-        plans, Yannakakis) compute the full join before yielding the first
-        tuple, and ordered or aggregated queries must drain the join
+        work of finding k tuples — for in-recursion aggregate plans the
+        tuples are finalized group rows, which stream group-at-a-time out
+        of the recursion.  The materializing strategies (binary plans,
+        Yannakakis) compute their result before yielding the first tuple,
+        and ordered or stream-folded aggregate queries must drain the join
         first; ``limit`` then merely truncates the iteration (top-k for
         ordered queries).
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode)
+        prepared = self._prepare(query, mode, aggregate_mode)
         limit = self._effective_limit(prepared.query, limit)
         self.stats.queries += 1
         return self._run(prepared, counter, limit)
 
     def execute_many(self, queries: Sequence[QueryLike],
-                     mode: str = "auto", limit: int | None = None
-                     ) -> list[Relation]:
+                     mode: str = "auto", limit: int | None = None,
+                     aggregate_mode: str = "auto") -> list[Relation]:
         """Evaluate a batch, sharing planning and index builds across it.
 
         All queries are planned first; the union of their index requests is
         built once (deduplicated by the registry); then each query runs.
+        A non-default ``aggregate_mode`` applies to every query in the
+        batch (so the batch must be all-aggregate to force one).
         """
         self._check_limit(limit)
-        prepared = [self._prepare(q, mode) for q in queries]
+        prepared = [self._prepare(q, mode, aggregate_mode) for q in queries]
         requested: set[tuple[str, tuple[str, ...]]] = set()
         for prep in prepared:
             executor = executor_for(prep.plan.strategy)
@@ -515,13 +573,14 @@ class Engine:
             for prep in prepared
         ]
 
-    def explain(self, query: QueryLike, mode: str = "auto") -> Explanation:
+    def explain(self, query: QueryLike, mode: str = "auto",
+                aggregate_mode: str = "auto") -> Explanation:
         """Plan the query (without executing) and report the evidence.
 
         Explaining warms the plan cache: a subsequent ``execute`` of the
         same query reports a plan-cache hit.
         """
-        prepared = self._prepare(query, mode)
+        prepared = self._prepare(query, mode, aggregate_mode)
         executor = executor_for(prepared.plan.strategy)
         warm: list[str] = []
         cold: list[str] = []
@@ -541,11 +600,13 @@ class Engine:
         result_cached = (self._cache_results
                          and self._result_key(prepared) in self._results)
         variable_order = (
-            tuple(prepared.payload)
+            payload_order(prepared.payload)
             if prepared.plan.strategy in ("generic", "leapfrog") else None
         )
         pushed, residual = self._selection_placement(prepared)
         spec = prepared.query
+        resolved_mode = (payload_aggregate_mode(prepared.payload)
+                         or ("fold" if spec.aggregates else None))
         return Explanation(
             query=str(spec),
             mode=mode,
@@ -561,12 +622,56 @@ class Engine:
             cold_indexes=tuple(cold),
             output_columns=spec.output_columns,
             aggregates=tuple(f"{a} AS {a.alias}" for a in spec.aggregates),
+            aggregate_mode=resolved_mode,
+            elimination=self._elimination_placement(prepared, resolved_mode),
             pushed_selections=pushed,
             residual_selections=residual,
             order_by=tuple(f"{c} DESC" if d else c for c, d in spec.order_by),
             limit=spec.limit,
             session_stats=self.stats.as_dict(),
         )
+
+    @staticmethod
+    def _elimination_placement(prepared: _Prepared,
+                               resolved_mode: str | None
+                               ) -> tuple[str, ...]:
+        """Where each variable is aggregated away, per strategy and mode."""
+        spec = prepared.query
+        if not spec.aggregates or resolved_mode is None:
+            return ()
+        strategy = prepared.plan.strategy
+        kinds = ", ".join(sorted({a.kind.upper() for a in spec.aggregates}))
+        if resolved_mode == "fold":
+            return (f"all variables enumerated; {kinds} folded over the "
+                    "streamed join output (stream-fold)",)
+        if strategy in ("generic", "leapfrog"):
+            order = payload_order(prepared.payload)
+            group = set(spec.head_vars)
+            start = max((order.index(g) for g in group), default=-1) + 1
+            lines = []
+            for depth in range(start):
+                role = ("group-by" if order[depth] in group
+                        else "constant-pinned")
+                lines.append(f"{order[depth]} — {role} prefix "
+                             f"(depth {depth})")
+            for depth in range(start, len(order)):
+                lines.append(
+                    f"{order[depth]} — eliminated in-recursion at depth "
+                    f"{depth}, folded into {kinds}"
+                )
+            if not lines:
+                lines.append(f"no variables to eliminate; {kinds} folded "
+                             "per full binding")
+            return tuple(lines)
+        if strategy == "yannakakis":
+            non_group = [v for v in spec.core.variables
+                         if v not in set(spec.head_vars)]
+            return (
+                f"{', '.join(non_group) or '(nothing)'} — aggregated away "
+                f"during the join-tree passes (semiring product at joins, "
+                f"{kinds} fold at projections)",
+            )
+        return ()
 
     @staticmethod
     def _selection_placement(prepared: _Prepared
@@ -578,7 +683,7 @@ class Engine:
         strategy = prepared.plan.strategy
         core = spec.core
         if strategy in ("generic", "leapfrog"):
-            order = tuple(prepared.payload)
+            order = payload_order(prepared.payload)
             position = {v: i for i, v in enumerate(order)}
             pushed = tuple(
                 f"{sel} — pruned at depth "
@@ -604,22 +709,31 @@ class Engine:
         pushed = tuple(
             f"{sel} — filtered into the scan of {core.atoms[i].relation}"
             for i, sels in enumerate(per_atom) for sel in sels
+        ) + tuple(
+            f"{sel} — applied during the pairwise joins, at the first "
+            "join binding both sides"
+            for sel in residual
         )
-        return pushed, tuple(f"{sel} — applied after the join"
-                             for sel in residual)
+        return pushed, ()
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     def _run(self, prepared: _Prepared, counter: OperationCounter | None,
              limit: int | None = None) -> Iterator[tuple]:
-        """Stream output rows: join → aggregate fold → order → limit."""
+        """Stream output rows: join → aggregate fold → order → limit.
+
+        In-recursion aggregate plans skip the fold stage entirely: the
+        executor's stream already carries finalized group rows straight
+        out of the join recursion (or Yannakakis' join-tree passes).
+        """
         spec = prepared.query
         executor = executor_for(prepared.plan.strategy)
         rows = executor.stream(spec, self._db, prepared.payload,
                                registry=self._registry, counter=counter)
         self._sync_index_stats()
-        if spec.aggregates:
+        if spec.aggregates and not executor.handles_aggregation(
+                spec, prepared.payload):
             rows = fold_aggregates(rows, spec.core.variables,
                                    spec.head_vars, spec.aggregates)
         if spec.order_by:

@@ -12,6 +12,16 @@ O(N^{rho*}), which the benchmark harness verifies via operation counts.
 Algorithm 1 of the paper is exactly this algorithm specialized to the
 triangle query with the order (A, B, C).
 
+The shared recursion (:func:`wcoj_stream`) is FAQ-shaped: variables that no
+output head needs are *eliminated in-recursion* — each such subtree
+collapses to one semiring value per aggregate instead of being enumerated
+into output tuples.  The boolean semiring instance of this machinery is the
+classical existential tail of a projection (find one witness and stop);
+``COUNT``/``SUM``/``MIN``/``MAX``/``AVG`` heads reuse the identical
+recursion with their own semirings, and a separator-keyed memo collapses
+repeated subproblems so acyclic group-bys run output-linear instead of
+join-linear.
+
 The module exposes two entry points sharing one recursion:
 
 * :func:`generic_join_stream` — a generator that lazily yields result
@@ -31,6 +41,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
+from repro.query.semiring import BOOLEAN, Aggregate
 from repro.query.variable_order import min_degree_order, validate_order
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
@@ -69,15 +80,17 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 tries: Mapping[str, TrieIndex] | None = None,
                 selections: Sequence = (),
                 head: Sequence[str] | None = None,
+                aggregates: Sequence[Aggregate] | None = None,
                 ) -> Iterator[tuple]:
     """The shared variable-at-a-time WCOJ recursion.
 
     Generic-Join and Leapfrog Triejoin differ *only* in how they enumerate
     the intersection of the per-atom candidate sets (the paper's single
     algorithmic assumption); everything else — trie resolution, the
-    relevant-atom map, the suspending recursion — is this one generator.
-    ``intersect(value_lists, counter)`` supplies that primitive: it receives
-    the per-atom sorted value lists and returns their intersection.
+    relevant-atom map, the suspending recursion, in-recursion semiring
+    elimination — is this one generator.  ``intersect(value_lists,
+    counter)`` supplies that primitive: it receives the per-atom sorted
+    value lists and returns their intersection.
 
     Selections (:class:`~repro.query.terms.Comparison` predicates over the
     query variables) are pushed into the recursion at the *binding* level:
@@ -86,17 +99,32 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     finished tuples — constants and comparisons therefore cut the search
     tree below the join, not after it.
 
-    With ``head`` (a subset/permutation of the variables) the stream yields
-    *deduplicated head tuples*.  When every non-head variable preceding the
-    last head variable in ``order`` is pinned by a ``== constant``
-    selection, deduplication is *early*: the tail variables after the head
-    prefix are existential, so the recursion probes them for a single
-    witness and abandons the rest of that subtree — no seen-set, no wasted
-    enumeration.  Otherwise a seen-set fallback keeps the semantics.
+    **Projection.**  With ``head`` (a subset/permutation of the variables)
+    the stream yields *deduplicated head tuples*.  When every non-head
+    variable preceding the last head variable in ``order`` is pinned by a
+    ``== constant`` selection, the tail variables after the head prefix
+    are existential and collapse through the boolean-semiring eliminator:
+    one witness saturates the fold (``absorbing``), the rest of the
+    subtree is abandoned, and a separator-keyed memo reuses witnesses
+    across head prefixes that agree on the variables the tail can actually
+    see.  Otherwise a seen-set fallback keeps the semantics.
 
-    Yields tuples over ``query.variables`` (or ``head``); because the
-    recursion suspends at every ``yield``, abandoning the iterator abandons
-    the remaining search tree (``LIMIT`` pushdown).
+    **Aggregation.**  With ``aggregates``, ``head`` is the group-by prefix
+    and the stream yields finalized aggregate rows ``group values +
+    aggregate values`` directly out of the recursion (FAQ-style variable
+    elimination): every variable after the group prefix is folded into the
+    aggregates' semirings bottom-up, with the same separator memo, so the
+    full join is never enumerated.  ``order`` must keep the group
+    variables (plus constant-pinned variables) as a prefix — the
+    aggregate-aware planner (:func:`repro.query.variable_order.
+    aggregate_elimination_order`) constructs such orders.  A group-free
+    aggregation over an empty join yields the single all-identities row
+    (SQL-style ``COUNT() = 0``).
+
+    Yields tuples over ``query.variables`` (or ``head`` / the aggregate
+    row shape); because the recursion suspends at every ``yield``,
+    abandoning the iterator abandons the remaining search tree (``LIMIT``
+    pushdown).
     """
     if order is None:
         order = min_degree_order(query)
@@ -127,25 +155,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             )
         checks_at[max(position[v] for v in sel.variables)].append(sel)
 
-    # Projection: find the depth after which all head variables are bound,
-    # and whether the prefix guarantees distinct head tuples (every
-    # non-head variable in it is pinned to one value by a constant
-    # equality), enabling the existential early-stop.
-    if head is not None:
-        head = tuple(head)
-        missing = [h for h in head if h not in position]
-        if missing:
-            raise ValueError(f"head variables {missing} are not query variables")
-        head_set = set(head)
-        prefix_depth = max((position[h] for h in head), default=0) + 1 if head else 0
-        pinned = {sel.lhs for sel in selections
-                  if getattr(sel, "is_constant_equality", False)}
-        early_distinct = all(v in head_set or v in pinned
-                             for v in order[:prefix_depth])
-    else:
-        head_set = set()
-        prefix_depth = len(order) + 1
-        early_distinct = True
+    pinned = {sel.lhs for sel in selections
+              if getattr(sel, "is_constant_equality", False)}
 
     def candidates_for(variable: str) -> list[Any]:
         value_lists: list[list[Any]] = []
@@ -159,20 +170,179 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     def passes(depth: int) -> bool:
         return all(sel.evaluate(binding) for sel in checks_at[depth])
 
-    def exists(depth: int) -> bool:
-        """One-witness search over the existential tail variables."""
-        if depth == len(order):
-            return True
-        variable = order[depth]
-        if counter is not None:
-            counter.charge(search_nodes=1)
-        for value in candidates_for(variable):
-            binding[variable] = value
-            found = passes(depth) and exists(depth + 1)
-            del binding[variable]
-            if found:
-                return True
-        return False
+    def make_eliminator(start: int, semirings: Sequence,
+                        lifts: Sequence[Callable[[], Any]]):
+        """A bottom-up semiring fold over the variables ``order[start:]``.
+
+        ``eliminate(depth)`` returns one accumulator per semiring — the
+        fold, over every assignment of ``order[depth:]`` consistent with
+        the current prefix binding, of the per-assignment lifts — or
+        ``None`` when no consistent assignment exists (so callers can
+        distinguish an empty subtree from one that folds to the zeros).
+
+        Two things make this cheaper than enumerating the subtree into
+        tuples:
+
+        * *saturation*: when every semiring has an absorbing ``plus``
+          element, the candidate loop stops as soon as all accumulators
+          reach it (the boolean semiring's one-witness existential
+          search);
+        * *memoization*: the subtree's value can only depend on the
+          earlier-bound variables that the subtree can see — those
+          sharing an atom with a subtree variable, those read by a
+          selection firing inside the subtree, and aggregate input
+          variables bound in the prefix.  Depths where that separator is
+          strictly smaller than the full prefix carry a memo keyed on
+          it, which is what collapses acyclic group-bys from join-linear
+          to output-linear.
+        """
+        n = len(order)
+        # Variables co-occurring (in some atom) with each variable.
+        covars: dict[str, set[str]] = {v: set() for v in order}
+        for atom_order in trie_orders.values():
+            for v in atom_order:
+                covars[v].update(atom_order)
+        lift_needs = {
+            agg.var for agg in (aggregates or ()) if agg.var is not None
+        }
+        # needed[d]: earlier-bound variables the subtree below d can see.
+        needed: dict[int, set[str]] = {}
+        acc = set(lift_needs)
+        for d in range(n - 1, start - 1, -1):
+            acc = set(acc)
+            acc.update(covars[order[d]])
+            for sel in checks_at[d]:
+                acc.update(sel.variables)
+            needed[d] = acc
+        memo_keys: dict[int, tuple[str, ...]] = {}
+        memo: dict[int, dict[tuple, list | None]] = {}
+        for d in range(start, n):
+            key = tuple(u for u in order[:d] if u in needed[d])
+            if len(key) < d:  # a proper separator: repeats can collapse
+                memo_keys[d] = key
+                memo[d] = {}
+        can_saturate = all(sr.has_absorbing for sr in semirings)
+        saturated = [sr.absorbing for sr in semirings] if can_saturate else None
+
+        def eliminate(depth: int) -> list | None:
+            if depth == n:
+                return [lift() for lift in lifts]
+            table = memo.get(depth)
+            if table is not None:
+                mkey = tuple(binding[u] for u in memo_keys[depth])
+                try:
+                    return table[mkey]
+                except KeyError:
+                    pass
+            variable = order[depth]
+            if counter is not None:
+                counter.charge(search_nodes=1)
+            total: list | None = None
+            for value in candidates_for(variable):
+                binding[variable] = value
+                sub = eliminate(depth + 1) if passes(depth) else None
+                del binding[variable]
+                if sub is None:
+                    continue
+                if total is None:
+                    total = list(sub)
+                else:
+                    for i, sr in enumerate(semirings):
+                        total[i] = sr.plus(total[i], sub[i])
+                if saturated is not None and total == saturated:
+                    break
+            if table is not None:
+                table[mkey] = total
+            return total
+
+        return eliminate
+
+    # ------------------------------------------------------------------
+    # Aggregate mode: head = group-by prefix, tail folded in-recursion.
+    # ------------------------------------------------------------------
+    if aggregates is not None:
+        group = tuple(head or ())
+        missing = [g for g in group if g not in position]
+        if missing:
+            raise ValueError(f"group variables {missing} are not query variables")
+        group_set = set(group)
+        agg_start = max((position[g] for g in group), default=-1) + 1
+        blockers = [v for v in order[:agg_start]
+                    if v not in group_set and v not in pinned]
+        if blockers:
+            raise ValueError(
+                f"variable order {order} interleaves unpinned non-group "
+                f"variables {blockers} before the last group variable; "
+                "in-recursion aggregation needs the group as a prefix"
+            )
+        semirings = [agg.semiring() for agg in aggregates]
+        lifts = [
+            (lambda sr=sr: sr.lift(None)) if agg.var is None
+            else (lambda v=agg.var, sr=sr: sr.lift(binding[v]))
+            for agg, sr in zip(aggregates, semirings)
+        ]
+        eliminate = make_eliminator(agg_start, semirings, lifts)
+
+        def emit_group() -> tuple | None:
+            values = eliminate(agg_start)
+            if values is None:
+                return None
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+            return (tuple(binding[g] for g in group)
+                    + tuple(sr.finish(v) for sr, v in zip(semirings, values)))
+
+        def group_recurse(depth: int) -> Iterator[tuple]:
+            if depth == agg_start:
+                row = emit_group()
+                if row is not None:
+                    yield row
+                return
+            variable = order[depth]
+            if counter is not None:
+                counter.charge(search_nodes=1)
+            for value in candidates_for(variable):
+                binding[variable] = value
+                if passes(depth):
+                    yield from group_recurse(depth + 1)
+                del binding[variable]
+
+        produced = False
+        for row in group_recurse(0):
+            produced = True
+            yield row
+        if not produced and not group:
+            # SQL-style group-free aggregate of an empty join.
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+            yield tuple(sr.finish(sr.zero) for sr in semirings)
+        return
+
+    # ------------------------------------------------------------------
+    # Projection / full-enumeration mode.
+    # ------------------------------------------------------------------
+    # Find the depth after which all head variables are bound, and whether
+    # the prefix guarantees distinct head tuples (every non-head variable
+    # in it is pinned to one value by a constant equality), enabling the
+    # boolean-semiring existential tail.
+    if head is not None:
+        head = tuple(head)
+        missing = [h for h in head if h not in position]
+        if missing:
+            raise ValueError(f"head variables {missing} are not query variables")
+        head_set = set(head)
+        prefix_depth = max((position[h] for h in head), default=0) + 1 if head else 0
+        early_distinct = all(v in head_set or v in pinned
+                             for v in order[:prefix_depth])
+    else:
+        prefix_depth = len(order) + 1
+        early_distinct = True
+
+    if head is not None and early_distinct and prefix_depth < len(order):
+        exists = make_eliminator(prefix_depth, (BOOLEAN,),
+                                 (lambda: BOOLEAN.lift(None),))
+    else:
+        exists = None
 
     def emit() -> tuple:
         if counter is not None:
@@ -182,8 +352,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         return tuple(binding[h] for h in head)
 
     def recurse(depth: int) -> Iterator[tuple]:
-        if head is not None and depth == prefix_depth and early_distinct:
-            if depth == len(order) or exists(depth):
+        if exists is not None and depth == prefix_depth:
+            if exists(prefix_depth) is not None:
                 yield emit()
             return
         if depth == len(order):
@@ -237,6 +407,7 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
                         tries: Mapping[str, TrieIndex] | None = None,
                         selections: Sequence = (),
                         head: Sequence[str] | None = None,
+                        aggregates: Sequence[Aggregate] | None = None,
                         ) -> Iterator[tuple]:
     """Lazily enumerate the full join, yielding tuples over ``query.variables``.
 
@@ -260,11 +431,18 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
         level (see :func:`wcoj_stream`).
     head:
         Optional projection; with it the stream yields deduplicated head
-        tuples (early-deduplicating when the order allows).
+        tuples (collapsing the existential tail through the boolean
+        semiring when the order allows).  With ``aggregates`` it is the
+        group-by prefix instead.
+    aggregates:
+        Optional semiring aggregates evaluated *in-recursion* (FAQ-style
+        variable elimination); the stream then yields finalized rows
+        ``head values + aggregate values`` (see :func:`wcoj_stream`).
     """
     return wcoj_stream(query, database, hash_probe_intersect,
                        order=order, counter=counter, tries=tries,
-                       selections=selections, head=head)
+                       selections=selections, head=head,
+                       aggregates=aggregates)
 
 
 def generic_join(query: ConjunctiveQuery, database: Database,

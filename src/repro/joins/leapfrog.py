@@ -23,6 +23,7 @@ from typing import Any, Iterator, Mapping, Sequence
 from repro.joins.generic_join import wcoj_stream
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
+from repro.query.semiring import Aggregate
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
 from repro.relational.relation import Relation
@@ -102,22 +103,24 @@ def leapfrog_stream(query: ConjunctiveQuery, database: Database,
                     tries: Mapping[str, TrieIndex] | None = None,
                     selections: Sequence = (),
                     head: Sequence[str] | None = None,
+                    aggregates: Sequence[Aggregate] | None = None,
                     ) -> Iterator[tuple]:
     """Lazily enumerate the full join with Leapfrog Triejoin.
 
     Parameters are identical to
     :func:`repro.joins.generic_join.generic_join_stream` (including
-    binding-level ``selections`` pushdown and early-deduplicating ``head``
-    projection); the difference is purely in how the per-variable
-    intersections are computed (sorted leapfrog seeks instead of hash
-    probes), which is the design-choice ablation benchmarked in
-    ``benchmarks/bench_intersection.py``.  Both share the
-    variable-at-a-time recursion of
+    binding-level ``selections`` pushdown, early-deduplicating ``head``
+    projection, and in-recursion semiring ``aggregates``); the difference
+    is purely in how the per-variable intersections are computed (sorted
+    leapfrog seeks instead of hash probes), which is the design-choice
+    ablation benchmarked in ``benchmarks/bench_intersection.py``.  Both
+    share the variable-at-a-time recursion of
     :func:`repro.joins.generic_join.wcoj_stream`.
     """
     return wcoj_stream(query, database, leapfrog_intersect,
                        order=order, counter=counter, tries=tries,
-                       selections=selections, head=head)
+                       selections=selections, head=head,
+                       aggregates=aggregates)
 
 
 def leapfrog_triejoin(query: ConjunctiveQuery, database: Database,

@@ -92,6 +92,53 @@ class PlanExecution:
         return sum(self.intermediate_sizes)
 
 
+def apply_covered_selections(relation: Relation, pending: list,
+                             counter: OperationCounter | None) -> Relation:
+    """Filter by (and consume from ``pending``) every comparison predicate
+    the relation's schema covers.
+
+    The shared primitive behind cross-atom selection pushdown in the
+    materializing executors: both the binary-plan executor and Yannakakis
+    call it on base scans and on every pairwise join result, so each
+    predicate fires exactly once, at the first relation binding all its
+    variables.
+    """
+    covered = [sel for sel in pending
+               if sel.variables <= set(relation.schema)]
+    if not covered:
+        return relation
+    for sel in covered:
+        pending.remove(sel)
+    if counter is not None:
+        counter.charge(tuples_scanned=len(relation))
+    return relation.filter(
+        lambda row: all(sel.evaluate(row) for sel in covered),
+        name=relation.name,
+    )
+
+
+def raise_if_pending(pending: list, query: ConjunctiveQuery) -> None:
+    """Reject selections no relation ever covered, saying why.
+
+    Either the selection mentions variables the query does not have, or a
+    join-project plan projected a needed variable away before the first
+    node whose schema covered the whole predicate.
+    """
+    if not pending:
+        return
+    variables = set(query.variables)
+    unknown = [s for s in pending if not (s.variables <= variables)]
+    if unknown:
+        raise QueryError(
+            f"selections {[str(s) for s in unknown]} mention variables "
+            f"outside the query variables {query.variables}"
+        )
+    raise QueryError(
+        f"selections {[str(s) for s in pending]} never fired: a projection "
+        "removed their variables before any node's schema covered them"
+    )
+
+
 def _validate_plan(plan: JoinPlan, query: ConjunctiveQuery) -> None:
     edge_keys = {query.edge_key(i) for i in range(len(query.atoms))}
     used = plan.atoms()
@@ -102,23 +149,36 @@ def _validate_plan(plan: JoinPlan, query: ConjunctiveQuery) -> None:
 
 
 def execute_plan(plan: JoinPlan, query: ConjunctiveQuery, database: Database,
-                 counter: OperationCounter | None = None) -> PlanExecution:
+                 counter: OperationCounter | None = None,
+                 selections: Sequence = ()) -> PlanExecution:
     """Execute a binary join plan bottom-up, materializing intermediates.
 
     The result is reordered to the query's head variables.  Every inner
     node's output size is recorded and also charged to the counter as
     ``intermediate_tuples``.
+
+    ``selections`` (comparison predicates over the query variables) fire at
+    the lowest plan node whose schema covers all their variables — a leaf
+    scan for single-atom predicates, the first pairwise join binding both
+    sides for cross-atom ones — and are applied *before* any join-project
+    projection, so predicates prune intermediates instead of filtering the
+    finished output.
     """
     _validate_plan(plan, query)
     execution = PlanExecution(result=None, counter=counter or OperationCounter())  # type: ignore[arg-type]
     bound_relations = query.bind(database)
+    pending = list(selections)
 
     def run(node: JoinPlan) -> Relation:
         if isinstance(node, PlanLeaf):
-            return bound_relations[node.edge_key]
+            return apply_covered_selections(bound_relations[node.edge_key],
+                                            pending, execution.counter)
         left = run(node.left)
         right = run(node.right)
         joined = natural_join(left, right, counter=execution.counter)
+        if pending:
+            joined = apply_covered_selections(joined, pending,
+                                              execution.counter)
         if node.project_to is not None:
             joined = project(joined, node.project_to, counter=execution.counter)
         execution.intermediate_sizes.append(len(joined))
@@ -126,6 +186,7 @@ def execute_plan(plan: JoinPlan, query: ConjunctiveQuery, database: Database,
         return joined
 
     result = run(plan)
+    raise_if_pending(pending, query)
     # The final node is the query output, not an intermediate.
     if execution.intermediate_sizes:
         final_size = execution.intermediate_sizes.pop()

@@ -8,21 +8,81 @@ are precisely about the *cyclic* queries where this classical route is
 unavailable; having Yannakakis in the library lets the optimizer (and the
 experiments) treat the acyclic case with the right tool and makes the
 "cyclic is where WCOJ matters" story executable.
+
+Two extensions serve the engine's richer surface:
+
+* cross-atom comparison predicates can be handed to :func:`yannakakis`
+  (``selections``) and are applied *during* the bottom-up joins, at the
+  first join where both sides are bound, instead of filtering the finished
+  output;
+* :func:`yannakakis_aggregate_stream` evaluates semiring aggregates
+  **inside** the semijoin/join passes (AJAR-style early aggregation): each
+  input tuple is annotated with semiring values, join-tree messages are
+  aggregated down to the parent separator before joining (``⊕`` over
+  eliminated variables, ``⊗`` across joined tuples), and group-by columns
+  survive to the root — so an acyclic group-by never materializes the join,
+  keeping the output-linear guarantee for the *aggregate* output.
 """
 
 from __future__ import annotations
 
+from typing import Any, Iterator, Sequence
+
 from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter
+from repro.joins.plan import apply_covered_selections, raise_if_pending
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import gyo_reduction
+from repro.query.semiring import Aggregate, Semiring
+from repro.query.terms import Comparison
 from repro.relational.database import Database
 from repro.relational.operators import natural_join, semijoin
 from repro.relational.relation import Relation
 
 
+def _join_tree(query: ConjunctiveQuery):
+    """GYO join tree: (parent map, children map, bottom-up order, root).
+
+    Raises :class:`QueryError` when the query is not alpha-acyclic.
+    """
+    reduction = gyo_reduction(query.hypergraph())
+    if not reduction.acyclic:
+        raise QueryError(
+            f"query {query.name!r} is not alpha-acyclic; use a WCOJ algorithm instead"
+        )
+    parent = dict(reduction.parent)
+    order = list(reduction.elimination_order)
+    children: dict[str, list[str]] = {key: [] for key in parent}
+    root = None
+    for child, par in parent.items():
+        if par is None:
+            root = child
+        else:
+            children[par].append(child)
+    if root is None:
+        # Single-edge query: the only edge is its own root.
+        root = order[-1]
+    return parent, children, order, root
+
+
+def _semijoin_passes(relations: dict[str, Relation], parent: dict[str, str | None],
+                     children: dict[str, list[str]], order: list[str],
+                     counter: OperationCounter | None) -> None:
+    """The two semijoin passes (bottom-up then top-down), in place."""
+    for node in order:
+        par = parent.get(node)
+        if par is None:
+            continue
+        relations[par] = semijoin(relations[par], relations[node], counter=counter)
+    for node in reversed(order):
+        for child in children.get(node, ()):
+            relations[child] = semijoin(relations[child], relations[node],
+                                        counter=counter)
+
+
 def yannakakis(query: ConjunctiveQuery, database: Database,
-               counter: OperationCounter | None = None) -> Relation:
+               counter: OperationCounter | None = None,
+               selections: Sequence[Comparison] = ()) -> Relation:
     """Evaluate an alpha-acyclic full conjunctive query with Yannakakis'
     algorithm.
 
@@ -35,58 +95,43 @@ def yannakakis(query: ConjunctiveQuery, database: Database,
        is no larger than the final output times the subtree's contribution,
        giving the classical O(|D| + |output|) guarantee for full queries.
 
+    ``selections`` (comparison predicates over the query variables, e.g.
+    the cross-atom residue the engine cannot push into a single scan) are
+    applied mid-plan: at the first relation — base or intermediate join
+    result — whose schema covers all their variables, so predicates
+    spanning atoms prune during phase 4 instead of post-filtering the
+    output.
+
     Raises
     ------
     QueryError
         If the query hypergraph is not alpha-acyclic.
     """
-    hypergraph = query.hypergraph()
-    reduction = gyo_reduction(hypergraph)
-    if not reduction.acyclic:
-        raise QueryError(
-            f"query {query.name!r} is not alpha-acyclic; use a WCOJ algorithm instead"
-        )
-
+    parent, children, order, root = _join_tree(query)
     relations = dict(query.bind(database))
-    parent = dict(reduction.parent)
-    # Children lists per node, and a bottom-up order (the GYO elimination
-    # order visits leaves before the nodes that absorbed them).
-    order = list(reduction.elimination_order)
-    children: dict[str, list[str]] = {key: [] for key in parent}
-    root = None
-    for child, par in parent.items():
-        if par is None:
-            root = child
-        else:
-            children[par].append(child)
-    if root is None:
-        # Single-edge query: the only edge is its own root.
-        root = order[-1]
+    pending = list(selections)
+    if pending:
+        relations = {key: apply_covered_selections(rel, pending, counter)
+                     for key, rel in relations.items()}
 
-    # Phase 2: bottom-up semijoins (each node reduces its parent).
-    for node in order:
-        par = parent.get(node)
-        if par is None:
-            continue
-        relations[par] = semijoin(relations[par], relations[node], counter=counter)
+    # Phases 2–3: the semijoin reduction.
+    _semijoin_passes(relations, parent, children, order, counter)
 
-    # Phase 3: top-down semijoins (each parent reduces its children).
-    for node in reversed(order):
-        for child in children.get(node, ()):
-            relations[child] = semijoin(relations[child], relations[node],
-                                        counter=counter)
-
-    # Phase 4: join bottom-up.
+    # Phase 4: join bottom-up, firing cross-atom predicates as soon as a
+    # join binds all their variables.
     for node in order:
         par = parent.get(node)
         if par is None:
             continue
         joined = natural_join(relations[par], relations[node], counter=counter)
+        if pending:
+            joined = apply_covered_selections(joined, pending, counter)
         if counter is not None:
             counter.charge(intermediate_tuples=len(joined))
         relations[par] = joined
 
     result = relations[root]
+    raise_if_pending(pending, query)
     variables = query.variables
     missing = [v for v in variables if v not in result.schema]
     if missing:
@@ -107,23 +152,195 @@ def semijoin_reduce(query: ConjunctiveQuery, database: Database,
     remaining tuple participates in at least one output tuple (for acyclic
     queries), which is the precondition for output-linear join evaluation.
     """
-    hypergraph = query.hypergraph()
-    reduction = gyo_reduction(hypergraph)
+    reduction = gyo_reduction(query.hypergraph())
     if not reduction.acyclic:
         raise QueryError("semijoin reduction to a consistent state requires acyclicity")
+    parent, children, order, _root = _join_tree(query)
     relations = dict(query.bind(database))
-    parent = dict(reduction.parent)
-    order = list(reduction.elimination_order)
-    children: dict[str, list[str]] = {key: [] for key in parent}
-    for child, par in parent.items():
-        if par is not None:
-            children[par].append(child)
+    _semijoin_passes(relations, parent, children, order, counter)
+    return relations
+
+
+# ----------------------------------------------------------------------
+# In-pass semiring aggregation (AJAR-style early aggregation).
+# ----------------------------------------------------------------------
+
+#: An annotated relation: variable schema plus one annotation list (one
+#: semiring value per aggregate) for each tuple.
+_AnnTable = tuple[tuple[str, ...], dict[tuple, list]]
+
+
+def _ann_project(table: _AnnTable, keep: Sequence[str],
+                 semirings: Sequence[Semiring],
+                 counter: OperationCounter | None) -> _AnnTable:
+    """Aggregate an annotated relation onto ``keep`` columns (``⊕``)."""
+    schema, rows = table
+    keep = tuple(keep)
+    if keep == schema:
+        return table
+    positions = [schema.index(v) for v in keep]
+    out: dict[tuple, list] = {}
+    for row, ann in rows.items():
+        key = tuple(row[p] for p in positions)
+        existing = out.get(key)
+        if existing is None:
+            out[key] = list(ann)
+        else:
+            for i, sr in enumerate(semirings):
+                existing[i] = sr.plus(existing[i], ann[i])
+    if counter is not None:
+        counter.charge(tuples_scanned=len(rows), tuples_emitted=len(out))
+    return keep, out
+
+
+def _ann_join(left: _AnnTable, right: _AnnTable,
+              semirings: Sequence[Semiring],
+              pending: list[Comparison],
+              counter: OperationCounter | None) -> _AnnTable:
+    """Annotated natural join (``⊗`` on annotations), firing any pending
+    comparison predicate the joined schema newly covers."""
+    left_schema, left_rows = left
+    right_schema, right_rows = right
+    common = [v for v in left_schema if v in right_schema]
+    extra = [v for v in right_schema if v not in left_schema]
+    out_schema = left_schema + tuple(extra)
+    covered = [sel for sel in pending
+               if sel.variables <= set(out_schema)]
+    for sel in covered:
+        pending.remove(sel)
+
+    left_common = [left_schema.index(v) for v in common]
+    right_common = [right_schema.index(v) for v in common]
+    right_extra = [right_schema.index(v) for v in extra]
+
+    table: dict[tuple, list[tuple[tuple, list]]] = {}
+    for row, ann in right_rows.items():
+        key = tuple(row[p] for p in right_common)
+        table.setdefault(key, []).append((row, ann))
+    if counter is not None:
+        counter.charge(tuples_scanned=len(right_rows),
+                       hash_inserts=len(right_rows))
+
+    out: dict[tuple, list] = {}
+    names = out_schema
+    for row, ann in left_rows.items():
+        if counter is not None:
+            counter.charge(tuples_scanned=1, hash_probes=1)
+        key = tuple(row[p] for p in left_common)
+        for other, other_ann in table.get(key, ()):
+            joined = row + tuple(other[p] for p in right_extra)
+            if covered:
+                binding = dict(zip(names, joined))
+                if not all(sel.evaluate(binding) for sel in covered):
+                    continue
+            out[joined] = [sr.times(a, b) for sr, a, b
+                           in zip(semirings, ann, other_ann)]
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+    return out_schema, out
+
+
+def yannakakis_aggregate_stream(query: ConjunctiveQuery, database: Database,
+                                group: Sequence[str],
+                                aggregates: Sequence[Aggregate],
+                                selections: Sequence[Comparison] = (),
+                                counter: OperationCounter | None = None,
+                                ) -> Iterator[tuple]:
+    """Aggregate an alpha-acyclic query *inside* the join-tree passes.
+
+    Yields finalized rows ``group values + aggregate values`` without ever
+    materializing the join: after the semijoin reduction, every tuple is
+    annotated with one semiring value per aggregate (the designated atom of
+    an aggregate lifts its input variable; every other atom contributes the
+    semiring's ``one``), messages up the join tree are aggregated onto the
+    parent separator plus the still-needed columns (group-by variables and
+    variables of comparison predicates that have not fired yet), and joins
+    combine annotations with ``⊗``.  Distributivity is what makes the early
+    ``⊕`` sound — which is why this mode requires every aggregate's
+    semiring to define a product (``times``/``one``); plus-only monoids
+    fall back to the engine's stream-fold mode.
+
+    ``selections`` should be the cross-atom residue only (single-atom
+    predicates belong in the scans); each fires at the first annotated join
+    whose schema covers it.
+    """
+    semirings = [agg.semiring() for agg in aggregates]
+    for agg, sr in zip(aggregates, semirings):
+        if not sr.has_product:
+            raise QueryError(
+                f"aggregate {agg} uses the plus-only semiring {sr.name!r}; "
+                "in-pass aggregation needs a product semiring (times/one)"
+            )
+    group = tuple(group)
+    parent, children, order, root = _join_tree(query)
+    relations = dict(query.bind(database))
+    _semijoin_passes(relations, parent, children, order, counter)
+
+    # Designated atom per aggregate: the first (body order) atom holding
+    # the aggregate's input variable lifts it; everything else lifts one.
+    designated: dict[int, str] = {}
+    for i, agg in enumerate(aggregates):
+        if agg.var is None:
+            continue
+        for j, atom in enumerate(query.atoms):
+            if agg.var in atom.variable_set:
+                designated[i] = query.edge_key(j)
+                break
+        else:
+            raise QueryError(
+                f"aggregate {agg} reads {agg.var!r}, which no atom binds"
+            )
+
+    tables: dict[str, _AnnTable] = {}
+    for edge_key, relation in relations.items():
+        schema = tuple(relation.attributes)
+        var_pos = {v: p for p, v in enumerate(schema)}
+        rows: dict[tuple, list] = {}
+        for t in relation:
+            rows[t] = [
+                sr.lift(t[var_pos[aggregates[i].var]])
+                if designated.get(i) == edge_key else sr.one
+                for i, sr in enumerate(semirings)
+            ]
+        if counter is not None:
+            counter.charge(tuples_scanned=len(relation))
+        tables[edge_key] = (schema, rows)
+
+    pending = list(selections)
+    group_set = set(group)
+
+    def keep_columns(schema: Sequence[str], separator: set[str]) -> tuple[str, ...]:
+        still_needed = set(group_set)
+        for sel in pending:
+            still_needed |= sel.variables
+        return tuple(v for v in schema
+                     if v in separator or v in still_needed)
+
+    # Bottom-up: aggregate each node onto its message columns, join into
+    # the parent (``⊗``), firing cross-atom predicates as they bind.
     for node in order:
         par = parent.get(node)
-        if par is not None:
-            relations[par] = semijoin(relations[par], relations[node], counter=counter)
-    for node in reversed(order):
-        for child in children.get(node, ()):
-            relations[child] = semijoin(relations[child], relations[node],
-                                        counter=counter)
-    return relations
+        if par is None:
+            continue
+        schema, _rows = tables[node]
+        par_schema, _par_rows = tables[par]
+        separator = set(schema) & set(par_schema)
+        message = _ann_project(tables[node], keep_columns(schema, separator),
+                               semirings, counter)
+        del tables[node]
+        tables[par] = _ann_join(tables[par], message, semirings, pending,
+                                counter)
+
+    raise_if_pending(pending, query)
+
+    _schema, result = _ann_project(tables[root], group, semirings, counter)
+    if not result and not group:
+        # SQL-style group-free aggregate of an empty join.
+        if counter is not None:
+            counter.charge(tuples_emitted=1)
+        yield tuple(sr.finish(sr.zero) for sr in semirings)
+        return
+    for key, ann in result.items():
+        if counter is not None:
+            counter.charge(tuples_emitted=1)
+        yield key + tuple(sr.finish(a) for sr, a in zip(semirings, ann))

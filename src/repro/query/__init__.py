@@ -12,8 +12,10 @@ from repro.query.hypergraph import Hypergraph
 from repro.query.parser import parse_condition, parse_query
 from repro.query.semiring import (
     Aggregate,
+    BOOLEAN,
     Semiring,
     SEMIRINGS,
+    avg_,
     count,
     fold_aggregates,
     max_,
@@ -23,6 +25,7 @@ from repro.query.semiring import (
 )
 from repro.query.terms import Comparison, Constant, comparison, make_term
 from repro.query.variable_order import (
+    aggregate_elimination_order,
     natural_order,
     greedy_min_domain_order,
     min_degree_order,
@@ -52,8 +55,10 @@ __all__ = [
     "parse_query",
     "parse_condition",
     "Aggregate",
+    "BOOLEAN",
     "Semiring",
     "SEMIRINGS",
+    "avg_",
     "count",
     "fold_aggregates",
     "max_",
@@ -64,6 +69,7 @@ __all__ = [
     "Constant",
     "comparison",
     "make_term",
+    "aggregate_elimination_order",
     "natural_order",
     "greedy_min_domain_order",
     "min_degree_order",

@@ -32,7 +32,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import QueryError
 from repro.query.atoms import Atom, ConjunctiveQuery
-from repro.query.semiring import Aggregate, count, max_, min_, sum_
+from repro.query.semiring import Aggregate, avg_, count, max_, min_, sum_
 from repro.query.terms import (
     Comparison,
     Constant,
@@ -502,6 +502,7 @@ __all__ = [
     "Q",
     "OrderKey",
     "sort_rows",
+    "avg_",
     "count",
     "sum_",
     "min_",

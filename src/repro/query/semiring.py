@@ -1,4 +1,4 @@
-"""Semiring aggregates: ``COUNT`` / ``SUM`` / ``MIN`` / ``MAX`` heads.
+"""Semiring aggregates: ``COUNT`` / ``SUM`` / ``MIN`` / ``MAX`` / ``AVG`` heads.
 
 The FAQ / AJAR line of work (and the paper's aggregation discussion in its
 open problems) observes that the variable-elimination machinery behind WCOJ
@@ -6,18 +6,23 @@ algorithms evaluates *functional aggregate queries* over any commutative
 semiring, not just the boolean "does a tuple exist" semiring.  This module
 supplies the pluggable semiring layer for the unified query surface:
 
-* a :class:`Semiring` bundles an identity element with the fold operation
-  (``plus``) and the per-tuple lift;
+* a :class:`Semiring` bundles the aggregation monoid (``zero`` / ``plus`` /
+  per-tuple ``lift``) with, for true semirings, the product structure
+  (``one`` / ``times``) that lets aggregates be pushed *inside* joins: the
+  distributive law ``a ⊗ (b ⊕ c) = a ⊗ b ⊕ a ⊗ c`` is exactly what licenses
+  aggregating a subtree away before joining it (Yannakakis-style in-pass
+  aggregation, and component factorization in FAQ);
 * an :class:`Aggregate` names one aggregate head term (``SUM(X) AS total``);
 * :func:`fold_aggregates` folds a stream of full join tuples into grouped
-  aggregate rows *tuple-at-a-time* — the stream is never materialized, so
-  selections and constants pushed below the join are also below the
-  aggregation (Yannakakis-style early aggregation at the stream level).
+  aggregate rows *tuple-at-a-time* — the drain-and-fold execution mode the
+  engine falls back to when in-recursion aggregation does not apply.
 
 Aggregation semantics follow the package's set-semantics relations: the
 aggregates range over the **distinct** full-join assignments, grouped by
 the plain head variables.  Custom semirings can be plugged in with
-:func:`register_semiring`.
+:func:`register_semiring`; ``AVG`` below is itself registered through that
+path, as the (sum, count) *product semiring* with a non-trivial lift and
+finalizer.
 """
 
 from __future__ import annotations
@@ -27,25 +32,49 @@ from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import QueryError
 
+#: Sentinel distinguishing "no absorbing element" from an absorbing ``None``.
+_NO_ABSORBING = object()
+
 
 @dataclass(frozen=True)
 class Semiring:
-    """One aggregate's fold: identity, combine, and per-tuple lift.
+    """One aggregate's algebra: the fold monoid plus an optional product.
 
     Attributes
     ----------
     name:
         The aggregate keyword (``count``, ``sum``, ...).
     zero:
-        The identity element (also the value reported for an empty,
+        The ``plus`` identity (also the value reported for an empty,
         group-free aggregate, SQL-style: ``COUNT`` of nothing is 0).
     plus:
-        The commutative, associative combine operation.
+        The commutative, associative combine operation (``⊕``).
     lift:
         Maps one aggregated column value into the semiring (``COUNT``
         lifts everything to 1; ``SUM`` lifts to the value itself).
     needs_variable:
         Whether the aggregate reads a column (``COUNT`` does not).
+    one:
+        The ``times`` identity — the annotation of a tuple that carries no
+        information for this aggregate (e.g. a tuple of an atom that does
+        not hold the summed variable).
+    times:
+        The product operation (``⊗``) combining annotations of tuples
+        joined together.  ``None`` for plus-only monoids; when present,
+        ``(zero, plus, one, times)`` must satisfy the semiring laws
+        (checked by the law tests for every registered semiring), which is
+        what allows Yannakakis' algorithm to aggregate during its join
+        passes instead of over the join output.
+    finalize:
+        Optional map from the folded semiring value to the reported output
+        value (``AVG`` divides its (sum, count) pair; plain aggregates
+        report the fold unchanged).
+    absorbing:
+        Optional absorbing element of ``plus`` (``a ⊕ absorbing =
+        absorbing``).  When every aggregate of a query has one, the
+        in-recursion fold can stop a subtree as soon as its accumulator
+        saturates — for the boolean semiring this is exactly the classical
+        one-witness existential search.
     """
 
     name: str
@@ -53,29 +82,107 @@ class Semiring:
     plus: Callable[[Any, Any], Any]
     lift: Callable[[Any], Any]
     needs_variable: bool = True
+    one: Any = None
+    times: Callable[[Any, Any], Any] | None = None
+    finalize: Callable[[Any], Any] | None = None
+    absorbing: Any = _NO_ABSORBING
+
+    @property
+    def has_product(self) -> bool:
+        """True when the algebra is a full semiring (``times`` defined)."""
+        return self.times is not None
+
+    @property
+    def has_absorbing(self) -> bool:
+        """True when ``plus`` has an absorbing element."""
+        return self.absorbing is not _NO_ABSORBING
+
+    def finish(self, value: Any) -> Any:
+        """Apply the finalizer (identity when none is declared)."""
+        if self.finalize is None:
+            return value
+        return self.finalize(value)
 
 
 def _min_plus(a: Any, b: Any) -> Any:
-    if a is None:
+    # ``None`` is the fold identity; the tropical product identity (the
+    # annotation of value-free tuples) folds away the same way — a message
+    # projection may merge several value-free annotations (ONE ⊕ ONE).
+    if a is None or a is _TROPICAL_ONE:
         return b
+    if b is None or b is _TROPICAL_ONE:
+        return a
     return b if b < a else a
 
 
 def _max_plus(a: Any, b: Any) -> Any:
-    if a is None:
+    if a is None or a is _TROPICAL_ONE:
         return b
+    if b is None or b is _TROPICAL_ONE:
+        return a
     return b if b > a else a
 
 
+def _mul(a: Any, b: Any) -> Any:
+    return a * b
+
+
+class _TropicalOne:
+    """The ``times`` identity of the MIN/MAX semirings.
+
+    A sentinel rather than the numeric 0 of the classical tropical
+    semiring: the annotation of a tuple carrying no value for the
+    aggregate must combine with *any* lifted column value — strings and
+    other non-numeric orderables included — so the product treats it as
+    "pass the other side through" instead of doing arithmetic.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<tropical one>"
+
+
+_TROPICAL_ONE = _TropicalOne()
+
+
+def _tropical_add(a: Any, b: Any) -> Any:
+    # ``None`` is the tropical zero (±infinity): it annihilates products,
+    # as the semiring laws require (a ⊗ 0 = 0).  The engine multiplies at
+    # most one lifted value per product chain (one designated atom per
+    # aggregate), so the numeric ``a + b`` leg only matters for the
+    # semiring laws over numbers.
+    if a is None or b is None:
+        return None
+    if a is _TROPICAL_ONE:
+        return b
+    if b is _TROPICAL_ONE:
+        return a
+    return a + b
+
+
 #: Built-in semirings, keyed by aggregate keyword.  ``MIN``/``MAX`` use
-#: ``None`` as the identity (reported for an empty, group-free aggregate).
+#: ``None`` as the fold identity (reported for an empty, group-free
+#: aggregate) and live in the tropical semirings (min, +) / (max, +);
+#: ``COUNT``/``SUM`` live in the numeric sum-product semiring (+, ×).
 SEMIRINGS: dict[str, Semiring] = {
     "count": Semiring("count", 0, lambda a, b: a + b, lambda _v: 1,
-                      needs_variable=False),
-    "sum": Semiring("sum", 0, lambda a, b: a + b, lambda v: v),
-    "min": Semiring("min", None, _min_plus, lambda v: v),
-    "max": Semiring("max", None, _max_plus, lambda v: v),
+                      needs_variable=False, one=1, times=_mul),
+    "sum": Semiring("sum", 0, lambda a, b: a + b, lambda v: v,
+                    one=1, times=_mul),
+    "min": Semiring("min", None, _min_plus, lambda v: v,
+                    one=_TROPICAL_ONE, times=_tropical_add),
+    "max": Semiring("max", None, _max_plus, lambda v: v,
+                    one=_TROPICAL_ONE, times=_tropical_add),
 }
+
+#: The boolean (exists) semiring.  Not a user-facing aggregate — it is what
+#: the WCOJ recursion folds existential tail variables into when a
+#: projection discards them, making "find one witness and stop" the
+#: ``absorbing``-element special case of in-recursion aggregation.
+BOOLEAN = Semiring("bool", False, lambda a, b: a or b, lambda _v: True,
+                   needs_variable=False, one=True,
+                   times=lambda a, b: a and b, absorbing=True)
 
 
 def register_semiring(semiring: Semiring) -> None:
@@ -83,6 +190,38 @@ def register_semiring(semiring: Semiring) -> None:
     if semiring.name in SEMIRINGS:
         raise QueryError(f"semiring {semiring.name!r} is already registered")
     SEMIRINGS[semiring.name] = semiring
+
+
+def _avg_plus(a: tuple, b: tuple) -> tuple:
+    return (a[0] + b[0], a[1] + b[1])
+
+
+def _avg_times(a: tuple, b: tuple) -> tuple:
+    # The product of (sum, count) annotations over independent factors:
+    # the combined sum weights each side's sum by the other side's
+    # multiplicity, the combined count multiplies.
+    return (a[0] * b[1] + b[0] * a[1], a[1] * b[1])
+
+
+def _avg_finalize(value: tuple) -> Any:
+    total, count = value
+    if count == 0:
+        return None
+    return total / count
+
+
+# ``AVG`` is deliberately registered through the public pluggable-semiring
+# path: it is the (sum, count) product semiring with a non-identity lift
+# and a finalizer, exercising every extension hook a custom semiring has.
+register_semiring(Semiring(
+    "avg",
+    zero=(0, 0),
+    plus=_avg_plus,
+    lift=lambda v: (v, 1),
+    one=(0, 1),
+    times=_avg_times,
+    finalize=_avg_finalize,
+))
 
 
 @dataclass(frozen=True)
@@ -131,16 +270,27 @@ def max_(var: str, alias: str | None = None) -> Aggregate:
     return Aggregate("max", var, alias or f"max_{var}")
 
 
+def avg_(var: str, alias: str | None = None) -> Aggregate:
+    """An ``AVG(var)`` head term (the (sum, count) product semiring)."""
+    return Aggregate("avg", var, alias or f"avg_{var}")
+
+
 def fold_aggregates(stream: Iterable[tuple], variables: Sequence[str],
                     group_vars: Sequence[str],
                     aggregates: Sequence[Aggregate]) -> Iterator[tuple]:
     """Fold a stream of distinct full-join tuples into grouped rows.
 
     ``variables`` names the stream's columns; each output row is the group
-    key (values of ``group_vars``) followed by one folded value per
-    aggregate.  The stream is consumed one tuple at a time — nothing is
+    key (values of ``group_vars``) followed by one folded, finalized value
+    per aggregate.  The stream is consumed one tuple at a time — nothing is
     materialized beyond one accumulator per live group — so anything the
     executors pushed below the join stays below the aggregation as well.
+
+    This is the *stream-fold* execution mode: join-linear, since every full
+    join tuple is observed.  The in-recursion mode (see
+    :func:`repro.joins.generic_join.wcoj_stream`) folds eliminated
+    variables inside the join recursion instead and never enumerates the
+    full join.
 
     A group-free aggregation over an empty stream yields the single
     all-identities row (``COUNT`` of nothing is 0), matching SQL.
@@ -162,7 +312,8 @@ def fold_aggregates(stream: Iterable[tuple], variables: Sequence[str],
             lifted = sr.lift(row[pos] if pos is not None else None)
             accumulators[i] = sr.plus(accumulators[i], lifted)
     if not groups and not group_pos:
-        yield tuple(sr.zero for sr in semirings)
+        yield tuple(sr.finish(sr.zero) for sr in semirings)
         return
     for key, accumulators in groups.items():
-        yield key + tuple(accumulators)
+        yield key + tuple(sr.finish(acc)
+                          for sr, acc in zip(semirings, accumulators))

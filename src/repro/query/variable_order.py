@@ -9,6 +9,8 @@ are the standard ones used by engines built on these algorithms.
 
 from __future__ import annotations
 
+import itertools
+
 from typing import Collection, Sequence
 
 from repro.query.atoms import ConjunctiveQuery
@@ -67,6 +69,62 @@ def pushdown_order(query: ConjunctiveQuery,
                            -len(query.atoms_containing(v)), v),
         )
     )
+
+
+def aggregate_elimination_order(query: ConjunctiveQuery,
+                                group: Collection[str] = (),
+                                fixed: Collection[str] = (),
+                                max_exact_tail: int = 5,
+                                ) -> tuple[tuple[str, ...], float]:
+    """A binding order for in-recursion (FAQ-style) aggregation.
+
+    The returned order keeps the constant-pinned variables (``fixed``) and
+    then the group-by variables (``group``) as a prefix — the shape
+    :func:`repro.joins.generic_join.wcoj_stream` requires so each group
+    binding's tail collapses to semiring values — and chooses the
+    *elimination tail* to minimize induced width: every candidate tail
+    permutation is scored by the tree decomposition its reversed order
+    induces (:func:`repro.query.widths.decomposition_from_elimination_order`
+    — FAQ eliminates innermost-first, so the elimination order is the
+    binding order reversed), first by integer width (cheap, no LP), and
+    the winner's fractional hypertree width over those bags is returned as
+    the FAQ-width proxy the dispatcher prices with.  For alpha-acyclic
+    queries some tail achieves width 1, which is what makes acyclic
+    group-bys output-linear instead of join-linear.
+
+    Tails longer than ``max_exact_tail`` fall back to the min-degree
+    heuristic (one candidate) rather than enumerating permutations.  The
+    prefix is ordered by the same block heuristic as
+    :func:`pushdown_order`, so the whole result is a deterministic
+    function of the query structure.
+
+    Returns ``(order, width)``.
+    """
+    from repro.query.widths import decomposition_from_elimination_order
+
+    base = pushdown_order(query, fixed=fixed, leading=group)
+    prefix_set = set(fixed) | set(group)
+    prefix = tuple(v for v in base if v in prefix_set)
+    tail = tuple(v for v in base if v not in prefix_set)
+    hypergraph = query.hypergraph()
+
+    if len(tail) > 1 and len(tail) <= max_exact_tail:
+        candidates = itertools.permutations(tail)
+    else:
+        candidates = iter((tail,))
+
+    best_order: tuple[str, ...] | None = None
+    best_decomp = None
+    best_width = None
+    for perm in candidates:
+        order = prefix + tuple(perm)
+        decomp = decomposition_from_elimination_order(
+            hypergraph, tuple(reversed(order)))
+        width = decomp.width()
+        if best_width is None or width < best_width:
+            best_order, best_decomp, best_width = order, decomp, width
+    assert best_order is not None and best_decomp is not None
+    return best_order, best_decomp.fractional_hypertree_width(hypergraph)
 
 
 def greedy_min_domain_order(query: ConjunctiveQuery, database: Database

@@ -232,15 +232,20 @@ class TestExplainAndStats:
         assert "ORDER BY count DESC" in rendered
         assert "LIMIT 3" in rendered
 
-    def test_residual_selection_reported_for_materializing_strategy(self):
+    def test_cross_atom_selection_pushed_into_pairwise_joins(self):
         engine = triangle_engine()
-        # A < C spans two atoms only for binary's pairwise scans when no
-        # single atom covers both variables: use a path query.
+        # A != 17 lives in a single atom: filtered into that scan.
         explanation = engine.explain(
             "Q(A,B,C) :- R(A,B), S(B,C), A != 17", mode="binary")
         assert explanation.residual_selections == ()
+        assert any("filtered into the scan" in entry
+                   for entry in explanation.pushed_selections)
+        # A < C spans two atoms: applied during the pairwise joins, at the
+        # first join binding both sides — never post-join.
         path = engine.explain("Q(A,C) :- R(A,B), S(B,C), A < C", mode="binary")
-        assert path.residual_selections
+        assert path.residual_selections == ()
+        assert any("during the pairwise joins" in entry
+                   for entry in path.pushed_selections)
         wcoj = engine.explain("Q(A,C) :- R(A,B), S(B,C), A < C", mode="generic")
         assert not wcoj.residual_selections  # WCOJ prunes mid-recursion
 

@@ -1,0 +1,135 @@
+"""Semiring-law property checks for every registered aggregate semiring.
+
+In-recursion aggregation (WCOJ elimination) relies on ``plus`` being a
+commutative monoid; Yannakakis' in-pass aggregation additionally relies on
+the full semiring laws — associativity of ``times``, the ``one`` identity,
+distributivity of ``times`` over ``plus``, and ``zero`` annihilation —
+because aggregating a subtree away before joining it is exactly an
+application of the distributive law.  These checks run over randomized
+value samples for every semiring in the registry (including ``AVG``, the
+(sum, count) product semiring registered through the pluggable path) plus
+the internal boolean semiring.
+"""
+
+import random
+
+import pytest
+
+from repro.query.semiring import BOOLEAN, SEMIRINGS, Semiring
+
+
+def _samples(semiring: Semiring, rng: random.Random) -> list:
+    """Fold-carrier values: lifted column values plus the fold identity.
+
+    ``one`` is deliberately not included: it is the *product* identity —
+    the annotation of a tuple carrying no value — and only ever meets
+    ``times``; the engine never feeds it to ``plus`` (projections fold
+    annotations of like kind), so the monoid laws are checked on the fold
+    carrier and the product laws on the product carrier below.
+    """
+    values = [semiring.lift(rng.randint(-20, 20)) for _ in range(12)]
+    values.append(semiring.zero)
+    return values
+
+
+def _product_samples(semiring: Semiring, rng: random.Random) -> list:
+    """Product-carrier values: the fold carrier plus the ``times`` identity."""
+    return _samples(semiring, rng) + [semiring.one]
+
+
+def _registered():
+    items = sorted(SEMIRINGS.items())
+    items.append(("bool", BOOLEAN))
+    return items
+
+
+@pytest.mark.parametrize("name,semiring", _registered())
+class TestMonoidLaws:
+    def test_plus_commutative(self, name, semiring):
+        rng = random.Random(hash(name) & 0xFFFF)
+        values = _samples(semiring, rng)
+        for a in values:
+            for b in values:
+                assert semiring.plus(a, b) == semiring.plus(b, a)
+
+    def test_plus_associative(self, name, semiring):
+        rng = random.Random(1 + (hash(name) & 0xFFFF))
+        values = _samples(semiring, rng)[:8]
+        for a in values:
+            for b in values:
+                for c in values:
+                    assert (semiring.plus(semiring.plus(a, b), c)
+                            == semiring.plus(a, semiring.plus(b, c)))
+
+    def test_zero_is_plus_identity(self, name, semiring):
+        rng = random.Random(2 + (hash(name) & 0xFFFF))
+        for a in _samples(semiring, rng):
+            assert semiring.plus(semiring.zero, a) == a
+            assert semiring.plus(a, semiring.zero) == a
+
+    def test_absorbing_element_absorbs(self, name, semiring):
+        if not semiring.has_absorbing:
+            pytest.skip("no absorbing element declared")
+        rng = random.Random(3 + (hash(name) & 0xFFFF))
+        for a in _samples(semiring, rng):
+            assert semiring.plus(a, semiring.absorbing) == semiring.absorbing
+            assert semiring.plus(semiring.absorbing, a) == semiring.absorbing
+
+
+@pytest.mark.parametrize("name,semiring",
+                         [(n, s) for n, s in _registered() if s.has_product])
+class TestSemiringLaws:
+    def test_times_associative(self, name, semiring):
+        rng = random.Random(4 + (hash(name) & 0xFFFF))
+        values = _product_samples(semiring, rng)[:8] + [semiring.one]
+        for a in values:
+            for b in values:
+                for c in values:
+                    assert (semiring.times(semiring.times(a, b), c)
+                            == semiring.times(a, semiring.times(b, c)))
+
+    def test_one_is_times_identity(self, name, semiring):
+        rng = random.Random(5 + (hash(name) & 0xFFFF))
+        for a in _product_samples(semiring, rng):
+            assert semiring.times(semiring.one, a) == a
+            assert semiring.times(a, semiring.one) == a
+
+    def test_times_distributes_over_plus(self, name, semiring):
+        rng = random.Random(6 + (hash(name) & 0xFFFF))
+        multipliers = _product_samples(semiring, rng)[:6] + [semiring.one]
+        values = _samples(semiring, rng)[:8]
+        for a in multipliers:
+            for b in values:
+                for c in values:
+                    left = semiring.times(a, semiring.plus(b, c))
+                    right = semiring.plus(semiring.times(a, b),
+                                          semiring.times(a, c))
+                    assert left == right
+                    left = semiring.times(semiring.plus(b, c), a)
+                    right = semiring.plus(semiring.times(b, a),
+                                          semiring.times(c, a))
+                    assert left == right
+
+    def test_zero_annihilates(self, name, semiring):
+        rng = random.Random(7 + (hash(name) & 0xFFFF))
+        for a in _product_samples(semiring, rng):
+            assert semiring.times(semiring.zero, a) == semiring.zero
+            assert semiring.times(a, semiring.zero) == semiring.zero
+
+
+class TestFinalize:
+    def test_plain_semirings_finish_identity(self):
+        sr = SEMIRINGS["sum"]
+        assert sr.finish(41) == 41
+
+    def test_avg_finalizes_to_mean(self):
+        sr = SEMIRINGS["avg"]
+        acc = sr.zero
+        for v in (2, 4, 9):
+            acc = sr.plus(acc, sr.lift(v))
+        assert acc == (15, 3)
+        assert sr.finish(acc) == 5.0
+
+    def test_avg_of_nothing_is_none(self):
+        sr = SEMIRINGS["avg"]
+        assert sr.finish(sr.zero) is None
