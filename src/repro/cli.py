@@ -12,10 +12,14 @@ Usage::
     repro engine --relation E=edges.csv -q "Q(A,B,C) :- E(A,B), E(B,C), E(A,C)"
     repro engine --demo lw4 --query-file queries.txt --repeat 3 --mode auto
 
-    # The unified query surface: constants, selections, aggregates; and
-    # machine-consumable output via --format json / --format csv:
+    # The unified query surface: constants, selections, aggregates,
+    # ordered top-k (any-k ranked enumeration stops the join after k
+    # results; see --ranked-mode); machine-consumable output via
+    # --format json / --format csv:
     repro engine --relation E=edges.csv -q "Q(A) :- E(A,B), E(B,5), A < B"
     repro engine --relation E=edges.csv -q "Q(A, COUNT(*)) :- E(A,B)" --format json
+    repro engine --relation E=edges.csv \\
+        -q "Q(A,B) :- E(A,B) ORDER BY B DESC LIMIT 10" --ranked-mode anyk
 
 (``python -m repro ...`` works identically when the package is not
 installed.)  Experiments print the same tables the benchmark harness embeds,
@@ -102,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def build_engine_parser() -> argparse.ArgumentParser:
     """Build the ``engine`` subcommand parser (exposed for testing)."""
-    from repro.engine import AGGREGATE_MODES, MODES
+    from repro.engine import AGGREGATE_MODES, MODES, RANKED_MODES
 
     parser = argparse.ArgumentParser(
         prog="repro engine",
@@ -140,9 +144,19 @@ def build_engine_parser() -> argparse.ArgumentParser:
                                 "eliminated variables inside the join "
                                 "(FAQ-style), 'fold' drains the join and "
                                 "folds its output, 'auto' prices both")
+    execution.add_argument("--ranked-mode", default="auto",
+                           choices=RANKED_MODES, dest="ranked_mode",
+                           help="ORDER BY execution: 'anyk' enumerates "
+                                "results in rank order out of the join "
+                                "itself (stops after LIMIT results), "
+                                "'drain' enumerates the join and "
+                                "heap-selects the top-k, 'auto' prices "
+                                "both (queries may carry 'ORDER BY col "
+                                "[DESC] ... LIMIT k' trailers)")
     execution.add_argument("--limit", type=int, default=None,
                            help="stop each query after this many tuples "
-                                "(pushed into the join recursion)")
+                                "(pushed into the join recursion; applied "
+                                "after ordering for ORDER BY queries)")
     execution.add_argument("--explain", action="store_true",
                            help="print the chosen plan, AGM bound, and "
                                 "cache provenance before each query")
@@ -366,12 +380,14 @@ def engine_main(argv: list[str] | None = None) -> int:
                     print(engine.explain(
                         query, mode=args.mode,
                         aggregate_mode=args.aggregate_mode,
+                        ranked_mode=args.ranked_mode,
                     ).render(), file=chatter)
                 started = time.perf_counter()
                 try:
                     result = engine.execute(
                         query, mode=args.mode, limit=args.limit,
-                        aggregate_mode=args.aggregate_mode)
+                        aggregate_mode=args.aggregate_mode,
+                        ranked_mode=args.ranked_mode)
                 except TypeError as error:
                     # Joining an all-int relation against a textual one
                     # compares incomparable values in the sorted engines;

@@ -24,6 +24,7 @@ multi-backend) plug into:
 from repro.engine.cost import (
     AGGREGATE_MODES,
     MODES,
+    RANKED_MODES,
     STRATEGIES,
     DispatchDecision,
     dispatch,
@@ -46,6 +47,7 @@ from repro.engine.session import Engine, EngineStats, Explanation
 __all__ = [
     "AGGREGATE_MODES",
     "MODES",
+    "RANKED_MODES",
     "STRATEGIES",
     "DispatchDecision",
     "dispatch",

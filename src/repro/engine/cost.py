@@ -34,7 +34,13 @@ Two refinements sharpen the envelope beyond the raw AGM bound:
   *in-recursion* (FAQ-style variable elimination; bounded by
   ``N^faq-width`` of the aggregate-aware order, output-linear for acyclic
   group-bys) — and the dispatcher resolves the mode per strategy, reporting
-  both estimates so ``explain()`` can show the comparison.
+  both estimates so ``explain()`` can show the comparison;
+* **ranked enumeration**: ordered non-aggregate queries are priced in both
+  ranked modes — *drain-and-heap* (full join plus a heap top-k) and
+  *any-k* (the bottom-up best-suffix DP, bounded by ``N^width`` of the
+  ranked order, plus one frontier delay per surfaced result) — so
+  ``ORDER BY ... LIMIT k`` with small k dispatches to the k-sensitive
+  envelope instead of paying for the whole join.
 
 These are heuristics on top of exact theory: the AGM term is a worst case,
 not an expectation, and the binary estimates assume independence.  The
@@ -55,7 +61,10 @@ from repro.errors import QueryError
 from repro.joins.binary_plans import greedy_atom_order
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import is_alpha_acyclic
-from repro.query.variable_order import aggregate_elimination_order
+from repro.query.variable_order import (
+    aggregate_elimination_order,
+    ranked_order,
+)
 from repro.relational.database import Database
 from repro.relational.statistics import degree
 
@@ -71,10 +80,24 @@ MODES = ("auto",) + STRATEGIES
 #: both and picks per strategy.
 AGGREGATE_MODES = ("auto", "recursion", "fold")
 
+#: Accepted values for ``Engine.execute(..., ranked_mode=...)``:
+#: ``anyk`` forces any-k ranked enumeration for ordered queries (emit in
+#: sort order straight out of the join, stopping after LIMIT results),
+#: ``drain`` forces drain-and-heap (enumerate the join, heap-select the
+#: top-k), ``auto`` prices the k-sensitive any-k envelope against the
+#: full-join envelope per strategy.
+RANKED_MODES = ("auto", "anyk", "drain")
+
 #: Strategies that can evaluate aggregates inside the join itself (the
 #: WCOJ recursions eliminate in-recursion; Yannakakis aggregates during
 #: its join-tree passes, which additionally needs product semirings).
 RECURSION_CAPABLE = ("generic", "leapfrog", "yannakakis")
+
+#: Strategies that can enumerate ordered results in rank order (any-k):
+#: the WCOJ recursions host the ranking-semiring frontier, Yannakakis the
+#: annotated join-tree expansion.  Aggregate queries always drain — their
+#: ordered output is the (small) group-row stream, not the join.
+ANYK_CAPABLE = ("generic", "leapfrog", "yannakakis")
 
 #: Cap applied to every estimate so products cannot overflow comparisons.
 _COST_CAP = 1e30
@@ -114,6 +137,9 @@ class DispatchDecision:
     aggregate_mode:
         The resolved aggregate execution mode for the chosen strategy
         (``"recursion"`` / ``"fold"``); None for non-aggregate queries.
+    ranked_mode:
+        The resolved ranked execution mode for the chosen strategy
+        (``"anyk"`` / ``"drain"``); None for unordered queries.
     payload:
         The plan payload for the chosen strategy when the dispatcher
         already computed it (the mode-tagged aggregate order for WCOJ
@@ -132,6 +158,7 @@ class DispatchDecision:
     costs: dict[str, float]
     binary_order: tuple[int, ...] | None
     aggregate_mode: str | None = None
+    ranked_mode: str | None = None
     payload: tuple | None = None
     faq_width: float | None = None
 
@@ -235,6 +262,26 @@ def plan_aggregation(query: ConjunctiveQuery, selections, aggregates,
     }
 
 
+def plan_ranked(query: ConjunctiveQuery, selections, order_by, head) -> dict:
+    """The any-k binding order and the facts ranked-mode resolution needs.
+
+    ``order_by`` holds the query's ``(variable, descending)`` sort keys
+    (non-aggregate queries only — ORDER BY columns are head variables
+    there).  Returns a dict with the binding ``order`` (pinned variables,
+    the sort keys in key sequence, the remaining head, then the
+    width-minimizing existential tail), its fractional-hypertree
+    ``width`` (the proxy for the bottom-up best-suffix DP's cost), and
+    the normalized ``keys``.
+    """
+    fixed = {sel.lhs for sel in selections
+             if getattr(sel, "is_constant_equality", False)}
+    keys = tuple((variable, bool(descending))
+                 for variable, descending in order_by)
+    order, width = ranked_order(query, [v for v, _d in keys],
+                                fixed=fixed, head=head)
+    return {"order": order, "width": width, "keys": keys}
+
+
 def _resolve_mode(forced: str, recursion_cost: float, fold_cost: float,
                   recursion_ok: bool, prefer_recursion: bool
                   ) -> tuple[str | None, float]:
@@ -251,11 +298,29 @@ def _resolve_mode(forced: str, recursion_cost: float, fold_cost: float,
     return ("fold", fold_cost)
 
 
+def _resolve_ranked(forced: str, anyk_cost: float, drain_cost: float,
+                    anyk_ok: bool) -> tuple[str | None, float]:
+    """Pick a ranked mode for one strategy (None = infeasible).
+
+    Ties go to drain: with nothing to gain from stopping early, the
+    plain enumerate-and-heap pipeline avoids the frontier's overhead.
+    """
+    if forced == "anyk":
+        return ("anyk", anyk_cost) if anyk_ok else (None, math.inf)
+    if forced == "drain":
+        return ("drain", drain_cost)
+    if anyk_ok and anyk_cost < drain_cost:
+        return ("anyk", anyk_cost)
+    return ("drain", drain_cost)
+
+
 def estimate_costs(query: ConjunctiveQuery, database: Database,
                    agm: AGMBound, acyclic: bool,
                    binary_order: tuple[int, ...] | None = None,
                    selections=(), aggregates=(), group=(),
                    aggregate_mode: str = "auto",
+                   order_by=(), limit: int | None = None,
+                   ranked_mode: str = "auto",
                    ) -> dict[str, float]:
     """Estimated operation counts for every strategy on this instance.
 
@@ -264,22 +329,49 @@ def estimate_costs(query: ConjunctiveQuery, database: Database,
     ``selections`` (rich-query predicates) shrink the per-atom scan sizes
     *and* the WCOJ envelope (see :func:`selection_envelope`); with
     ``aggregates`` the in-recursion and stream-fold execution modes are
-    both priced (see :func:`dispatch` for how the mode is then resolved).
+    both priced, and with ``order_by`` (non-aggregate queries) the any-k
+    and drain-and-heap ranked modes are (see :func:`dispatch` for how the
+    modes are then resolved).
     """
     sizes, envelope = selection_envelope(query, database, selections, agm)
     agg_plan = (plan_aggregation(query, selections, aggregates, group)
                 if aggregates else None)
-    costs, _modes = _estimate(query, database, sizes, envelope, acyclic,
-                              binary_order, agg_plan, aggregate_mode)
+    ranked_plan = (plan_ranked(query, selections, order_by, group)
+                   if order_by and not aggregates else None)
+    costs, _modes, _ranked = _estimate(query, database, sizes, envelope,
+                                       acyclic, binary_order, agg_plan,
+                                       aggregate_mode, ranked_plan,
+                                       ranked_mode, limit)
     return costs
+
+
+def _ranked_envelopes(envelope: float, n_max: float, width: float,
+                      limit: int | None) -> tuple[float, float]:
+    """(any-k envelope, drain envelope) for one ordered query.
+
+    The any-k term prices the bottom-up best-suffix DP — the memoized
+    elimination over the ranked order, bounded by ``N^width`` and never
+    worse than plain enumeration — plus one frontier delay per surfaced
+    result.  Without a LIMIT every result must surface, so the k term
+    degenerates to the full envelope and drain wins on auto (the frontier
+    would only add heap overhead to a full enumeration).
+    """
+    dp = _capped(min(envelope, max(n_max, 1.0) ** width))
+    k = float(limit) if limit is not None else envelope
+    return _capped(dp + k), envelope
 
 
 def _estimate(query: ConjunctiveQuery, database: Database,
               sizes: dict[int, int], envelope: float, acyclic: bool,
               binary_order: tuple[int, ...] | None,
               agg_plan: dict | None, aggregate_mode: str,
-              ) -> tuple[dict[str, float], dict[str, str | None]]:
-    """Per-strategy costs plus each strategy's resolved aggregate mode."""
+              ranked_plan: dict | None = None,
+              ranked_mode: str = "auto",
+              limit: int | None = None,
+              ) -> tuple[dict[str, float], dict[str, str | None],
+                         dict[str, str | None]]:
+    """Per-strategy costs plus each strategy's resolved aggregate and
+    ranked modes."""
     total = float(sum(sizes.values()))
     if binary_order is None:
         binary_order = greedy_atom_order(query, database)
@@ -289,7 +381,48 @@ def _estimate(query: ConjunctiveQuery, database: Database,
         naive = _capped(naive * max(size, 1))
 
     modes: dict[str, str | None] = {s: None for s in STRATEGIES}
+    ranked: dict[str, str | None] = {s: None for s in STRATEGIES}
     costs: dict[str, float] = {}
+
+    if ranked_plan is not None:
+        # Ordered, non-aggregate query: price any-k (stop after k) against
+        # drain-and-heap (full join) per strategy.
+        n_max = float(max(sizes.values(), default=1))
+        anyk_env, drain_env = _ranked_envelopes(
+            envelope, n_max, ranked_plan["width"], limit)
+        costs["ranked[anyk]"] = _capped(total + _GENERIC_FACTOR * anyk_env)
+        costs["ranked[drain]"] = _capped(total + _GENERIC_FACTOR * drain_env)
+        for name, factor in (("generic", _GENERIC_FACTOR),
+                             ("leapfrog", _LEAPFROG_FACTOR)):
+            mode, cost = _resolve_ranked(
+                ranked_mode,
+                _capped(total + factor * anyk_env),
+                _capped(total + factor * drain_env),
+                anyk_ok=True)
+            ranked[name] = mode
+            costs[name] = cost
+        if acyclic:
+            mode, cost = _resolve_ranked(
+                ranked_mode,
+                _capped(_YANNAKAKIS_PASSES * total
+                        + _YANNAKAKIS_OUTPUT_DISCOUNT * anyk_env),
+                _capped(_YANNAKAKIS_PASSES * total
+                        + _YANNAKAKIS_OUTPUT_DISCOUNT * drain_env),
+                anyk_ok=True)
+            ranked["yannakakis"] = mode
+            costs["yannakakis"] = cost
+        else:
+            costs["yannakakis"] = math.inf
+        # The materializing and naive strategies can only drain.
+        if ranked_mode == "anyk":
+            costs["binary"] = math.inf
+            costs["naive"] = math.inf
+        else:
+            costs["binary"] = _binary_cost(query, database, sizes,
+                                           binary_order)
+            costs["naive"] = naive
+            ranked["binary"] = ranked["naive"] = "drain"
+        return costs, modes, ranked
 
     if agg_plan is None:
         costs["generic"] = _capped(total + _GENERIC_FACTOR * envelope)
@@ -301,7 +434,7 @@ def _estimate(query: ConjunctiveQuery, database: Database,
         )
         costs["binary"] = _binary_cost(query, database, sizes, binary_order)
         costs["naive"] = naive
-        return costs, modes
+        return costs, modes, ranked
 
     # Aggregate pricing: the in-recursion envelope is the FAQ-width term
     # of the aggregate-aware order (capped by the join envelope — memoized
@@ -349,12 +482,25 @@ def _estimate(query: ConjunctiveQuery, database: Database,
         costs["binary"] = _binary_cost(query, database, sizes, binary_order)
         costs["naive"] = naive
         modes["binary"] = modes["naive"] = "fold"
-    return costs, modes
+    return costs, modes, ranked
 
 
 def _payload_for(strategy: str, mode: str | None,
-                 agg_plan: dict | None) -> tuple | None:
-    """The dispatcher-computed plan payload for the chosen strategy."""
+                 agg_plan: dict | None,
+                 ranked_resolved: str | None = None,
+                 ranked_plan: dict | None = None) -> tuple | None:
+    """The dispatcher-computed plan payload for the chosen strategy.
+
+    Any-k plans carry the ``("anyk", ranked order)`` tag; drain-ranked
+    plans stay untagged (the executor runs its plain enumeration payload
+    and the engine sorts above it).
+    """
+    if ranked_resolved == "anyk" and ranked_plan is not None:
+        if strategy in ("generic", "leapfrog"):
+            return ("anyk", ranked_plan["order"])
+        if strategy == "yannakakis":
+            return ("anyk", ())
+        return None
     if agg_plan is None or mode is None:
         return None
     if strategy in ("generic", "leapfrog"):
@@ -366,7 +512,9 @@ def _payload_for(strategy: str, mode: str | None,
 
 def dispatch(query: ConjunctiveQuery, database: Database,
              mode: str = "auto", selections=(), aggregates=(), group=(),
-             aggregate_mode: str = "auto") -> DispatchDecision:
+             aggregate_mode: str = "auto",
+             order_by=(), limit: int | None = None,
+             ranked_mode: str = "auto") -> DispatchDecision:
     """Choose an executor for the query (or validate a forced choice).
 
     Parameters
@@ -390,6 +538,18 @@ def dispatch(query: ConjunctiveQuery, database: Database,
         ``"recursion"``/``"fold"`` force it (forcing ``"recursion"``
         restricts dispatch to the strategies that support it and raises
         when a forced strategy does not).
+    order_by / limit:
+        The query's sort keys (``(variable, descending)`` pairs) and its
+        own LIMIT; for non-aggregate ordered queries the k-sensitive
+        any-k envelope is priced against the full-join drain envelope
+        (the ``ranked[anyk]`` / ``ranked[drain]`` cost entries).
+    ranked_mode:
+        ``"auto"`` resolves the ranked mode per strategy by cost (any-k
+        needs a LIMIT to beat drain, since without one every result must
+        surface anyway); ``"anyk"``/``"drain"`` force it (forcing
+        ``"anyk"`` restricts dispatch to :data:`ANYK_CAPABLE` strategies
+        and rejects aggregate queries, whose ordered output is the group
+        stream, not the join).
     """
     if mode not in MODES:
         raise QueryError(f"unknown engine mode {mode!r}; expected one of {MODES}")
@@ -398,10 +558,25 @@ def dispatch(query: ConjunctiveQuery, database: Database,
             f"unknown aggregate mode {aggregate_mode!r}; "
             f"expected one of {AGGREGATE_MODES}"
         )
+    if ranked_mode not in RANKED_MODES:
+        raise QueryError(
+            f"unknown ranked mode {ranked_mode!r}; "
+            f"expected one of {RANKED_MODES}"
+        )
     aggregates = tuple(aggregates)
+    order_by = tuple(order_by)
     if aggregate_mode != "auto" and not aggregates:
         raise QueryError(
             f"aggregate_mode={aggregate_mode!r} needs an aggregate query"
+        )
+    if ranked_mode != "auto" and not order_by:
+        raise QueryError(
+            f"ranked_mode={ranked_mode!r} needs an ORDER BY query"
+        )
+    if ranked_mode == "anyk" and aggregates:
+        raise QueryError(
+            "ranked_mode='anyk' does not apply to aggregate queries; "
+            "their ordered output is the folded group stream"
         )
     acyclic = is_alpha_acyclic(query.hypergraph())
     bound = agm_bound(query, database)
@@ -412,21 +587,30 @@ def dispatch(query: ConjunctiveQuery, database: Database,
                                            or mode in RECURSION_CAPABLE)
     agg_plan = (plan_aggregation(query, selections, aggregates, group)
                 if needs_agg_plan else None)
+    needs_ranked_plan = (bool(order_by) and not aggregates
+                         and (mode == "auto" or mode in ANYK_CAPABLE))
+    ranked_plan = (plan_ranked(query, selections, order_by, group)
+                   if needs_ranked_plan else None)
 
     if mode == "auto":
         binary_order = greedy_atom_order(query, database)
         sizes, envelope = selection_envelope(query, database, selections,
                                              bound)
-        costs, modes = _estimate(query, database, sizes, envelope, acyclic,
-                                 binary_order, agg_plan, aggregate_mode)
+        costs, modes, ranked_modes = _estimate(
+            query, database, sizes, envelope, acyclic, binary_order,
+            agg_plan, aggregate_mode, ranked_plan, ranked_mode, limit)
         strategy = min(STRATEGIES,
                        key=lambda s: (costs[s], STRATEGIES.index(s)))
         if costs[strategy] == math.inf:
             raise QueryError(
                 f"no feasible strategy for query {query.name!r} under "
-                f"aggregate_mode={aggregate_mode!r}"
+                f"aggregate_mode={aggregate_mode!r}, "
+                f"ranked_mode={ranked_mode!r}"
             )
         resolved = modes[strategy]
+        ranked_resolved = ranked_modes[strategy]
+        if order_by and ranked_resolved is None:
+            ranked_resolved = "drain"  # ordered aggregate queries
     else:
         strategy = mode
         if strategy == "yannakakis" and not acyclic:
@@ -438,6 +622,7 @@ def dispatch(query: ConjunctiveQuery, database: Database,
                         if strategy == "binary" else None)
         costs = {}
         resolved = None
+        ranked_resolved = None
         if aggregates:
             # Forced strategies skip the cost comparison; the auto rule is
             # simply "aggregate inside the join when it eliminates
@@ -464,10 +649,30 @@ def dispatch(query: ConjunctiveQuery, database: Database,
                         "use a WCOJ mode, 'yannakakis', or aggregate_mode='fold'"
                     )
                 resolved = "fold"
+        if order_by:
+            if aggregates:
+                ranked_resolved = "drain"
+            elif strategy in ANYK_CAPABLE:
+                # Forced strategies skip the cost comparison; the auto
+                # rule mirrors the priced one: rank-enumerate exactly when
+                # a LIMIT bounds the prefix any-k gets to stop at.
+                ranked_resolved = (ranked_mode if ranked_mode != "auto"
+                                   else ("anyk" if limit is not None
+                                         else "drain"))
+            else:
+                if ranked_mode == "anyk":
+                    raise QueryError(
+                        f"strategy {strategy!r} cannot enumerate in rank "
+                        "order; use a WCOJ mode, 'yannakakis', or "
+                        "ranked_mode='drain'"
+                    )
+                ranked_resolved = "drain"
     return DispatchDecision(
         strategy=strategy, acyclic=acyclic, agm=bound, costs=costs,
         binary_order=binary_order,
         aggregate_mode=resolved,
-        payload=_payload_for(strategy, resolved, agg_plan),
+        ranked_mode=ranked_resolved,
+        payload=_payload_for(strategy, resolved, agg_plan,
+                             ranked_resolved, ranked_plan),
         faq_width=agg_plan["width"] if agg_plan is not None else None,
     )

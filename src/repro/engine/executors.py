@@ -19,10 +19,14 @@ return:
 * ``handles_aggregation`` reports whether the plan evaluates the
   aggregates itself (in-recursion / in-pass), in which case ``stream``
   yields finalized aggregate rows and the engine skips its stream-fold;
+* ``handles_ordering`` reports whether the plan enumerates in rank order
+  itself (any-k), in which case ``stream`` yields head tuples already in
+  ORDER BY order and the engine skips its drain-and-heap sort, merely
+  truncating to the effective LIMIT;
 * ``stream`` lazily yields result tuples over ``spec.stream_variables`` —
   deduplicated head tuples normally, full-variable tuples when a
   stream-fold must observe them, aggregate rows when the plan aggregates
-  inside the join.
+  inside the join, rank-ordered head tuples under any-k plans.
 
 Selections are pushed *below* the join everywhere: the WCOJ executors
 prune candidate values inside the join recursion at the depth where each
@@ -42,6 +46,7 @@ from repro.engine.fingerprint import (
     canonicalize_wcoj_payload,
     payload_aggregate_mode,
     payload_order,
+    payload_ranked_mode,
     translate_wcoj_payload,
 )
 from repro.engine.registry import IndexRegistry
@@ -52,7 +57,11 @@ from repro.joins.instrumentation import OperationCounter
 from repro.joins.leapfrog import leapfrog_stream
 from repro.joins.naive import nested_loop_stream
 from repro.joins.plan import execute_plan, left_deep_plan
-from repro.joins.yannakakis import yannakakis, yannakakis_aggregate_stream
+from repro.joins.yannakakis import (
+    yannakakis,
+    yannakakis_aggregate_stream,
+    yannakakis_ranked_stream,
+)
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.builder import Query
 from repro.query.terms import Comparison
@@ -191,11 +200,11 @@ class _WcojExecutor:
     name: str
 
     def plan(self, spec: Query, database: Database) -> tuple:
-        """The global variable order (plus the aggregate mode when needed).
+        """The global variable order (plus a mode tag when needed).
 
-        Without aggregates: constant-pinned variables come first (they
-        restrict every containing atom for the whole search), then the
-        head variables (so projection deduplicates early via the
+        Without aggregates or ordering: constant-pinned variables come
+        first (they restrict every containing atom for the whole search),
+        then the head variables (so projection deduplicates early via the
         existential tail), then the rest — see
         :func:`repro.query.variable_order.pushdown_order`.  For full
         unselected queries this degenerates to the classical min-degree
@@ -207,6 +216,13 @@ class _WcojExecutor:
         dispatcher normally precomputes this payload (with cost-resolved
         and user-forced modes); this standalone fallback applies the
         default rule.
+
+        Ordered queries get the *drain* payload here (the plain
+        enumeration order; the engine sorts above it): ``"anyk"``-tagged
+        ranked payloads are only ever minted by the dispatcher
+        (:func:`repro.engine.cost.dispatch`), which owns the
+        anyk-vs-drain resolution — a fallback that second-guessed it
+        would make a forced drain plan run ranked.
         """
         if spec.aggregates:
             order, _width = aggregate_elimination_order(
@@ -232,6 +248,9 @@ class _WcojExecutor:
     def handles_aggregation(self, spec: Query, payload) -> bool:
         return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
 
+    def handles_ordering(self, spec: Query, payload) -> bool:
+        return bool(spec.order_by) and payload_ranked_mode(payload) == "anyk"
+
     def _stream_fn(self):
         raise NotImplementedError
 
@@ -248,6 +267,13 @@ class _WcojExecutor:
                 for edge_key, relation_name, layout
                 in _trie_requests(core, database, order)
             }
+        if self.handles_ordering(spec, payload):
+            # Any-k: the stream is already the head tuples in rank order.
+            return self._stream_fn()(core, database, order=order,
+                                     counter=counter, tries=tries,
+                                     selections=spec.all_selections,
+                                     head=spec.head_vars,
+                                     ranked=spec.order_by)
         if self.handles_aggregation(spec, payload):
             # In-recursion elimination: the stream is already the
             # finalized aggregate rows over the output columns.
@@ -302,6 +328,9 @@ class _NoPayloadExecutor:
         return []
 
     def handles_aggregation(self, spec: Query, payload) -> bool:
+        return False
+
+    def handles_ordering(self, spec: Query, payload) -> bool:
         return False
 
 
@@ -362,13 +391,16 @@ class BinaryPlanExecutor(_NoPayloadExecutor):
 class YannakakisExecutor(_NoPayloadExecutor):
     """Yannakakis' acyclic-query algorithm behind the common protocol.
 
-    The payload is empty for plain queries and a mode tag for aggregate
-    ones: ``("recursion", ())`` runs the in-pass aggregation of
+    The payload is empty for plain queries and a mode tag otherwise:
+    ``("recursion", ())`` runs the in-pass aggregation of
     :func:`repro.joins.yannakakis.yannakakis_aggregate_stream` (semiring
     product at joins, fold at projections — never materializing the join),
     ``("fold", ())`` materializes the join and leaves the fold to the
-    engine.  Cross-atom comparisons are applied during the join passes in
-    both modes.
+    engine, and ``("anyk", ())`` runs the ranked enumeration of
+    :func:`repro.joins.yannakakis.yannakakis_ranked_stream` (ordering-
+    semiring annotations on the join tree, Lawler-style frontier).
+    Cross-atom comparisons are applied during the join passes in every
+    mode.
     """
 
     name = "yannakakis"
@@ -377,6 +409,8 @@ class YannakakisExecutor(_NoPayloadExecutor):
         # Standalone fallback mirroring the dispatcher's auto rule:
         # in-pass aggregation needs product semirings AND something to
         # eliminate (a full group-by gains nothing over the fold).
+        # Ordered queries fall back to drain here — "anyk" payloads are
+        # only minted by the dispatcher, which owns that resolution.
         if spec.aggregates:
             product_ok = all(a.semiring().has_product
                              for a in spec.aggregates)
@@ -387,10 +421,17 @@ class YannakakisExecutor(_NoPayloadExecutor):
     def handles_aggregation(self, spec: Query, payload) -> bool:
         return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
 
+    def handles_ordering(self, spec: Query, payload) -> bool:
+        return bool(spec.order_by) and payload_ranked_mode(payload) == "anyk"
+
     def stream(self, spec: Query, database: Database,
                payload, registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
         derived, derived_db, residual = pushed_instance(spec, database)
+        if self.handles_ordering(spec, payload):
+            return yannakakis_ranked_stream(
+                derived, derived_db, spec.head_vars, spec.order_by,
+                selections=residual, counter=counter)
         if self.handles_aggregation(spec, payload):
             return yannakakis_aggregate_stream(
                 derived, derived_db, spec.head_vars, spec.aggregates,

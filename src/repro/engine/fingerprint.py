@@ -72,17 +72,24 @@ class CanonicalQuery:
 
 
 # WCOJ plan payloads are either a plain variable order (enumeration plans)
-# or an (aggregate mode, variable order) pair once aggregates are planned —
-# "recursion" for in-recursion semiring elimination, "fold" for
-# drain-and-fold over the streamed join.
+# or a (mode tag, variable order) pair once aggregates or ranked
+# enumeration are planned — "recursion" for in-recursion semiring
+# elimination, "fold" for drain-and-fold over the streamed join, "anyk"
+# for any-k ranked enumeration (drain-and-heap ordered plans stay
+# untagged: they run the plain enumeration payload and sort above it).
 
 #: The aggregate-mode tags a structured WCOJ/Yannakakis payload may carry.
 AGGREGATE_MODE_TAGS = ("recursion", "fold")
 
+#: The ranked-execution tags ("drain" plans carry no tag).
+RANKED_MODE_TAGS = ("anyk",)
+
+_MODE_TAGS = AGGREGATE_MODE_TAGS + RANKED_MODE_TAGS
+
 
 def _is_mode_tagged(payload) -> bool:
     return (isinstance(payload, tuple) and len(payload) == 2
-            and payload[0] in AGGREGATE_MODE_TAGS
+            and payload[0] in _MODE_TAGS
             and isinstance(payload[1], tuple))
 
 
@@ -95,7 +102,14 @@ def payload_order(payload: tuple) -> tuple[str, ...]:
 
 def payload_aggregate_mode(payload) -> str | None:
     """The aggregate-mode tag of a plan payload (None when untagged)."""
-    if _is_mode_tagged(payload):
+    if _is_mode_tagged(payload) and payload[0] in AGGREGATE_MODE_TAGS:
+        return payload[0]
+    return None
+
+
+def payload_ranked_mode(payload) -> str | None:
+    """The ranked-execution tag of a plan payload (None when untagged)."""
+    if _is_mode_tagged(payload) and payload[0] in RANKED_MODE_TAGS:
         return payload[0]
     return None
 
@@ -104,11 +118,12 @@ def canonicalize_wcoj_payload(payload: tuple, canon: CanonicalQuery) -> tuple:
     """Render a WCOJ plan payload in canonical variable names.
 
     Plan-cache entries must be expressed over canonical vocabulary so
-    isomorphic queries can share them; aggregate-mode plans carry a
-    ``(mode, order)`` pair whose mode tag is name-free and whose order
-    translates like a plain payload — keeping the tag inside the cached
-    payload is what makes an in-recursion plan replay as an in-recursion
-    plan (and a fold plan as a fold plan) for every isomorphic query.
+    isomorphic queries can share them; aggregate-mode and ranked plans
+    carry a ``(mode, order)`` pair whose mode tag is name-free and whose
+    order translates like a plain payload — keeping the tag inside the
+    cached payload is what makes an in-recursion plan replay as an
+    in-recursion plan (and an any-k plan as an any-k plan) for every
+    isomorphic query.
     """
     if _is_mode_tagged(payload):
         mode, order = payload

@@ -19,19 +19,27 @@ Queries arrive through one declarative surface
 classical :class:`ConjunctiveQuery`, all interchangeable): projection
 heads, constants in atoms, comparison selections, semiring aggregates with
 group-by, ORDER BY and LIMIT.  The executors handle the join with
-selections pushed below it, projection deduplicated early, and — under
-in-recursion plans — the aggregates folded inside the join itself; this
-module layers the remaining stream-folds, ordering (heap-based top-k
-under LIMIT) and result materialization on the streams they return.
+selections pushed below it, projection deduplicated early, and — when the
+plan says so — the aggregates folded inside the join itself
+(``aggregate_mode``) or the results enumerated directly in rank order
+(``ranked_mode="anyk"``); this module layers the remaining stream-folds,
+drain-and-heap ordering (heap-based top-k under LIMIT) and result
+materialization on the streams they return.
 
 Execution streams wherever the algorithm allows: for the WCOJ and naive
 strategies, ``stream()`` yields result tuples straight out of the join
 recursion and ``execute(..., limit=k)`` abandons the search after the k-th
 tuple, so ``LIMIT`` queries never pay for the full join (the materializing
 strategies — binary plans, Yannakakis — compute their result before
-yielding; ordered and stream-folded aggregate queries must also drain
-first, while in-recursion aggregate plans stream finalized group rows
-group-at-a-time).  ``execute_many`` plans a whole batch first and
+yielding; stream-folded aggregate queries must also drain first, while
+in-recursion aggregate plans stream finalized group rows
+group-at-a-time).  Ordered queries run in one of two *ranked modes*:
+**any-k** plans (``ranked_mode="anyk"``) enumerate results in sort order
+straight out of the join — the ranking-semiring frontier for the WCOJ
+strategies, the annotated join tree for Yannakakis — so ``ORDER BY ...
+LIMIT k`` stops after k results; **drain** plans enumerate the join and
+heap-select the top-k.  Both yield the identical ranked prefix (ties are
+broken by the full row).  ``execute_many`` plans a whole batch first and
 prebuilds the shared indexes before running it.
 """
 
@@ -41,11 +49,12 @@ import itertools
 from dataclasses import asdict, dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.engine.cost import AGGREGATE_MODES, MODES, dispatch
+from repro.engine.cost import AGGREGATE_MODES, MODES, RANKED_MODES, dispatch
 from repro.engine.executors import (
     executor_for,
     payload_aggregate_mode,
     payload_order,
+    payload_ranked_mode,
     split_pushable_selections,
 )
 from repro.engine.fingerprint import CanonicalQuery, canonical_query
@@ -150,6 +159,11 @@ class Explanation:                 # make a generated __hash__ crash
         kept for forward compatibility).
     order_by / limit:
         Result-ordering and top-k controls carried by the query.
+    ranked_mode:
+        The resolved ranked execution mode for ordered queries —
+        ``"anyk"`` (rank-ordered enumeration out of the join itself,
+        stopping after LIMIT results) or ``"drain"`` (enumerate the join,
+        heap-select the top-k); None without ORDER BY.
     session_stats:
         A snapshot of the engine's cache counters at explain time.
     """
@@ -174,6 +188,7 @@ class Explanation:                 # make a generated __hash__ crash
     residual_selections: tuple[str, ...] = ()
     order_by: tuple[str, ...] = ()
     limit: int | None = None
+    ranked_mode: str | None = None
     session_stats: dict[str, int] | None = None
 
     @property
@@ -221,6 +236,13 @@ class Explanation:                 # make a generated __hash__ crash
             if self.limit is not None:
                 pieces.append(f"LIMIT {self.limit}")
             lines.append(f"order/limit:    {' '.join(pieces)}")
+        if self.ranked_mode is not None:
+            detail = ("any-k: rank-ordered enumeration out of the join, "
+                      "stops after LIMIT results"
+                      if self.ranked_mode == "anyk"
+                      else "drain-and-heap: enumerate the join, "
+                           "heap-select the top-k")
+            lines.append(f"ranked mode:    {self.ranked_mode} ({detail})")
         lines.append(f"plan cache:     {self.plan_cache} "
                      f"[{self.canonical_form}]")
         lines.append(f"result cache:   "
@@ -349,7 +371,8 @@ class Engine:
         return canon
 
     def _prepare(self, query: QueryLike, mode: str,
-                 aggregate_mode: str = "auto") -> _Prepared:
+                 aggregate_mode: str = "auto",
+                 ranked_mode: str = "auto") -> _Prepared:
         if mode not in MODES:
             raise QueryError(
                 f"unknown engine mode {mode!r}; expected one of {MODES}"
@@ -359,10 +382,24 @@ class Engine:
                 f"unknown aggregate mode {aggregate_mode!r}; "
                 f"expected one of {AGGREGATE_MODES}"
             )
+        if ranked_mode not in RANKED_MODES:
+            raise QueryError(
+                f"unknown ranked mode {ranked_mode!r}; "
+                f"expected one of {RANKED_MODES}"
+            )
         query = self._normalize(query)
         if aggregate_mode != "auto" and not query.aggregates:
             raise QueryError(
                 f"aggregate_mode={aggregate_mode!r} needs an aggregate query"
+            )
+        if ranked_mode != "auto" and not query.order_by:
+            raise QueryError(
+                f"ranked_mode={ranked_mode!r} needs an ORDER BY query"
+            )
+        if ranked_mode == "anyk" and query.aggregates:
+            raise QueryError(
+                "ranked_mode='anyk' does not apply to aggregate queries; "
+                "their ordered output is the folded group stream"
             )
         canon = self._canonical(query)
         core = query.core
@@ -370,11 +407,12 @@ class Engine:
             self._db,
             [core.atoms[i].relation for i in canon.atom_order],
         )
-        # The requested aggregate mode is a plan axis like the strategy
-        # mode: a plan resolved under "fold" must not serve a "recursion"
-        # request (the cached payload's mode tag would disagree).
+        # The requested aggregate and ranked modes are plan axes like the
+        # strategy mode: a plan resolved under "drain" must not serve an
+        # "anyk" request (the cached payload's mode tag would disagree).
         key = (canon.form, fingerprint, mode,
-               aggregate_mode if query.aggregates else "auto")
+               aggregate_mode if query.aggregates else "auto",
+               ranked_mode if query.order_by else "auto")
         cached = self._plans.get(key)
         if cached is not None:
             self.stats.plan_hits += 1
@@ -388,7 +426,10 @@ class Engine:
                             selections=query.all_selections,
                             aggregates=query.aggregates,
                             group=query.head_vars,
-                            aggregate_mode=aggregate_mode)
+                            aggregate_mode=aggregate_mode,
+                            order_by=query.order_by,
+                            limit=query.limit,
+                            ranked_mode=ranked_mode)
         executor = executor_for(decision.strategy)
         # The dispatcher already computed the greedy order while pricing the
         # binary strategy (and the aggregate-aware order while resolving the
@@ -456,7 +497,8 @@ class Engine:
     def execute(self, query: QueryLike, mode: str = "auto",
                 limit: int | None = None,
                 counter: OperationCounter | None = None,
-                aggregate_mode: str = "auto") -> Relation:
+                aggregate_mode: str = "auto",
+                ranked_mode: str = "auto") -> Relation:
         """Evaluate a query and return its result relation.
 
         Parameters
@@ -475,15 +517,27 @@ class Engine:
             strategies, in-pass for Yannakakis; restricting dispatch to
             strategies that support it), ``"fold"`` forces the
             join-then-fold route.  Only valid on aggregate queries.
+        ranked_mode:
+            How ordered (ORDER BY) results are produced: ``"auto"`` lets
+            the dispatcher price any-k ranked enumeration against
+            drain-and-heap per strategy (any-k wins when the query's
+            LIMIT is small against the join envelope), ``"anyk"`` forces
+            rank-ordered enumeration out of the join itself (WCOJ
+            frontier / Yannakakis annotated join tree; restricting
+            dispatch to strategies that support it; non-aggregate queries
+            only), ``"drain"`` forces enumerate-then-heap-select.  Both
+            modes return the identical ranked prefix.  Only valid on
+            ordered queries.
         limit:
             Stop after this many result tuples; pushed down into the join
-            recursion for WCOJ strategies and combined (min) with the
-            query's own ``LIMIT``.  Passing a *per-call* limit always runs
-            the executor (bypassing the result cache, whose key does not
-            encode it), so the same call returns the same deterministic
-            enumeration prefix whether or not the cache is warm; a LIMIT
-            carried by the query itself is part of the cache key and its
-            results are cached normally.
+            recursion for WCOJ strategies (under any-k plans the ranked
+            stream is truncated *after* ordering, never before) and
+            combined (min) with the query's own ``LIMIT``.  Passing a
+            *per-call* limit always runs the executor (bypassing the
+            result cache, whose key does not encode it), so the same call
+            returns the same deterministic enumeration prefix whether or
+            not the cache is warm; a LIMIT carried by the query itself is
+            part of the cache key and its results are cached normally.
         counter:
             Optional operation counter threaded through to the executor.
             Passing a counter bypasses the result cache: a cached answer
@@ -491,7 +545,7 @@ class Engine:
             zero work and verify bounds vacuously.
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode, aggregate_mode)
+        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
         effective = self._effective_limit(prepared.query, limit)
         return self._execute_prepared(prepared, effective, counter,
                                       cacheable=limit is None)
@@ -526,37 +580,43 @@ class Engine:
     def stream(self, query: QueryLike, mode: str = "auto",
                limit: int | None = None,
                counter: OperationCounter | None = None,
-               aggregate_mode: str = "auto") -> Iterator[tuple]:
+               aggregate_mode: str = "auto",
+               ranked_mode: str = "auto") -> Iterator[tuple]:
         """Lazily enumerate result tuples (over the output columns).
 
         For the WCOJ and naive strategies, abandoning the iterator abandons
         the remaining join search, so consuming k tuples costs only the
         work of finding k tuples — for in-recursion aggregate plans the
         tuples are finalized group rows, which stream group-at-a-time out
-        of the recursion.  The materializing strategies (binary plans,
+        of the recursion, and for any-k ranked plans they are head rows
+        in exact ORDER BY order, so consuming k ordered tuples never pays
+        for the full join.  The materializing strategies (binary plans,
         Yannakakis) compute their result before yielding the first tuple,
-        and ordered or stream-folded aggregate queries must drain the join
-        first; ``limit`` then merely truncates the iteration (top-k for
-        ordered queries).
+        and drain-ranked or stream-folded aggregate queries must drain
+        the join first; ``limit`` then merely truncates the iteration
+        (top-k for ordered queries — always applied *after* ordering).
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode, aggregate_mode)
+        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
         limit = self._effective_limit(prepared.query, limit)
         self.stats.queries += 1
         return self._run(prepared, counter, limit)
 
     def execute_many(self, queries: Sequence[QueryLike],
                      mode: str = "auto", limit: int | None = None,
-                     aggregate_mode: str = "auto") -> list[Relation]:
+                     aggregate_mode: str = "auto",
+                     ranked_mode: str = "auto") -> list[Relation]:
         """Evaluate a batch, sharing planning and index builds across it.
 
         All queries are planned first; the union of their index requests is
         built once (deduplicated by the registry); then each query runs.
-        A non-default ``aggregate_mode`` applies to every query in the
-        batch (so the batch must be all-aggregate to force one).
+        A non-default ``aggregate_mode`` (or ``ranked_mode``) applies to
+        every query in the batch (so the batch must be all-aggregate, or
+        all-ordered, to force one).
         """
         self._check_limit(limit)
-        prepared = [self._prepare(q, mode, aggregate_mode) for q in queries]
+        prepared = [self._prepare(q, mode, aggregate_mode, ranked_mode)
+                    for q in queries]
         requested: set[tuple[str, tuple[str, ...]]] = set()
         for prep in prepared:
             executor = executor_for(prep.plan.strategy)
@@ -574,13 +634,14 @@ class Engine:
         ]
 
     def explain(self, query: QueryLike, mode: str = "auto",
-                aggregate_mode: str = "auto") -> Explanation:
+                aggregate_mode: str = "auto",
+                ranked_mode: str = "auto") -> Explanation:
         """Plan the query (without executing) and report the evidence.
 
         Explaining warms the plan cache: a subsequent ``execute`` of the
         same query reports a plan-cache hit.
         """
-        prepared = self._prepare(query, mode, aggregate_mode)
+        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
         executor = executor_for(prepared.plan.strategy)
         warm: list[str] = []
         cold: list[str] = []
@@ -607,6 +668,8 @@ class Engine:
         spec = prepared.query
         resolved_mode = (payload_aggregate_mode(prepared.payload)
                          or ("fold" if spec.aggregates else None))
+        resolved_ranked = (payload_ranked_mode(prepared.payload)
+                           or ("drain" if spec.order_by else None))
         return Explanation(
             query=str(spec),
             mode=mode,
@@ -628,6 +691,7 @@ class Engine:
             residual_selections=residual,
             order_by=tuple(f"{c} DESC" if d else c for c, d in spec.order_by),
             limit=spec.limit,
+            ranked_mode=resolved_ranked,
             session_stats=self.stats.as_dict(),
         )
 
@@ -726,6 +790,10 @@ class Engine:
         In-recursion aggregate plans skip the fold stage entirely: the
         executor's stream already carries finalized group rows straight
         out of the join recursion (or Yannakakis' join-tree passes).
+        Any-k ranked plans skip the sort stage the same way: the stream
+        is already in ORDER BY order, so the (min-merged per-call/query)
+        ``limit`` truncates it — ordering always happens before any
+        limit is applied, whichever mode produced the ordering.
         """
         spec = prepared.query
         executor = executor_for(prepared.plan.strategy)
@@ -736,7 +804,8 @@ class Engine:
                 spec, prepared.payload):
             rows = fold_aggregates(rows, spec.core.variables,
                                    spec.head_vars, spec.aggregates)
-        if spec.order_by:
+        if spec.order_by and not executor.handles_ordering(
+                spec, prepared.payload):
             return iter(sort_rows(rows, spec.output_columns, spec.order_by,
                                   limit=limit))
         if limit is not None:

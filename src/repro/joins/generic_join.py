@@ -37,11 +37,13 @@ engine can amortize index construction across queries.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping, Sequence
+import heapq
+import itertools
+from typing import Any, Callable, Collection, Iterator, Mapping, Sequence
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
-from repro.query.semiring import BOOLEAN, Aggregate
+from repro.query.semiring import BOOLEAN, RANKING, Aggregate, rank_component
 from repro.query.variable_order import min_degree_order, validate_order
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
@@ -81,6 +83,7 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 selections: Sequence = (),
                 head: Sequence[str] | None = None,
                 aggregates: Sequence[Aggregate] | None = None,
+                ranked: Sequence[tuple[str, bool]] | None = None,
                 ) -> Iterator[tuple]:
     """The shared variable-at-a-time WCOJ recursion.
 
@@ -120,6 +123,25 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     aggregate_elimination_order`) constructs such orders.  A group-free
     aggregation over an empty join yields the single all-identities row
     (SQL-style ``COUNT() = 0``).
+
+    **Ranked enumeration.**  With ``ranked`` (ORDER BY keys as
+    ``(variable, descending)`` pairs, each variable in ``head``), the
+    stream yields head tuples in exact sort order *without materializing
+    the join* — any-k ranked enumeration hosted in the same elimination
+    machinery.  The ranking-semiring eliminators
+    (:func:`repro.query.semiring.ranking_semiring`) compute, per
+    separator and bottom-up, the lexicographically best sort-key suffix
+    any completion of a prefix binding can achieve; a priority frontier
+    (Lawler/REA-style successor expansion) then pops prefix bindings by
+    ``bound key components + best-suffix bound`` — an exact bound, so
+    pops occur in final-key order — and each popped complete key class
+    is emitted in the drain tie-break order (ascending full row).
+    ``order`` must keep the key variables as a prefix (after pinned
+    variables, before the remaining head variables); the ranked planner
+    (:func:`repro.query.variable_order.ranked_order`) constructs such
+    orders.  Abandoning the iterator after k results abandons the
+    frontier, which is what bounds ``ORDER BY ... LIMIT k`` by the
+    bottom-up DP plus k delays instead of the full join.
 
     Yields tuples over ``query.variables`` (or ``head`` / the aggregate
     row shape); because the recursion suspends at every ``yield``,
@@ -171,7 +193,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         return all(sel.evaluate(binding) for sel in checks_at[depth])
 
     def make_eliminator(start: int, semirings: Sequence,
-                        lifts: Sequence[Callable[[], Any]]):
+                        lifts: Sequence[Callable[[], Any]],
+                        lift_needs: Collection[str] | None = None):
         """A bottom-up semiring fold over the variables ``order[start:]``.
 
         ``eliminate(depth)`` returns one accumulator per semiring — the
@@ -190,11 +213,12 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         * *memoization*: the subtree's value can only depend on the
           earlier-bound variables that the subtree can see — those
           sharing an atom with a subtree variable, those read by a
-          selection firing inside the subtree, and aggregate input
-          variables bound in the prefix.  Depths where that separator is
-          strictly smaller than the full prefix carry a memo keyed on
-          it, which is what collapses acyclic group-bys from join-linear
-          to output-linear.
+          selection firing inside the subtree, and the prefix-bound
+          variables the lifts read (``lift_needs``: the aggregate input
+          variables by default, the sort-key variables for the ranked
+          eliminators).  Depths where that separator is strictly smaller
+          than the full prefix carry a memo keyed on it, which is what
+          collapses acyclic group-bys from join-linear to output-linear.
         """
         n = len(order)
         # Variables co-occurring (in some atom) with each variable.
@@ -202,9 +226,10 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         for atom_order in trie_orders.values():
             for v in atom_order:
                 covars[v].update(atom_order)
-        lift_needs = {
-            agg.var for agg in (aggregates or ()) if agg.var is not None
-        }
+        if lift_needs is None:
+            lift_needs = {
+                agg.var for agg in (aggregates or ()) if agg.var is not None
+            }
         # needed[d]: earlier-bound variables the subtree below d can see.
         needed: dict[int, set[str]] = {}
         acc = set(lift_needs)
@@ -256,6 +281,155 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             return total
 
         return eliminate
+
+    if ranked is not None and aggregates is not None:
+        raise ValueError(
+            "ranked enumeration does not apply to aggregate heads; "
+            "ordered aggregate queries drain and sort their group rows"
+        )
+
+    # ------------------------------------------------------------------
+    # Any-k ranked enumeration: a priority frontier over the search tree,
+    # ordered by exact best-suffix bounds from the ranking semiring.
+    # ------------------------------------------------------------------
+    if ranked is not None:
+        keys = [(v, bool(descending)) for v, descending in ranked]
+        if not keys:
+            raise ValueError("ranked enumeration needs at least one sort key")
+        unknown = [v for v, _d in keys if v not in position]
+        if unknown:
+            raise ValueError(
+                f"ORDER BY variables {unknown} are not query variables")
+        head_vars = tuple(head) if head is not None else tuple(variables)
+        unknown = [h for h in head_vars if h not in position]
+        if unknown:
+            raise ValueError(f"head variables {unknown} are not query variables")
+        head_set = set(head_vars)
+        key_set = {v for v, _d in keys}
+        stray = sorted(key_set - head_set)
+        if stray:
+            raise ValueError(
+                f"ORDER BY variables {stray} are not head variables; "
+                "a row's sort key must be a function of the row"
+            )
+        n = len(order)
+        ob_depth = max(position[v] for v in key_set) + 1
+        emit_depth = max(ob_depth,
+                         max((position[h] for h in head_vars), default=0) + 1)
+        blockers = [v for v in order[:ob_depth]
+                    if v not in key_set and v not in pinned]
+        if blockers:
+            raise ValueError(
+                f"variable order {order} interleaves unpinned non-key "
+                f"variables {blockers} before the last ORDER BY variable; "
+                "any-k enumeration needs the sort keys as a prefix"
+            )
+        blockers = [v for v in order[ob_depth:emit_depth]
+                    if v not in head_set and v not in pinned]
+        if blockers:
+            raise ValueError(
+                f"variable order {order} interleaves unpinned non-head "
+                f"variables {blockers} before the last head variable; "
+                "any-k emission needs the head as a prefix"
+            )
+
+        # One ranking-semiring eliminator per frontier depth: the depth-d
+        # eliminator folds the subtree below a d-prefix binding into the
+        # lexicographically best completion of the *still-unbound* key
+        # components (memoized per separator — the bottom-up DP).  Depths
+        # with every key bound fall through to the boolean existential
+        # eliminator, whose absorbing element keeps subtree checks at
+        # one-witness cost.
+        rank_eliminators: dict[int, Callable[[int], list | None]] = {}
+        for start in range(1, ob_depth):
+            suffix = tuple((p, v, descending)
+                           for p, (v, descending) in enumerate(keys)
+                           if position[v] >= start)
+            if not suffix:
+                continue
+
+            def suffix_lift(_suffix=suffix):
+                return tuple((p, rank_component(binding[v], descending))
+                             for p, v, descending in _suffix)
+
+            rank_eliminators[start] = make_eliminator(
+                start, (RANKING,), (suffix_lift,),
+                lift_needs={v for _p, v, _d in suffix})
+        exists = (make_eliminator(ob_depth, (BOOLEAN,),
+                                  (lambda: BOOLEAN.lift(None),))
+                  if ob_depth < n else None)
+
+        def frontier_priority(depth: int) -> tuple | None:
+            """The exact best full sort key reachable under the current
+            ``depth``-prefix binding (None: the subtree is empty)."""
+            components: list = [None] * len(keys)
+            for p, (v, descending) in enumerate(keys):
+                if position[v] < depth:
+                    components[p] = rank_component(binding[v], descending)
+            eliminator = rank_eliminators.get(depth)
+            if eliminator is not None:
+                best_suffix = eliminator(depth)
+                if best_suffix is None:
+                    return None
+                for p, component in best_suffix[0]:
+                    components[p] = component
+            elif exists is not None and exists(depth) is None:
+                return None
+            return tuple(components)
+
+        heap: list = []
+        tick = itertools.count()  # heap tiebreak; bindings never compare
+
+        def expand(depth: int) -> None:
+            variable = order[depth]
+            if counter is not None:
+                counter.charge(search_nodes=1)
+            prefix = tuple(binding[v] for v in order[:depth])
+            for value in candidates_for(variable):
+                binding[variable] = value
+                if passes(depth):
+                    priority = frontier_priority(depth + 1)
+                    if priority is not None:
+                        heapq.heappush(heap, (priority, next(tick),
+                                              depth + 1, prefix + (value,)))
+                del binding[variable]
+
+        def tie_class(depth: int) -> Iterator[tuple]:
+            """Head rows of one popped key class (depths ``ob_depth`` to
+            ``emit_depth``), existential tail collapsed per row."""
+            if depth == emit_depth:
+                if emit_depth < n and exists(emit_depth) is None:
+                    return
+                yield tuple(binding[h] for h in head_vars)
+                return
+            variable = order[depth]
+            if counter is not None:
+                counter.charge(search_nodes=1)
+            for value in candidates_for(variable):
+                binding[variable] = value
+                if passes(depth):
+                    yield from tie_class(depth + 1)
+                del binding[variable]
+
+        expand(0)
+        while heap:
+            _priority, _tick, depth, values = heapq.heappop(heap)
+            binding.clear()
+            binding.update(zip(order[:depth], values))
+            if depth == ob_depth:
+                # Distinct pops carry distinct keys (the key variables are
+                # the only branching prefix variables), so one pop is one
+                # whole tie class: emit it in the drain tie-break order.
+                rows = sorted(tie_class(depth))
+                binding.clear()
+                for row in rows:
+                    if counter is not None:
+                        counter.charge(tuples_emitted=1)
+                    yield row
+            else:
+                expand(depth)
+                binding.clear()
+        return
 
     # ------------------------------------------------------------------
     # Aggregate mode: head = group-by prefix, tail folded in-recursion.
@@ -408,6 +582,7 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
                         selections: Sequence = (),
                         head: Sequence[str] | None = None,
                         aggregates: Sequence[Aggregate] | None = None,
+                        ranked: Sequence[tuple[str, bool]] | None = None,
                         ) -> Iterator[tuple]:
     """Lazily enumerate the full join, yielding tuples over ``query.variables``.
 
@@ -438,11 +613,16 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
         Optional semiring aggregates evaluated *in-recursion* (FAQ-style
         variable elimination); the stream then yields finalized rows
         ``head values + aggregate values`` (see :func:`wcoj_stream`).
+    ranked:
+        Optional ORDER BY keys as ``(variable, descending)`` pairs; the
+        stream then yields head tuples in exact sort order via any-k
+        ranked enumeration (see :func:`wcoj_stream`), so abandoning it
+        after k tuples never pays for the full join.
     """
     return wcoj_stream(query, database, hash_probe_intersect,
                        order=order, counter=counter, tries=tries,
                        selections=selections, head=head,
-                       aggregates=aggregates)
+                       aggregates=aggregates, ranked=ranked)
 
 
 def generic_join(query: ConjunctiveQuery, database: Database,

@@ -104,23 +104,25 @@ def leapfrog_stream(query: ConjunctiveQuery, database: Database,
                     selections: Sequence = (),
                     head: Sequence[str] | None = None,
                     aggregates: Sequence[Aggregate] | None = None,
+                    ranked: Sequence[tuple[str, bool]] | None = None,
                     ) -> Iterator[tuple]:
     """Lazily enumerate the full join with Leapfrog Triejoin.
 
     Parameters are identical to
     :func:`repro.joins.generic_join.generic_join_stream` (including
     binding-level ``selections`` pushdown, early-deduplicating ``head``
-    projection, and in-recursion semiring ``aggregates``); the difference
-    is purely in how the per-variable intersections are computed (sorted
-    leapfrog seeks instead of hash probes), which is the design-choice
-    ablation benchmarked in ``benchmarks/bench_intersection.py``.  Both
-    share the variable-at-a-time recursion of
+    projection, in-recursion semiring ``aggregates``, and any-k
+    ``ranked`` enumeration); the difference is purely in how the
+    per-variable intersections are computed (sorted leapfrog seeks
+    instead of hash probes), which is the design-choice ablation
+    benchmarked in ``benchmarks/bench_intersection.py``.  Both share the
+    variable-at-a-time recursion of
     :func:`repro.joins.generic_join.wcoj_stream`.
     """
     return wcoj_stream(query, database, leapfrog_intersect,
                        order=order, counter=counter, tries=tries,
                        selections=selections, head=head,
-                       aggregates=aggregates)
+                       aggregates=aggregates, ranked=ranked)
 
 
 def leapfrog_triejoin(query: ConjunctiveQuery, database: Database,

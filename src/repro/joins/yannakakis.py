@@ -21,11 +21,20 @@ Two extensions serve the engine's richer surface:
   aggregated down to the parent separator before joining (``⊕`` over
   eliminated variables, ``⊗`` across joined tuples), and group-by columns
   survive to the root — so an acyclic group-by never materializes the join,
-  keeping the output-linear guarantee for the *aggregate* output.
+  keeping the output-linear guarantee for the *aggregate* output;
+* :func:`yannakakis_ranked_stream` is the any-k instance of the same
+  annotated-message machinery: tuples are annotated in the **ordering
+  semiring** (:func:`repro.query.semiring.ranking_semiring`) with the best
+  sort-key contribution of their join-tree subtree, and a Lawler/REA-style
+  priority frontier expands root-down tuple assignments in exact bound
+  order — ``ORDER BY ... LIMIT k`` emits k rows after the reduction plus
+  the bottom-up DP, never materializing the join.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from typing import Any, Iterator, Sequence
 
 from repro.errors import QueryError
@@ -33,7 +42,12 @@ from repro.joins.instrumentation import OperationCounter
 from repro.joins.plan import apply_covered_selections, raise_if_pending
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import gyo_reduction
-from repro.query.semiring import Aggregate, Semiring
+from repro.query.semiring import (
+    RANKING,
+    Aggregate,
+    Semiring,
+    rank_component,
+)
 from repro.query.terms import Comparison
 from repro.relational.database import Database
 from repro.relational.operators import natural_join, semijoin
@@ -344,3 +358,225 @@ def yannakakis_aggregate_stream(query: ConjunctiveQuery, database: Database,
         if counter is not None:
             counter.charge(tuples_emitted=1)
         yield key + tuple(sr.finish(a) for sr, a in zip(semirings, ann))
+
+
+# ----------------------------------------------------------------------
+# Any-k ranked enumeration over the annotated join tree (Lawler/REA).
+# ----------------------------------------------------------------------
+
+
+def yannakakis_ranked_stream(query: ConjunctiveQuery, database: Database,
+                             head: Sequence[str],
+                             order_by: Sequence[tuple[str, bool]],
+                             selections: Sequence[Comparison] = (),
+                             counter: OperationCounter | None = None,
+                             ) -> Iterator[tuple]:
+    """Enumerate an alpha-acyclic query's head rows in exact sort order.
+
+    The any-k counterpart of :func:`yannakakis_aggregate_stream`: instead
+    of materializing the join and heap-selecting, the join tree itself is
+    annotated in the ordering semiring and enumerated best-first.
+
+    1. *Reduce*: the full (bottom-up + top-down) semijoin reduction, after
+       which every surviving tuple participates in at least one result —
+       the frontier never expands a dead branch.
+    2. *Annotate* (bottom-up DP): every sort-key column is owned by the
+       tree node closest to the root whose schema contains it; each
+       tuple's annotation is the ``⊗``-merge of its own key components
+       with, per child, the ``⊕``-minimum annotation among the child
+       tuples matching it on the separator — i.e. the lexicographically
+       best sort-key contribution its whole subtree can achieve (the
+       join-tree analogue of the WCOJ per-separator best-suffix bounds).
+    3. *Enumerate* (Lawler/REA successor expansion): states assign tuples
+       to a root-down prefix of the tree nodes; a state's priority is the
+       exact best full key among its completions — chosen tuples
+       contribute their actual components, unassigned subtrees their
+       annotations.  Popping a state pushes its first extension (next
+       node's best matching tuple, same priority) and its last-choice
+       successor (the next tuple in that node's annotation-sorted
+       candidate list), so every assignment is reached exactly once and
+       pops are monotone in the sort order.  Complete assignments are
+       buffered per key class and emitted in the drain tie-break order
+       (ascending head row), making the stream prefix bit-identical to
+       sort-and-drain.
+
+    ``selections`` are the engine's cross-atom residue: predicates a
+    single node's schema covers are filtered into the scans before the
+    reduction; genuinely cross-node predicates are checked on complete
+    assignments (their pruning is invisible to the bounds, which stay
+    admissible, so rank order is unaffected).
+
+    Raises :class:`QueryError` when the query is not alpha-acyclic.
+    """
+    keys = [(variable, bool(descending)) for variable, descending in order_by]
+    if not keys:
+        raise QueryError("ranked enumeration needs at least one ORDER BY key")
+    head = tuple(head)
+    variables = set(query.variables)
+    unknown = sorted({v for v, _d in keys if v not in variables}
+                     | {h for h in head if h not in variables})
+    if unknown:
+        raise QueryError(
+            f"ranked head/ORDER BY variables {unknown} are not query "
+            f"variables {query.variables}"
+        )
+    parent, children, order, root = _join_tree(query)
+    relations = dict(query.bind(database))
+    pending = list(selections)
+    if pending:
+        relations = {key: apply_covered_selections(rel, pending, counter)
+                     for key, rel in relations.items()}
+    residual = pending  # cross-node predicates: checked on completions
+    _semijoin_passes(relations, parent, children, order, counter)
+
+    # Root-down node sequence (parents before children) and, per node, the
+    # schema, the separator with the parent, and the owned key positions.
+    sequence = [node for node in reversed(order)]
+    if root in sequence:
+        sequence.remove(root)
+    sequence.insert(0, root)
+    node_index = {node: i for i, node in enumerate(sequence)}
+    schemas = {node: tuple(relations[node].attributes) for node in sequence}
+    owner: dict[int, str] = {}
+    for p, (variable, _descending) in enumerate(keys):
+        owner[p] = min((node for node in sequence
+                        if variable in schemas[node]),
+                       key=lambda node: node_index[node])
+    owned: dict[str, list[int]] = {node: [] for node in sequence}
+    for p, node in owner.items():
+        owned[node].append(p)
+    separators = {
+        node: tuple(sorted(set(schemas[node]) & set(schemas[parent[node]])))
+        for node in sequence if parent.get(node) is not None
+    }
+    # Separator columns as precomputed positions on both sides, so the
+    # per-tuple DP loops and per-pop candidate lookups index directly.
+    child_sep_positions = {
+        node: tuple(schemas[node].index(v) for v in separator)
+        for node, separator in separators.items()
+    }
+    parent_sep_positions = {
+        node: tuple(schemas[parent[node]].index(v) for v in separator)
+        for node, separator in separators.items()
+    }
+
+    def pick(row: tuple, positions: tuple[int, ...]) -> tuple:
+        return tuple(row[p] for p in positions)
+
+    # Bottom-up DP: annotate every tuple with its subtree's best key
+    # contribution; per node, candidate lists sorted by annotation.
+    annotations: dict[str, dict[tuple, tuple]] = {}
+    candidates: dict[str, dict[tuple, list[tuple]]] = {}
+    for node in reversed(sequence):  # children before parents
+        schema = schemas[node]
+        positions = [(p, schema.index(keys[p][0]), keys[p][1])
+                     for p in sorted(owned[node])]
+        messages = []
+        for child in children.get(node, ()):
+            best: dict[tuple, tuple] = {}
+            child_positions = child_sep_positions[child]
+            for row, ann in annotations[child].items():
+                key = pick(row, child_positions)
+                best[key] = RANKING.plus(best.get(key), ann)
+            messages.append((parent_sep_positions[child], best))
+        table: dict[tuple, tuple] = {}
+        for row in relations[node]:
+            ann = tuple((p, rank_component(row[i], d))
+                        for p, i, d in positions)
+            for own_positions, best in messages:
+                child_best = best.get(pick(row, own_positions))
+                if child_best is None:  # subtree died under selections
+                    ann = None
+                    break
+                ann = RANKING.times(ann, child_best)
+            if ann is not None:
+                table[row] = ann
+        if counter is not None:
+            counter.charge(tuples_scanned=len(relations[node]))
+        annotations[node] = table
+        if parent.get(node) is not None:
+            grouped: dict[tuple, list[tuple]] = {}
+            for row, ann in table.items():
+                key = pick(row, child_sep_positions[node])
+                grouped.setdefault(key, []).append((ann, row))
+            for group_rows in grouped.values():
+                group_rows.sort(key=lambda pair: tuple(c for _p, c in pair[0]))
+            candidates[node] = grouped
+
+    root_list = sorted(((ann, row) for row, ann in annotations[root].items()),
+                       key=lambda pair: tuple(c for _p, c in pair[0]))
+    if not root_list:
+        return
+
+    def dense(priority: tuple, ann: tuple) -> tuple:
+        """Replace an annotation's positions inside a dense priority."""
+        components = list(priority)
+        for p, component in ann:
+            components[p] = component
+        return tuple(components)
+
+    def candidate_list(state_rows: tuple, depth: int) -> list[tuple]:
+        node = sequence[depth]
+        if depth == 0:
+            return root_list
+        parent_row = state_rows[node_index[parent[node]]]
+        return candidates[node][pick(parent_row, parent_sep_positions[node])]
+
+    initial_ann, initial_row = root_list[0]
+    heap: list = [(dense((None,) * len(keys), initial_ann),
+                   0, (0,), (initial_row,))]
+    tick = itertools.count(1)
+
+    # Tie-class buffer: rows of one key class are collected and emitted in
+    # ascending row order (the drain tie-break) once the frontier proves no
+    # more rows of that class remain (heap minimum strictly larger).
+    buffer_key: tuple | None = None
+    buffer_rows: set[tuple] = set()
+
+    def complete_row(rows: tuple) -> tuple | None:
+        binding = {}
+        for node, row in zip(sequence, rows):
+            binding.update(zip(schemas[node], row))
+        if residual and not all(sel.evaluate(binding) for sel in residual):
+            return None
+        return tuple(binding[h] for h in head)
+
+    while heap:
+        priority, _tick, indices, rows = heapq.heappop(heap)
+        if counter is not None:
+            counter.charge(search_nodes=1)
+        if buffer_rows and priority > buffer_key:
+            for row in sorted(buffer_rows):
+                if counter is not None:
+                    counter.charge(tuples_emitted=1)
+                yield row
+            buffer_key, buffer_rows = None, set()
+        depth = len(indices) - 1
+        # Successor: the next candidate at the last assigned node.
+        successor_list = candidate_list(rows, depth)
+        nxt = indices[depth] + 1
+        if nxt < len(successor_list):
+            ann, row = successor_list[nxt]
+            heapq.heappush(heap, (
+                dense(priority, ann), next(tick),
+                indices[:depth] + (nxt,), rows[:depth] + (row,),
+            ))
+        if depth + 1 < len(sequence):
+            # Extension: the next node's best matching tuple.  Its subtree
+            # bound is already in the priority (the DP minimum equals the
+            # sorted candidate list's head), so the priority is unchanged.
+            extension_list = candidate_list(rows, depth + 1)
+            _ann, row = extension_list[0]
+            heapq.heappush(heap, (
+                priority, next(tick), indices + (0,), rows + (row,),
+            ))
+        else:
+            row = complete_row(rows)
+            if row is not None:
+                if buffer_key is None:
+                    buffer_key = priority
+                buffer_rows.add(row)
+    for row in sorted(buffer_rows):
+        if counter is not None:
+            counter.charge(tuples_emitted=1)
+        yield row

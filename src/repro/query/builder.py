@@ -14,9 +14,13 @@ A :class:`Query` *lowers* itself onto the paper's machinery at
 construction: constants and repeated in-atom variables are rewritten to
 fresh variables constrained by equality selections, producing a plain full
 :class:`~repro.query.atoms.ConjunctiveQuery` core plus a normalized
-selection list.  Executors push those selections into their join recursion
-(binding-level pruning) and the engine applies projection, aggregation and
-ordering on the streamed-out tuples.
+selection list.  Executors push as much of the rest below the join as
+their plan allows: selections prune at the binding level of the join
+recursion, projection deduplicates early through the boolean existential
+tail, aggregates can fold in-recursion through their semirings
+(``aggregate_mode``), and ORDER BY can enumerate in rank order via any-k
+(``ranked_mode``); the engine layers whatever remains — stream-folds,
+drain-and-heap ordering, LIMIT — on the streamed-out tuples.
 
 The chainable :class:`QueryBuilder` (exposed as the module-level ``Q``)
 is the programmatic front end::
@@ -32,7 +36,15 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import QueryError
 from repro.query.atoms import Atom, ConjunctiveQuery
-from repro.query.semiring import Aggregate, avg_, count, max_, min_, sum_
+from repro.query.semiring import (
+    Aggregate,
+    Descending,
+    avg_,
+    count,
+    max_,
+    min_,
+    sum_,
+)
 from repro.query.terms import (
     Comparison,
     Constant,
@@ -96,33 +108,22 @@ def _normalize_order_key(key: Any) -> OrderKey:
     raise QueryError(f"cannot interpret order-by key {key!r}")
 
 
-class _Desc:
-    """Sort-key wrapper inverting comparisons (for descending keys)."""
-
-    __slots__ = ("value",)
-
-    def __init__(self, value: Any):
-        self.value = value
-
-    def __lt__(self, other: "_Desc") -> bool:
-        return other.value < self.value
-
-    def __eq__(self, other: object) -> bool:
-        return isinstance(other, _Desc) and other.value == self.value
-
-
 def sort_rows(rows: Iterable[tuple], columns: Sequence[str],
               order_by: Sequence[OrderKey],
               limit: int | None = None) -> list[tuple]:
     """Order rows by the given keys; with ``limit``, a heap-based top-k.
 
-    Ties are broken by the full row so the result is deterministic.
+    Ties are broken by the full row so the result is deterministic —
+    the same ``(direction-adjusted keys, full row)`` comparison the any-k
+    executors reproduce, which is what makes a ``ranked_mode="anyk"``
+    prefix bit-identical to this drain-and-heap baseline.
     """
     positions = {c: i for i, c in enumerate(columns)}
     keys = [(positions[column], descending) for column, descending in order_by]
 
     def key_fn(row: tuple) -> tuple:
-        return tuple(_Desc(row[p]) if d else row[p] for p, d in keys) + row
+        return tuple(Descending(row[p]) if d else row[p]
+                     for p, d in keys) + row
 
     if limit is not None:
         return heapq.nsmallest(limit, rows, key=key_fn)
@@ -152,7 +153,10 @@ class Query:
         ``(column, descending)`` pairs.
     limit:
         Keep only the first ``limit`` result rows (top-k under
-        ``order_by``, an enumeration prefix otherwise).
+        ``order_by``, an enumeration prefix otherwise).  How an ordered
+        top-k is *executed* is the engine's ``ranked_mode`` axis: any-k
+        ranked enumeration stops the join after ``limit`` results,
+        drain-and-heap sorts the full result stream.
     name:
         Query name, used for the result relation.
     """

@@ -2,7 +2,7 @@
 
 The accepted grammar is a single rule::
 
-    query      := [ head ( ":-" | "<-" ) ] body [ "." ]
+    query      := [ head ( ":-" | "<-" ) ] body [ order ] [ limit ] [ "." ]
     head       := IDENT "(" [ headterm { "," headterm } ] ")"
     headterm   := IDENT | AGG "(" ( "*" | IDENT ) ")" [ "AS" IDENT ]
     body       := item { "," item }
@@ -10,12 +10,19 @@ The accepted grammar is a single rule::
     atom       := IDENT "(" term { "," term } ")"
     term       := IDENT | INT | STRING
     comparison := ( IDENT | INT | STRING ) CMPOP ( IDENT | INT | STRING )
+    order      := "ORDER" "BY" key { "," key }
+    key        := IDENT [ "ASC" | "DESC" ]
+    limit      := "LIMIT" INT
 
 so plain full conjunctive queries (``R(A,B), S(B,C)``), projections
 (``Q(A) :- R(A,B)``), constants (``S(B, 5)``, ``T(A, 'x')``), comparison
-selections (``A < B``, ``A != 3``; ``=`` is a synonym of ``==``) and
-aggregate heads (``Q(A, COUNT(*))``, ``Q(A, SUM(X) AS total)``) all parse.
-``AGG`` is any registered semiring aggregate, case-insensitive.
+selections (``A < B``, ``A != 3``; ``=`` is a synonym of ``==``),
+aggregate heads (``Q(A, COUNT(*))``, ``Q(A, SUM(X) AS total)``) and
+ordered / top-k trailers (``... ORDER BY B DESC, A LIMIT 10``) all parse.
+``AGG`` is any registered semiring aggregate, case-insensitive; the
+``ORDER BY`` / ``LIMIT`` / ``ASC`` / ``DESC`` keywords are recognized
+case-insensitively in trailer position only (a body atom or variable may
+still be named ``limit``).
 
 :func:`parse_query` returns a plain
 :class:`~repro.query.atoms.ConjunctiveQuery` whenever the text stays inside
@@ -251,6 +258,39 @@ class _Parser:
         self.expect(")", "')' closing the head")
         return name.value, head_vars, aggregates
 
+    def _keyword(self, word: str, ahead: int = 0) -> bool:
+        token = self.peek(ahead)
+        return (token.kind == "ident"
+                and str(token.value).lower() == word)
+
+    def parse_trailer(self) -> tuple[list[tuple[str, bool]], int | None]:
+        """The optional ``ORDER BY ... LIMIT n`` trailer after the body."""
+        order_by: list[tuple[str, bool]] = []
+        if self._keyword("order") and self._keyword("by", 1):
+            self.advance()
+            self.advance()
+            while True:
+                column = self.expect("ident", "an ORDER BY column").value
+                descending = False
+                if self._keyword("asc"):
+                    self.advance()
+                elif self._keyword("desc"):
+                    self.advance()
+                    descending = True
+                order_by.append((column, descending))
+                if self.peek().kind != ",":
+                    break
+                self.advance()
+        limit: int | None = None
+        if self._keyword("limit"):
+            self.advance()
+            token = self.expect("int", "a LIMIT count")
+            if token.value < 0:
+                self.fail(f"LIMIT must be non-negative, got {token.value}",
+                          token)
+            limit = token.value
+        return order_by, limit
+
     def expect_end(self) -> None:
         if self.peek().kind == ".":
             self.advance()
@@ -279,6 +319,9 @@ def parse_query(text: str) -> ConjunctiveQuery | Query:
     >>> rich = parse_query("Q(A) :- R(A,B), S(B,5), A < B")
     >>> rich.output_columns
     ('A',)
+    >>> top = parse_query("Q(A,B) :- R(A,B) ORDER BY B DESC, A LIMIT 3")
+    >>> top.order_by, top.limit
+    ((('B', True), ('A', False)), 3)
     """
     if not text.strip():
         raise ParseError("empty query text")
@@ -296,9 +339,11 @@ def parse_query(text: str) -> ConjunctiveQuery | Query:
         parser.advance()
         explicit_head = bool(head_vars or aggregates)
     atoms, selections = parser.parse_body()
+    order_by, limit = parser.parse_trailer()
     parser.expect_end()
 
     plain = (not selections and not aggregates
+             and not order_by and limit is None
              and all(isinstance(t, str) for atom in atoms for t in atom.terms)
              and all(len(set(atom.terms)) == len(atom.terms) for atom in atoms))
     if plain:
@@ -312,6 +357,8 @@ def parse_query(text: str) -> ConjunctiveQuery | Query:
         selections=selections,
         head=head_vars if explicit_head else None,
         aggregates=aggregates,
+        order_by=order_by,
+        limit=limit,
         name=name,
     )
 

@@ -23,6 +23,21 @@ the plain head variables.  Custom semirings can be plugged in with
 :func:`register_semiring`; ``AVG`` below is itself registered through that
 path, as the (sum, count) *product semiring* with a non-trivial lift and
 finalizer.
+
+Beyond the user-facing aggregates, two internal semirings drive the
+executors' elimination machinery: :data:`BOOLEAN` (existential tails — the
+projection special case) and the **ordering semiring family**
+(:func:`ranking_semiring`), the tropical-style algebra behind any-k ranked
+enumeration.  Its elements are sparse sort-key vectors — ``(position,
+component)`` pairs over the ORDER BY columns, components wrapped with
+:class:`Descending` for descending keys — ``⊕`` is the lexicographic
+minimum (so a folded subtree annotation is the *best suffix* any
+completion of that subtree can achieve) and ``⊗`` merges vectors over
+disjoint key positions (so annotations of independent join-tree branches
+compose into a bound on the full sort key).  Both the memoized WCOJ
+elimination and Yannakakis' annotated join-tree messages fold with this
+semiring to obtain the per-separator best-suffix bounds that any-k's
+priority frontier expands against.
 """
 
 from __future__ import annotations
@@ -183,6 +198,87 @@ SEMIRINGS: dict[str, Semiring] = {
 BOOLEAN = Semiring("bool", False, lambda a, b: a or b, lambda _v: True,
                    needs_variable=False, one=True,
                    times=lambda a, b: a and b, absorbing=True)
+
+
+class Descending:
+    """Sort-key component wrapper inverting comparisons.
+
+    Wrapping the components of descending ORDER BY columns lets every
+    consumer — ``sort_rows``'s drain-and-heap, the any-k priority
+    frontier, and the ranking semiring's lexicographic minimum — compare
+    whole key tuples with the ordinary ``<``, regardless of per-column
+    direction.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __lt__(self, other: "Descending") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Descending) and other.value == self.value
+
+    def __repr__(self) -> str:
+        return f"Descending({self.value!r})"
+
+
+def rank_component(value: Any, descending: bool) -> Any:
+    """One sort-key component, direction-adjusted for plain ``<``."""
+    return Descending(value) if descending else value
+
+
+def _rank_components(vector: tuple) -> tuple:
+    return tuple(component for _position, component in vector)
+
+
+def _rank_plus(a: Any, b: Any) -> Any:
+    # ``None`` is the ordering zero (no completion exists): the ⊕ identity
+    # and the ⊗ annihilator, exactly like the tropical ±infinity.
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return b if _rank_components(b) < _rank_components(a) else a
+
+
+def _rank_times(a: Any, b: Any) -> Any:
+    if a is None or b is None:
+        return None
+    return tuple(sorted(a + b, key=lambda pc: pc[0]))
+
+
+#: The ordering semiring: the member of the family below with the
+#: position/direction parameterization left to the lift sites.
+RANKING = Semiring("rank", None, _rank_plus, lambda v: v,
+                   needs_variable=False, one=(), times=_rank_times)
+
+
+def ranking_semiring() -> Semiring:
+    """The ordering (min-lexicographic) semiring of any-k ranked enumeration.
+
+    Elements are ``None`` (zero: the annotation of an empty subtree — no
+    completion exists) or sparse sort-key vectors: tuples of ``(position,
+    component)`` pairs, sorted by position, where ``position`` indexes an
+    ORDER BY column and ``component`` is the column's value wrapped by
+    :func:`rank_component` for its direction.  ``plus`` keeps the
+    lexicographically smaller vector (operands always share a support set
+    in the executors, so componentwise comparison is total) and ``times``
+    merges vectors over disjoint position sets — the annotations of
+    conditionally independent subproblems compose positionwise because
+    the lexicographic minimum of an interleaving of independent blocks is
+    the interleaving of the blocks' lexicographic minima.
+
+    This is a *family* in the FAQ sense: each query instantiates it over
+    its own ORDER BY positions and directions through the lift closures
+    the executors build (:func:`repro.joins.generic_join.wcoj_stream`'s
+    ranked mode, :func:`repro.joins.yannakakis.yannakakis_ranked_stream`);
+    the carrier and operations are shared.  Like :data:`BOOLEAN` it is not
+    a user-facing aggregate and is not listed in :data:`SEMIRINGS`.
+    """
+    return RANKING
 
 
 def register_semiring(semiring: Semiring) -> None:

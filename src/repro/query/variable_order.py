@@ -71,6 +71,41 @@ def pushdown_order(query: ConjunctiveQuery,
     )
 
 
+def _best_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
+                     tail: tuple[str, ...], max_exact_tail: int
+                     ) -> tuple[tuple[str, ...], float]:
+    """The prefix + width-minimizing tail, scored by induced decomposition.
+
+    Shared by the aggregate and ranked planners: every candidate tail
+    permutation is scored by the tree decomposition its reversed binding
+    order induces (elimination runs innermost-first), first by integer
+    width (cheap, no LP); the winner's fractional hypertree width over
+    those bags is returned as the width proxy the dispatcher prices with.
+    Tails longer than ``max_exact_tail`` fall back to the heuristic
+    single candidate rather than enumerating permutations.
+    """
+    from repro.query.widths import decomposition_from_elimination_order
+
+    hypergraph = query.hypergraph()
+    if len(tail) > 1 and len(tail) <= max_exact_tail:
+        candidates = itertools.permutations(tail)
+    else:
+        candidates = iter((tail,))
+
+    best_order: tuple[str, ...] | None = None
+    best_decomp = None
+    best_width = None
+    for perm in candidates:
+        order = prefix + tuple(perm)
+        decomp = decomposition_from_elimination_order(
+            hypergraph, tuple(reversed(order)))
+        width = decomp.width()
+        if best_width is None or width < best_width:
+            best_order, best_decomp, best_width = order, decomp, width
+    assert best_order is not None and best_decomp is not None
+    return best_order, best_decomp.fractional_hypertree_width(hypergraph)
+
+
 def aggregate_elimination_order(query: ConjunctiveQuery,
                                 group: Collection[str] = (),
                                 fixed: Collection[str] = (),
@@ -100,31 +135,50 @@ def aggregate_elimination_order(query: ConjunctiveQuery,
 
     Returns ``(order, width)``.
     """
-    from repro.query.widths import decomposition_from_elimination_order
-
     base = pushdown_order(query, fixed=fixed, leading=group)
     prefix_set = set(fixed) | set(group)
     prefix = tuple(v for v in base if v in prefix_set)
     tail = tuple(v for v in base if v not in prefix_set)
-    hypergraph = query.hypergraph()
+    return _best_tail_order(query, prefix, tail, max_exact_tail)
 
-    if len(tail) > 1 and len(tail) <= max_exact_tail:
-        candidates = itertools.permutations(tail)
-    else:
-        candidates = iter((tail,))
 
-    best_order: tuple[str, ...] | None = None
-    best_decomp = None
-    best_width = None
-    for perm in candidates:
-        order = prefix + tuple(perm)
-        decomp = decomposition_from_elimination_order(
-            hypergraph, tuple(reversed(order)))
-        width = decomp.width()
-        if best_width is None or width < best_width:
-            best_order, best_decomp, best_width = order, decomp, width
-    assert best_order is not None and best_decomp is not None
-    return best_order, best_decomp.fractional_hypertree_width(hypergraph)
+def ranked_order(query: ConjunctiveQuery,
+                 keys: Sequence[str],
+                 fixed: Collection[str] = (),
+                 head: Collection[str] = (),
+                 max_exact_tail: int = 5,
+                 ) -> tuple[tuple[str, ...], float]:
+    """A binding order for any-k ranked enumeration.
+
+    The order any-k needs mirrors the aggregate prefix machinery, with the
+    ORDER BY columns joining it: constant-pinned variables (``fixed``)
+    first, then the ORDER BY ``keys`` *in key sequence* (so the priority
+    frontier's pops are keyed on complete, distinct sort-key prefixes),
+    then the remaining ``head`` variables (so emission enumerates each
+    rank-tie class without a dedup set), and finally the existential tail,
+    chosen to minimize induced width exactly like
+    :func:`aggregate_elimination_order` — the tail is what the boolean
+    and ranking eliminators fold away, and its width governs the cost of
+    the bottom-up best-suffix DP.
+
+    Returns ``(order, width)`` where ``width`` is the fractional
+    hypertree width of the winning tail's decomposition (the dispatcher's
+    proxy for the any-k setup cost).
+    """
+    fixed_set = set(fixed)
+    key_block: list[str] = []
+    for key in keys:
+        if key not in fixed_set and key not in key_block:
+            key_block.append(key)
+    base = pushdown_order(query, fixed=fixed, leading=head)
+    prefix_set = fixed_set | set(key_block) | set(head)
+    prefix = (tuple(v for v in base if v in fixed_set)
+              + tuple(key_block)
+              + tuple(v for v in base
+                      if v in prefix_set
+                      and v not in fixed_set and v not in key_block))
+    tail = tuple(v for v in base if v not in prefix_set)
+    return _best_tail_order(query, prefix, tail, max_exact_tail)
 
 
 def greedy_min_domain_order(query: ConjunctiveQuery, database: Database

@@ -1,0 +1,204 @@
+"""Any-k ranked enumeration at the join-core level.
+
+Direct tests of the two ranked executors beneath the engine: the WCOJ
+priority frontier (``wcoj_stream(..., ranked=...)`` through both
+intersection engines) and the annotated-join-tree enumeration of
+:func:`repro.joins.yannakakis.yannakakis_ranked_stream` — exact prefix
+agreement with sort-and-drain, the variable-order contract, and the
+error surface.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import QueryError
+from repro.joins.generic_join import generic_join_stream
+from repro.joins.leapfrog import leapfrog_stream
+from repro.joins.yannakakis import yannakakis, yannakakis_ranked_stream
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.builder import sort_rows
+from repro.query.semiring import count
+from repro.query.terms import comparison
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def random_database(seed: int, n: int = 18, rows: int = 80) -> Database:
+    rng = random.Random(seed)
+    rel = lambda name, cols: Relation(name, cols, {
+        (rng.randrange(n), rng.randrange(n)) for _ in range(rows)
+    })
+    return Database([rel("R", ("a", "b")), rel("S", ("b", "c")),
+                     rel("T", ("a", "c")), rel("U", ("c", "d"))])
+
+
+CHAIN = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C"))])
+PATH3 = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                          Atom("U", ("C", "D"))])
+TRIANGLE = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                             Atom("T", ("A", "C"))])
+
+
+def drained(query, database, head, order_by, selections=()):
+    rows = generic_join_stream(query, database, selections=selections)
+    projected = sorted({tuple(row[query.variables.index(h)] for h in head)
+                        for row in rows})
+    return sort_rows(projected, head, order_by)
+
+
+class TestWcojRanked:
+    @pytest.mark.parametrize("stream", [generic_join_stream, leapfrog_stream])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_head_matches_drain(self, stream, seed):
+        database = random_database(seed)
+        head = ("A", "B", "C")
+        keys = [("C", True), ("A", False)]
+        got = list(stream(CHAIN, database, order=("C", "A", "B"),
+                          head=head, ranked=keys))
+        assert got == drained(CHAIN, database, head, keys)
+
+    @pytest.mark.parametrize("stream", [generic_join_stream, leapfrog_stream])
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_projected_head_matches_drain(self, stream, seed):
+        database = random_database(seed)
+        head = ("A", "C")
+        keys = [("A", False)]
+        got = list(stream(PATH3, database, order=("A", "C", "B", "D"),
+                          head=head, ranked=keys))
+        assert got == drained(PATH3, database, head, keys)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_cyclic_query_matches_drain(self, seed):
+        database = random_database(seed)
+        head = ("A", "B", "C")
+        keys = [("B", False), ("C", True)]
+        got = list(generic_join_stream(TRIANGLE, database,
+                                       order=("B", "C", "A"),
+                                       head=head, ranked=keys))
+        assert got == drained(TRIANGLE, database, head, keys)
+
+    def test_selections_prune_inside_the_frontier(self):
+        database = random_database(5)
+        keys = [("B", True)]
+        selections = [comparison("A", "<", "C")]
+        got = list(generic_join_stream(
+            CHAIN, database, order=("B", "A", "C"),
+            head=("A", "B", "C"), ranked=keys, selections=selections))
+        rows = [r for r in generic_join_stream(CHAIN, database)
+                if r[0] < r[2]]
+        assert got == sort_rows(sorted(rows), ("A", "B", "C"), keys)
+
+    def test_empty_join_yields_nothing(self):
+        database = Database([
+            Relation("R", ("a", "b"), [(1, 2)]),
+            Relation("S", ("b", "c"), [(9, 9)]),
+        ])
+        assert list(generic_join_stream(
+            CHAIN, database, order=("A", "B", "C"),
+            head=("A", "B", "C"), ranked=[("A", False)])) == []
+
+    def test_prefix_is_lazy(self):
+        database = random_database(6)
+        head = ("A", "B", "C")
+        keys = [("A", False)]
+        stream = generic_join_stream(CHAIN, database, order=("A", "B", "C"),
+                                     head=head, ranked=keys)
+        want = drained(CHAIN, database, head, keys)
+        got = [next(stream) for _ in range(3)]
+        stream.close()
+        assert got == want[:3]
+
+
+class TestWcojRankedContract:
+    def test_keys_must_be_query_variables(self):
+        database = random_database(0)
+        with pytest.raises(ValueError, match="not query variables"):
+            list(generic_join_stream(CHAIN, database,
+                                     order=("A", "B", "C"),
+                                     head=("A", "B"), ranked=[("Z", False)]))
+
+    def test_keys_must_be_head_variables(self):
+        database = random_database(0)
+        with pytest.raises(ValueError, match="not head variables"):
+            list(generic_join_stream(CHAIN, database,
+                                     order=("C", "A", "B"),
+                                     head=("A", "B"), ranked=[("C", False)]))
+
+    def test_order_must_lead_with_the_keys(self):
+        database = random_database(0)
+        with pytest.raises(ValueError, match="sort keys as a prefix"):
+            list(generic_join_stream(CHAIN, database,
+                                     order=("A", "B", "C"),
+                                     head=("A", "B"), ranked=[("B", False)]))
+
+    def test_ranked_rejects_aggregates(self):
+        database = random_database(0)
+        with pytest.raises(ValueError, match="aggregate"):
+            list(generic_join_stream(CHAIN, database,
+                                     order=("A", "B", "C"), head=("A",),
+                                     aggregates=[count()],
+                                     ranked=[("A", False)]))
+
+
+class TestYannakakisRanked:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_full_head_matches_drain(self, seed):
+        database = random_database(seed)
+        head = ("A", "B", "C", "D")
+        keys = [("C", True), ("A", False)]
+        got = list(yannakakis_ranked_stream(PATH3, database, head, keys))
+        expected = sort_rows(sorted(yannakakis(PATH3, database).tuples),
+                             head, keys)
+        assert got == expected
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_projected_head_deduplicates(self, seed):
+        database = random_database(seed)
+        head = ("A", "D")
+        keys = [("D", False), ("A", True)]
+        got = list(yannakakis_ranked_stream(PATH3, database, head, keys))
+        projected = sorted({(a, d) for a, b, c, d
+                            in yannakakis(PATH3, database).tuples})
+        assert got == sort_rows(projected, head, keys)
+
+    def test_cross_node_selection_filters_completions(self):
+        database = random_database(3)
+        head = ("A", "B", "C", "D")
+        keys = [("B", False)]
+        selections = [comparison("A", "<", "D")]
+        got = list(yannakakis_ranked_stream(PATH3, database, head, keys,
+                                            selections=selections))
+        rows = [r for r in yannakakis(PATH3, database).tuples if r[0] < r[3]]
+        assert got == sort_rows(sorted(rows), head, keys)
+
+    def test_single_atom_query(self):
+        database = random_database(4)
+        q = ConjunctiveQuery([Atom("R", ("A", "B"))])
+        got = list(yannakakis_ranked_stream(q, database, ("A", "B"),
+                                            [("B", True)]))
+        expected = sort_rows(sorted(database.get("R").tuples),
+                             ("A", "B"), [("B", True)])
+        assert got == expected
+
+    def test_empty_reduction_yields_nothing(self):
+        database = Database([
+            Relation("R", ("a", "b"), [(1, 2)]),
+            Relation("S", ("b", "c"), [(9, 9)]),
+            Relation("U", ("c", "d"), [(9, 9)]),
+        ])
+        assert list(yannakakis_ranked_stream(PATH3, database,
+                                             ("A", "B", "C", "D"),
+                                             [("A", False)])) == []
+
+    def test_cyclic_query_raises(self):
+        database = random_database(0)
+        with pytest.raises(QueryError, match="alpha-acyclic"):
+            list(yannakakis_ranked_stream(TRIANGLE, database,
+                                          ("A", "B", "C"), [("A", False)]))
+
+    def test_needs_a_sort_key(self):
+        database = random_database(0)
+        with pytest.raises(QueryError, match="ORDER BY"):
+            list(yannakakis_ranked_stream(CHAIN, database,
+                                          ("A", "B", "C"), []))

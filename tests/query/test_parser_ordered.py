@@ -1,0 +1,83 @@
+"""The ``ORDER BY ... LIMIT`` trailer of the datalog-style grammar."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.query.atoms import ConjunctiveQuery
+from repro.query.builder import Query
+from repro.query.parser import parse_query
+
+
+class TestOrderByTrailer:
+    def test_single_key_defaults_ascending(self):
+        q = parse_query("Q(A,B) :- R(A,B) ORDER BY A")
+        assert isinstance(q, Query)
+        assert q.order_by == (("A", False),)
+        assert q.limit is None
+
+    def test_desc_asc_and_multiple_keys(self):
+        q = parse_query("Q(A,B) :- R(A,B) ORDER BY B DESC, A ASC")
+        assert q.order_by == (("B", True), ("A", False))
+
+    def test_keywords_are_case_insensitive(self):
+        q = parse_query("Q(A,B) :- R(A,B) order by B desc limit 4")
+        assert q.order_by == (("B", True),)
+        assert q.limit == 4
+
+    def test_limit_alone(self):
+        q = parse_query("Q(A,B) :- R(A,B) LIMIT 10")
+        assert isinstance(q, Query)
+        assert q.order_by == ()
+        assert q.limit == 10
+
+    def test_trailer_with_selections_and_aggregates(self):
+        q = parse_query(
+            "Q(A, COUNT(*)) :- R(A,B), S(B,5), A != 2 ORDER BY A LIMIT 3")
+        assert q.aggregates and q.limit == 3
+        assert q.order_by == (("A", False),)
+
+    def test_trailing_period_still_accepted(self):
+        q = parse_query("Q(A,B) :- R(A,B) ORDER BY A LIMIT 2.")
+        assert q.limit == 2
+
+    def test_plain_queries_stay_classical(self):
+        q = parse_query("Q(A,B) :- R(A,B)")
+        assert isinstance(q, ConjunctiveQuery)
+
+    def test_round_trips_through_query_str(self):
+        text = "Q(A, B) :- R(A, B) ORDER BY B DESC, A LIMIT 5"
+        q = parse_query(text)
+        assert parse_query(str(q)).order_by == q.order_by
+        assert parse_query(str(q)).limit == q.limit
+
+
+class TestTrailerErrors:
+    def test_order_without_by_is_dangling_text(self):
+        with pytest.raises(ParseError, match="dangling text"):
+            parse_query("Q(A,B) :- R(A,B) ORDER A")
+
+    def test_order_by_needs_a_column(self):
+        with pytest.raises(ParseError, match="ORDER BY column"):
+            parse_query("Q(A,B) :- R(A,B) ORDER BY 3")
+
+    def test_limit_needs_a_count(self):
+        with pytest.raises(ParseError, match="LIMIT count"):
+            parse_query("Q(A,B) :- R(A,B) LIMIT B")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError, match="non-negative"):
+            parse_query("Q(A,B) :- R(A,B) LIMIT -1")
+
+    def test_order_column_must_be_an_output_column(self):
+        with pytest.raises(Exception, match="not an output column"):
+            parse_query("Q(A) :- R(A,B) ORDER BY B")
+
+    def test_text_after_the_trailer_is_rejected(self):
+        with pytest.raises(ParseError, match="dangling text"):
+            parse_query("Q(A,B) :- R(A,B) ORDER BY A LIMIT 2 nonsense")
+
+    def test_body_variables_may_shadow_keywords(self):
+        # An atom named LIMIT parses as a body atom, not a trailer.
+        q = parse_query("Q(A,B) :- LIMIT(A,B)")
+        assert isinstance(q, ConjunctiveQuery)
+        assert q.atoms[0].relation == "LIMIT"

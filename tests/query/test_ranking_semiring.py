@@ -1,0 +1,106 @@
+"""The ordering (ranking) semiring family behind any-k enumeration."""
+
+import pytest
+
+from repro.query.semiring import (
+    RANKING,
+    Descending,
+    rank_component,
+    ranking_semiring,
+)
+
+
+def vector(*pairs):
+    return tuple(pairs)
+
+
+class TestDescending:
+    def test_inverts_comparisons(self):
+        assert Descending(3) < Descending(1)
+        assert not Descending(1) < Descending(3)
+        assert Descending(2) == Descending(2)
+        assert Descending(2) != Descending(3)
+
+    def test_orders_inside_tuples(self):
+        keys = sorted([(Descending(1), 5), (Descending(3), 2),
+                       (Descending(3), 1)])
+        assert keys == [(Descending(3), 1), (Descending(3), 2),
+                        (Descending(1), 5)]
+
+    def test_works_for_strings(self):
+        assert Descending("zoe") < Descending("amy")
+
+    def test_rank_component_wraps_only_descending(self):
+        assert rank_component(4, False) == 4
+        assert rank_component(4, True) == Descending(4)
+
+
+class TestRankingSemiring:
+    def test_family_accessor_returns_the_shared_carrier(self):
+        assert ranking_semiring() is RANKING
+        assert RANKING.has_product
+        assert not RANKING.has_absorbing
+
+    def test_plus_is_lexicographic_min(self):
+        a = vector((0, 1), (1, 9))
+        b = vector((0, 1), (1, 3))
+        assert RANKING.plus(a, b) == b
+        assert RANKING.plus(b, a) == b
+
+    def test_plus_respects_descending_components(self):
+        a = vector((0, Descending(1)))
+        b = vector((0, Descending(5)))
+        assert RANKING.plus(a, b) == b  # larger value ranks first DESC
+
+    def test_none_is_the_zero(self):
+        a = vector((0, 2))
+        assert RANKING.plus(None, a) == a
+        assert RANKING.plus(a, None) == a
+        assert RANKING.times(None, a) is None
+        assert RANKING.times(a, None) is None
+
+    def test_one_is_the_empty_vector(self):
+        a = vector((1, 7))
+        assert RANKING.times(RANKING.one, a) == a
+        assert RANKING.times(a, RANKING.one) == a
+
+    def test_times_merges_disjoint_positions_in_order(self):
+        a = vector((0, 5), (3, 1))
+        b = vector((1, 2))
+        assert RANKING.times(a, b) == vector((0, 5), (1, 2), (3, 1))
+
+    def test_plus_associative_and_commutative_on_shared_support(self):
+        vectors = [vector((0, x), (1, y)) for x in (1, 2) for y in (3, 1)]
+        for a in vectors:
+            for b in vectors:
+                assert RANKING.plus(a, b) == RANKING.plus(b, a)
+                for c in vectors:
+                    assert (RANKING.plus(RANKING.plus(a, b), c)
+                            == RANKING.plus(a, RANKING.plus(b, c)))
+
+    def test_times_distributes_over_plus_on_independent_blocks(self):
+        # a ⊗ (b ⊕ c) == (a ⊗ b) ⊕ (a ⊗ c): the law that lets subtree
+        # minima be computed before merging into the full sort key.
+        a_block = [vector((0, x)) for x in (4, 2)]
+        bc_block = [vector((1, y)) for y in (9, 1)]
+        for a in a_block:
+            for b in bc_block:
+                for c in bc_block:
+                    left = RANKING.times(a, RANKING.plus(b, c))
+                    right = RANKING.plus(RANKING.times(a, b),
+                                         RANKING.times(a, c))
+                    assert left == right
+
+    def test_interleaved_min_is_the_merge_of_block_minima(self):
+        # Positions 0 and 2 belong to one independent block, 1 to another:
+        # the lexicographic minimum over all combinations equals the merge
+        # of the per-block lexicographic minima.
+        block_a = [vector((0, 0), (2, 5)), vector((0, 1), (2, 0))]
+        block_b = [vector((1, 7)), vector((1, 9))]
+        combos = [RANKING.times(a, b) for a in block_a for b in block_b]
+        best = None
+        for combo in combos:
+            best = RANKING.plus(best, combo)
+        min_a = RANKING.plus(block_a[0], block_a[1])
+        min_b = RANKING.plus(block_b[0], block_b[1])
+        assert best == RANKING.times(min_a, min_b)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Fail when documentation links or file references go stale.
+
+Checks, for every markdown file passed on the command line:
+
+* relative markdown links ``[text](path)`` point at files or directories
+  that exist (anchors are stripped; external ``http(s):``/``mailto:``
+  links are skipped);
+* inline-code path references that look like repo files
+  (`src/...`, `benchmarks/...`, `docs/...`, `tools/...`, `tests/...`)
+  exist.
+
+Usage::
+
+    python tools/check_doc_links.py README.md ROADMAP.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"\[[^\]]+\]\(([^)]+)\)")
+CODE_PATH = re.compile(
+    r"`((?:src|benchmarks|docs|tools|tests)/[A-Za-z0-9_./-]+)`")
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def stale_references(path: Path) -> list[str]:
+    text = path.read_text(encoding="utf-8")
+    base = path.parent
+    problems: list[str] = []
+    for match in LINK.finditer(text):
+        target = match.group(1).strip()
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        if not (base / relative).exists() and not (ROOT / relative).exists():
+            problems.append(f"{path}: broken link -> {target}")
+    for match in CODE_PATH.finditer(text):
+        target = match.group(1).rstrip("/")
+        if not (ROOT / target).exists():
+            problems.append(f"{path}: missing file reference -> {target}")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_doc_links.py FILE.md [FILE.md ...]",
+              file=sys.stderr)
+        return 2
+    problems: list[str] = []
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            problems.append(f"{name}: documentation file is missing")
+            continue
+        problems.extend(stale_references(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} stale documentation reference(s)",
+              file=sys.stderr)
+        return 1
+    print(f"checked {len(argv)} file(s): all documentation links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
