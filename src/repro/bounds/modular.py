@@ -63,6 +63,31 @@ class ModularBound:
         return modular_from_singletons(variables, self.vertex_values)
 
 
+def _zero_bound_certificate(dc: DegreeConstraintSet) -> ModularBound | None:
+    """The -inf bound forced by a zero-bound constraint, or None.
+
+    A constraint ``(X, Y, 0)`` asserts its guard holds *no* Y-binding —
+    an empty (or fully filtered-out) relation — so the output is provably
+    empty and the LP is infeasible (its right-hand side would be
+    ``log2 0 = -inf``, which the solver rightly rejects).  Mirroring
+    :func:`repro.bounds.agm.agm_bound_from_sizes`'s empty-edge
+    convention, the bound is reported directly as ``-inf`` with all the
+    dual weight on the first empty constraint, instead of handing the
+    solver an infinite coefficient.
+    """
+    for i, constraint in enumerate(dc):
+        if constraint.bound == 0:
+            return ModularBound(
+                log2_bound=float("-inf"),
+                vertex_values={v: 0.0 for v in dc.variables},
+                dual_weights={j: (1.0 if j == i else 0.0)
+                              for j in range(len(dc))},
+                num_lp_variables=0,
+                num_lp_constraints=0,
+            )
+    return None
+
+
 def modular_bound(dc: DegreeConstraintSet) -> ModularBound:
     """Solve the primal modular LP (54) and report primal and dual optima.
 
@@ -70,12 +95,18 @@ def modular_bound(dc: DegreeConstraintSet) -> ModularBound:
     only when DC is acyclic (Proposition 4.4); callers that care should check
     ``dc.is_acyclic()``.
 
+    A constraint with bound 0 (an empty relation) makes the LP infeasible;
+    the provably-empty ``-inf`` bound is returned without solving.
+
     Raises
     ------
     UnboundedQueryError
         If some variable is unbounded (no constraint's free set covers it
         reachable from cardinalities), making the LP unbounded.
     """
+    empty = _zero_bound_certificate(dc)
+    if empty is not None:
+        return empty
     if not all_variables_bound(dc):
         raise UnboundedQueryError(
             "modular bound is infinite: some variable is not bound by the constraints"
@@ -114,7 +145,13 @@ def modular_bound_dual(dc: DegreeConstraintSet) -> ModularBound:
     Returns a :class:`ModularBound` whose ``dual_weights`` are the decision
     variables of this LP and whose ``vertex_values`` come from the LP duals.
     Strong duality makes its ``log2_bound`` equal to :func:`modular_bound`'s.
+    A zero-bound constraint (empty relation) short-circuits to ``-inf``
+    exactly like :func:`modular_bound` — here the infinity would land in
+    the objective coefficients instead of the right-hand side.
     """
+    empty = _zero_bound_certificate(dc)
+    if empty is not None:
+        return empty
     if not all_variables_bound(dc):
         raise UnboundedQueryError(
             "dual modular bound is infinite: some variable is not bound"

@@ -83,6 +83,22 @@ def polymatroid_bound(dc: DegreeConstraintSet,
         If some variable is not bound by DC (the LP would be unbounded).
     """
     variables = dc.variables
+    for i, constraint in enumerate(dc):
+        if constraint.bound == 0:
+            # An empty guard relation: h(Y) - h(X) <= log2 0 makes the LP
+            # infeasible (monotone h has h(Y) >= h(X)); the output is
+            # provably empty, so report -inf with the zero polymatroid
+            # rather than handing the solver an infinite right-hand side.
+            return PolymatroidBound(
+                log2_bound=float("-inf"),
+                optimal_h=SetFunction(
+                    variables,
+                    {s: 0.0 for s in all_subsets(variables)},
+                ),
+                tight_constraints=(f"dc[{i}]",),
+                num_lp_variables=0,
+                num_lp_constraints=0,
+            )
     if not all_variables_bound(dc):
         raise UnboundedQueryError(
             "polymatroid bound is infinite: some variable is not bound by the "

@@ -31,10 +31,14 @@ Two refinements sharpen the envelope beyond the raw AGM bound:
   constants therefore shrink the WCOJ estimate, not just the scan terms;
 * **aggregation**: aggregate queries are priced in both execution modes —
   *stream-fold* (drain the join, fold the output; join-linear) and
-  *in-recursion* (FAQ-style variable elimination; bounded by
-  ``N^faq-width`` of the aggregate-aware order, output-linear for acyclic
-  group-bys) — and the dispatcher resolves the mode per strategy, reporting
-  both estimates so ``explain()`` can show the comparison;
+  *in-recursion* (FAQ-style variable elimination with component
+  factorization; bounded by ``N^faq-width`` where the width is the
+  **maximum residual-component width** of the aggregate-aware order, not
+  the monolithic tail width — the eliminators fold
+  conditionally-independent tail components separately, so that is the
+  exponent actually paid) — and the dispatcher resolves the mode per
+  strategy, reporting both estimates so ``explain()`` can show the
+  comparison;
 * **ranked enumeration**: ordered non-aggregate queries are priced in both
   ranked modes — *drain-and-heap* (full join plus a heap top-k) and
   *any-k* (the bottom-up best-suffix DP, bounded by ``N^width`` of the
@@ -148,8 +152,9 @@ class DispatchDecision:
         ``plan()`` should be used.
     faq_width:
         The fractional-hypertree width of the aggregate-aware variable
-        order (the FAQ-width proxy priced for in-recursion mode); None
-        for non-aggregate queries.
+        order — the maximum over the tail's residual components, which
+        is what the factorized eliminator pays (the FAQ-width proxy
+        priced for in-recursion mode); None for non-aggregate queries.
     """
 
     strategy: str
@@ -224,12 +229,21 @@ def selection_envelope(query: ConjunctiveQuery, database: Database,
     Data-derived degree constraints (single-variable conditioning) are
     tried first; when their dependency graph is cyclic — where only the
     exponential polymatroid LP would apply — the envelope falls back to
-    the plain AGM bound of the filtered instance, keeping planning cheap.
+    the plain AGM bound of the filtered instance (still taken with
+    ``min`` against the unfiltered AGM bound), keeping planning cheap.
+
+    An empty scan — a relation with no tuples, or one a selection
+    filters out entirely — forces an empty join: the envelope is exactly
+    zero, returned directly instead of routing a ``log2 0`` through the
+    degree-constraint LPs (which must special-case it) or silently
+    falling back to a pessimistic non-zero bound.
     """
     derived_query, derived_db, _residual = filtered_instance(
         query, selections, database)
     sizes = {i: len(derived_db.get(atom.relation))
              for i, atom in enumerate(derived_query.atoms)}
+    if any(size == 0 for size in sizes.values()):
+        return sizes, 0.0
     if derived_db is database:
         return sizes, _capped(agm.bound)
     dc = constraints_from_database(derived_query, derived_db, max_key_size=1)
@@ -245,20 +259,30 @@ def plan_aggregation(query: ConjunctiveQuery, selections, aggregates,
     """The aggregate-aware order and the facts mode resolution needs.
 
     Returns a dict with the binding ``order`` (constant-pinned variables,
-    then the group prefix, then the width-minimizing elimination tail),
-    its fractional-hypertree ``width``, whether any variable is actually
-    eliminated (``has_elimination``), and whether every aggregate's
-    semiring carries a product (``product_ok`` — the precondition for
-    Yannakakis' in-pass mode).
+    then the group prefix, then the width-minimizing elimination tail,
+    chosen and priced per residual component), its fractional-hypertree
+    ``width`` — the *maximum component width*, the exponent of the
+    factorized eliminator's exact FAQ bound — whether any variable is
+    actually eliminated (``has_elimination``), and whether every
+    aggregate's semiring carries a product (``product_ok`` — the
+    precondition for Yannakakis' in-pass mode).
     """
     fixed = {sel.lhs for sel in selections
              if getattr(sel, "is_constant_equality", False)}
-    order, width = aggregate_elimination_order(query, group=group, fixed=fixed)
+    # Without product semirings the eliminator cannot combine component
+    # values, so the order and width must be those of the monolithic
+    # fold — pricing the factorized exponent would promise a bound the
+    # executor cannot achieve.
+    product_ok = all(a.semiring().has_product for a in aggregates)
+    order, width = aggregate_elimination_order(query, group=group,
+                                               fixed=fixed,
+                                               selections=selections,
+                                               factorize=product_ok)
     return {
         "order": order,
         "width": width,
         "has_elimination": bool(set(query.variables) - set(group)),
-        "product_ok": all(a.semiring().has_product for a in aggregates),
+        "product_ok": product_ok,
     }
 
 
@@ -278,7 +302,8 @@ def plan_ranked(query: ConjunctiveQuery, selections, order_by, head) -> dict:
     keys = tuple((variable, bool(descending))
                  for variable, descending in order_by)
     order, width = ranked_order(query, [v for v, _d in keys],
-                                fixed=fixed, head=head)
+                                fixed=fixed, head=head,
+                                selections=selections)
     return {"order": order, "width": width, "keys": keys}
 
 

@@ -226,7 +226,10 @@ class _WcojExecutor:
         """
         if spec.aggregates:
             order, _width = aggregate_elimination_order(
-                spec.core, group=spec.head_vars, fixed=spec.fixed_variables)
+                spec.core, group=spec.head_vars, fixed=spec.fixed_variables,
+                selections=spec.all_selections,
+                factorize=all(a.semiring().has_product
+                              for a in spec.aggregates))
             eliminated = set(spec.core.variables) - set(spec.head_vars)
             return ("recursion" if eliminated else "fold", order)
         return pushdown_order(spec.core, fixed=spec.fixed_variables,

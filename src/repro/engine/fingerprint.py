@@ -77,6 +77,10 @@ class CanonicalQuery:
 # elimination, "fold" for drain-and-fold over the streamed join, "anyk"
 # for any-k ranked enumeration (drain-and-heap ordered plans stay
 # untagged: they run the plain enumeration payload and sort above it).
+# A "recursion"-tagged payload always runs the component-factorized
+# eliminator: the component split is recomputed from the (translated)
+# order and the query structure at run time, so the tag needs no extra
+# cached state and replays correctly for every isomorphic query.
 
 #: The aggregate-mode tags a structured WCOJ/Yannakakis payload may carry.
 AGGREGATE_MODE_TAGS = ("recursion", "fold")

@@ -260,6 +260,21 @@ class Explanation:                 # make a generated __hash__ crash
         return self.render()
 
 
+def _residual_tail_components(spec: Query, order: Sequence[str],
+                              start: int) -> list[tuple[str, ...]]:
+    """The tail's conditionally-independent components, as the executor
+    splits them — the shared rule of
+    :meth:`repro.query.hypergraph.Hypergraph.residual_components` with
+    the query's selections as couplings, rendered in binding order."""
+    position = {v: i for i, v in enumerate(order)}
+    groups = spec.core.hypergraph().residual_components(
+        order[:start],
+        couplings=[sel.variables for sel in spec.all_selections])
+    return [tuple(sorted(g, key=position.__getitem__))
+            for g in sorted(groups, key=lambda g: min(position[v]
+                                                      for v in g))]
+
+
 @dataclass(frozen=True)
 class _Prepared:
     """A query after planning: everything needed to run it."""
@@ -718,10 +733,30 @@ class Engine:
                         else "constant-pinned")
                 lines.append(f"{order[depth]} — {role} prefix "
                              f"(depth {depth})")
+            # A plus-only (product-less) aggregate semiring keeps the
+            # eliminator monolithic; reporting a component split it
+            # cannot execute would misdescribe the plan.
+            can_factorize = all(a.semiring().has_product
+                                for a in spec.aggregates)
+            components = (_residual_tail_components(spec, order, start)
+                          if can_factorize and start < len(order) else [])
+            component_of = {v: i for i, comp in enumerate(components)
+                            for v in comp}
             for depth in range(start, len(order)):
+                line = (f"{order[depth]} — eliminated in-recursion at depth "
+                        f"{depth}, folded into {kinds}")
+                if len(components) > 1:
+                    line += (f" (component "
+                             f"{component_of[order[depth]] + 1}"
+                             f"/{len(components)})")
+                lines.append(line)
+            if len(components) > 1:
+                rendered = "; ".join("{" + ", ".join(comp) + "}"
+                                     for comp in components)
                 lines.append(
-                    f"{order[depth]} — eliminated in-recursion at depth "
-                    f"{depth}, folded into {kinds}"
+                    f"tail factorizes into {len(components)} independent "
+                    f"components ({rendered}); per-component memoized "
+                    "folds combine with the semiring product"
                 )
             if not lines:
                 lines.append(f"no variables to eliminate; {kinds} folded "

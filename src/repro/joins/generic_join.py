@@ -43,7 +43,13 @@ from typing import Any, Callable, Collection, Iterator, Mapping, Sequence
 
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import ConjunctiveQuery
-from repro.query.semiring import BOOLEAN, RANKING, Aggregate, rank_component
+from repro.query.semiring import (
+    BOOLEAN,
+    RANKING,
+    Aggregate,
+    rank_component,
+    times_fold,
+)
 from repro.query.variable_order import min_degree_order, validate_order
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
@@ -75,6 +81,14 @@ def resolve_tries(query: ConjunctiveQuery, database: Database,
     return trie_map, trie_orders
 
 
+#: Lift factorization of the boolean existential lift: it reads no
+#: variables, so the bound prefix carries the whole lift and every
+#: residual component contributes the boolean ``one`` (True) — a
+#: component's fold is then exactly "does this sub-problem have a
+#: witness", short-circuited per component by the absorbing element.
+_BOOLEAN_FACTORS = ((frozenset(), lambda _subset: (lambda: True)),)
+
+
 def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 intersect: Callable[[list, OperationCounter | None], list],
                 order: Sequence[str] | None = None,
@@ -84,6 +98,7 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 head: Sequence[str] | None = None,
                 aggregates: Sequence[Aggregate] | None = None,
                 ranked: Sequence[tuple[str, bool]] | None = None,
+                factorize: bool = True,
                 ) -> Iterator[tuple]:
     """The shared variable-at-a-time WCOJ recursion.
 
@@ -123,6 +138,19 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     aggregate_elimination_order`) constructs such orders.  A group-free
     aggregation over an empty join yields the single all-identities row
     (SQL-style ``COUNT() = 0``).
+
+    **Component factorization.**  With ``factorize`` (the default), the
+    eliminators additionally split the residual tail into the connected
+    components of the residual hypergraph conditioned on the bound
+    prefix (plus any tail selections gluing components together), fold
+    each component independently with its own, smaller separator memo,
+    and combine the per-component values with the semiring product —
+    the exact FAQ bound ``N^{max component width}`` instead of the
+    monolithic ``N^{tail width}`` on star/tree/product-shaped tails.
+    Results are identical either way (the distributive law is what
+    licenses the split); ``factorize=False`` keeps the monolithic fold
+    for ablation, and lifts over semirings without a product fall back
+    to it automatically.
 
     **Ranked enumeration.**  With ``ranked`` (ORDER BY keys as
     ``(variable, descending)`` pairs, each variable in ``head``), the
@@ -194,7 +222,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
 
     def make_eliminator(start: int, semirings: Sequence,
                         lifts: Sequence[Callable[[], Any]],
-                        lift_needs: Collection[str] | None = None):
+                        lift_needs: Collection[str] | None = None,
+                        lift_factors: Sequence[tuple] | None = None):
         """A bottom-up semiring fold over the variables ``order[start:]``.
 
         ``eliminate(depth)`` returns one accumulator per semiring — the
@@ -203,7 +232,7 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         ``None`` when no consistent assignment exists (so callers can
         distinguish an empty subtree from one that folds to the zeros).
 
-        Two things make this cheaper than enumerating the subtree into
+        Three things make this cheaper than enumerating the subtree into
         tuples:
 
         * *saturation*: when every semiring has an absorbing ``plus``
@@ -218,7 +247,36 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
           variables by default, the sort-key variables for the ranked
           eliminators).  Depths where that separator is strictly smaller
           than the full prefix carry a memo keyed on it, which is what
-          collapses acyclic group-bys from join-linear to output-linear.
+          collapses acyclic group-bys from join-linear to output-linear;
+        * *component factorization* (the exact-FAQ-bound refinement):
+          once the prefix is bound, the residual hypergraph on the tail
+          variables may fall apart into connected components —
+          conditionally-independent sub-problems that share no atom and
+          no selection.  When every semiring carries a product and the
+          lifts declare how they factor (``lift_factors``), each
+          component is folded *independently* (its own memo, keyed on
+          the typically much smaller per-component separator) and the
+          per-component values combine with the semiring ``times``
+          (:func:`repro.query.semiring.times_fold`).  A monolithic fold
+          would instead thread a value-carrying variable of one
+          component through the separators of all the others, paying a
+          product ``N^{tail width}`` where the factorized fold pays
+          ``N^{max component width}``.
+
+        ``lift_factors`` holds one ``(reads, partial)`` pair per lift:
+        ``reads`` is the set of variables the lift's value depends on and
+        ``partial(subset)`` (for ``subset`` a subset of ``reads`` inside
+        the tail) returns a component-local lift such that the
+        ``times``-product of ``partial`` factors over a partition of the
+        tail reads, times the full lift when no read is in the tail,
+        equals the original lift.  Omitting it (or any semiring lacking
+        ``times``) disables factorization and keeps the monolithic fold.
+
+        The combine step deliberately short-circuits only on an *empty*
+        component (``None`` — the semiring zero annihilates a product);
+        a ``plus``-absorbing value such as the boolean ``True`` is **not**
+        a license to skip the remaining components, whose sub-problems
+        may still be empty.
         """
         n = len(order)
         # Variables co-occurring (in some atom) with each variable.
@@ -230,55 +288,172 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             lift_needs = {
                 agg.var for agg in (aggregates or ()) if agg.var is not None
             }
-        # needed[d]: earlier-bound variables the subtree below d can see.
-        needed: dict[int, set[str]] = {}
-        acc = set(lift_needs)
-        for d in range(n - 1, start - 1, -1):
-            acc = set(acc)
-            acc.update(covars[order[d]])
-            for sel in checks_at[d]:
-                acc.update(sel.variables)
-            needed[d] = acc
-        memo_keys: dict[int, tuple[str, ...]] = {}
-        memo: dict[int, dict[tuple, list | None]] = {}
-        for d in range(start, n):
-            key = tuple(u for u in order[:d] if u in needed[d])
-            if len(key) < d:  # a proper separator: repeats can collapse
-                memo_keys[d] = key
-                memo[d] = {}
         can_saturate = all(sr.has_absorbing for sr in semirings)
         saturated = [sr.absorbing for sr in semirings] if can_saturate else None
+        can_factor = (factorize and lift_factors is not None
+                      and len(lift_factors) == len(lifts)
+                      and all(sr.has_product for sr in semirings))
+
+        def make_fold(positions: tuple[int, ...],
+                      fold_lifts: Sequence[Callable[[], Any]],
+                      seed_needs: Collection[str]):
+            """A memoized ⊕-fold over the order positions ``positions``.
+
+            The monolithic fold uses all of ``order[start:]``; component
+            folds use one component's positions.  Either way the fold at
+            index ``j`` may only depend on the bound variables the
+            remaining sub-positions can see, so depths with a proper
+            separator carry a memo keyed on it.
+            """
+            k = len(positions)
+            needed: list[set[str]] = [set()] * k
+            acc = set(seed_needs)
+            for j in range(k - 1, -1, -1):
+                d = positions[j]
+                acc = set(acc)
+                acc.update(covars[order[d]])
+                for sel in checks_at[d]:
+                    acc.update(sel.variables)
+                needed[j] = acc
+            base = positions[0] if positions else n
+            memo_keys: dict[int, tuple[str, ...]] = {}
+            memo: dict[int, dict[tuple, list | None]] = {}
+            for j in range(k):
+                bound_before = (order[:base]
+                                + tuple(order[p] for p in positions[:j]))
+                key = tuple(u for u in bound_before if u in needed[j])
+                if len(key) < len(bound_before):  # a proper separator
+                    memo_keys[j] = key
+                    memo[j] = {}
+
+            def fold(j: int) -> list | None:
+                if j == k:
+                    return [lift() for lift in fold_lifts]
+                table = memo.get(j)
+                if table is not None:
+                    mkey = tuple(binding[u] for u in memo_keys[j])
+                    try:
+                        return table[mkey]
+                    except KeyError:
+                        pass
+                depth = positions[j]
+                variable = order[depth]
+                if counter is not None:
+                    counter.charge(search_nodes=1)
+                total: list | None = None
+                for value in candidates_for(variable):
+                    binding[variable] = value
+                    sub = fold(j + 1) if passes(depth) else None
+                    del binding[variable]
+                    if sub is None:
+                        continue
+                    if total is None:
+                        total = list(sub)
+                    else:
+                        for i, sr in enumerate(semirings):
+                            total[i] = sr.plus(total[i], sub[i])
+                    if saturated is not None and total == saturated:
+                        break
+                if table is not None:
+                    table[mkey] = total
+                return total
+
+            return fold
+
+        def tail_components(depth: int) -> list[tuple[int, ...]] | None:
+            """Position groups of the residual components below ``depth``.
+
+            The single shared split rule
+            (:meth:`repro.query.hypergraph.Hypergraph.residual_components`
+            with the selections as couplings — a selection's truth
+            couples the assignments of the tail variables it reads, so
+            the components it spans are glued).  Returns None when the
+            tail does not decompose.
+            """
+            groups = query.hypergraph().residual_components(
+                order[:depth],
+                couplings=[sel.variables for sel in selections])
+            if len(groups) <= 1:
+                return None
+            return [tuple(sorted(position[v] for v in g)) for g in groups]
+
+        # Per-invocation-depth factorization structure, built lazily and
+        # cached: callers re-enter the eliminator at a handful of depths
+        # (its start; the emit depth for ranked tie classes) and the
+        # per-component memo tables must persist across separator
+        # bindings — that reuse is the point.
+        structures: dict[int, tuple | None] = {}
+        mono_fold = None
+
+        def structure(depth: int) -> tuple | None:
+            try:
+                return structures[depth]
+            except KeyError:
+                pass
+            result = None
+            components = tail_components(depth) if can_factor else None
+            if components is not None:
+                tail_vars = frozenset(order[p] for p in range(depth, n))
+                prefix_parts: list = []
+                tail_partials: list = []
+                for (reads, partial), lift, sr in zip(lift_factors, lifts,
+                                                      semirings):
+                    tail_reads = frozenset(reads) & tail_vars
+                    if not tail_reads:
+                        # The lift's value is fully determined by the
+                        # bound prefix: it becomes the prefix factor and
+                        # every component contributes the identity.
+                        prefix_parts.append(lift)
+                        tail_partials.append(None)
+                    elif frozenset(reads) <= tail_vars:
+                        prefix_parts.append(lambda _one=sr.one: _one)
+                        tail_partials.append(partial)
+                    else:  # reads spanning prefix and tail: don't factor
+                        components = None
+                        break
+                if components is not None:
+                    comp_folds = []
+                    for comp_positions in components:
+                        comp_vars = frozenset(order[p]
+                                              for p in comp_positions)
+                        comp_lifts = []
+                        seed: set[str] = set()
+                        for (reads, _partial), partial, sr in zip(
+                                lift_factors, tail_partials, semirings):
+                            if partial is None:
+                                comp_lifts.append(lambda _one=sr.one: _one)
+                            else:
+                                local = frozenset(reads) & comp_vars
+                                seed |= local
+                                comp_lifts.append(partial(local))
+                        comp_folds.append(
+                            make_fold(comp_positions, comp_lifts, seed))
+                    result = (comp_folds, prefix_parts)
+            structures[depth] = result
+            return result
 
         def eliminate(depth: int) -> list | None:
-            if depth == n:
+            nonlocal mono_fold
+            if depth >= n:
                 return [lift() for lift in lifts]
-            table = memo.get(depth)
-            if table is not None:
-                mkey = tuple(binding[u] for u in memo_keys[depth])
-                try:
-                    return table[mkey]
-                except KeyError:
-                    pass
-            variable = order[depth]
-            if counter is not None:
-                counter.charge(search_nodes=1)
-            total: list | None = None
-            for value in candidates_for(variable):
-                binding[variable] = value
-                sub = eliminate(depth + 1) if passes(depth) else None
-                del binding[variable]
+            struct = structure(depth)
+            if struct is None:
+                if mono_fold is None:
+                    mono_fold = make_fold(tuple(range(start, n)), lifts,
+                                          lift_needs)
+                return mono_fold(depth - start)
+            comp_folds, prefix_parts = struct
+            values = []
+            for fold in comp_folds:
+                sub = fold(0)
                 if sub is None:
-                    continue
-                if total is None:
-                    total = list(sub)
-                else:
-                    for i, sr in enumerate(semirings):
-                        total[i] = sr.plus(total[i], sub[i])
-                if saturated is not None and total == saturated:
-                    break
-            if table is not None:
-                table[mkey] = total
-            return total
+                    return None  # an empty component empties the product
+                values.append(sub)
+            return [
+                times_fold(sr, [prefix_parts[i]()]
+                           + [value[i] for value in values])
+                for i, sr in enumerate(semirings)
+            ]
 
         return eliminate
 
@@ -352,11 +527,30 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 return tuple((p, rank_component(binding[v], descending))
                              for p, v, descending in _suffix)
 
+            def suffix_partial(subset, _suffix=suffix):
+                # The sort-key sub-vector a component can see; vectors
+                # over disjoint key positions recompose with the ranking
+                # semiring's ⊗ (positionwise merge), so the combined
+                # best-suffix bound stays exact — the lexicographic
+                # minimum of independent blocks is the merge of the
+                # blocks' minima.
+                chosen = tuple(entry for entry in _suffix
+                               if entry[1] in subset)
+
+                def partial_lift(_chosen=chosen):
+                    return tuple((p, rank_component(binding[v], descending))
+                                 for p, v, descending in _chosen)
+
+                return partial_lift
+
             rank_eliminators[start] = make_eliminator(
                 start, (RANKING,), (suffix_lift,),
-                lift_needs={v for _p, v, _d in suffix})
+                lift_needs={v for _p, v, _d in suffix},
+                lift_factors=((frozenset(v for _p, v, _d in suffix),
+                               suffix_partial),))
         exists = (make_eliminator(ob_depth, (BOOLEAN,),
-                                  (lambda: BOOLEAN.lift(None),))
+                                  (lambda: BOOLEAN.lift(None),),
+                                  lift_factors=_BOOLEAN_FACTORS)
                   if ob_depth < n else None)
 
         def frontier_priority(depth: int) -> tuple | None:
@@ -455,7 +649,20 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             else (lambda v=agg.var, sr=sr: sr.lift(binding[v]))
             for agg, sr in zip(aggregates, semirings)
         ]
-        eliminate = make_eliminator(agg_start, semirings, lifts)
+        # How each aggregate lift factorizes across residual components:
+        # the component holding the aggregated variable carries the lift,
+        # every other component contributes the semiring ``one`` (their
+        # folds then count multiplicity, which ``times`` distributes over
+        # the value-carrying factor).  Variable-free lifts (COUNT) stay
+        # with the prefix factor.
+        lift_factors = [
+            (frozenset() if agg.var is None else frozenset({agg.var}),
+             (lambda subset, lift=lift, sr=sr:
+              lift if subset else (lambda _one=sr.one: _one)))
+            for agg, sr, lift in zip(aggregates, semirings, lifts)
+        ]
+        eliminate = make_eliminator(agg_start, semirings, lifts,
+                                    lift_factors=lift_factors)
 
         def emit_group() -> tuple | None:
             values = eliminate(agg_start)
@@ -514,7 +721,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
 
     if head is not None and early_distinct and prefix_depth < len(order):
         exists = make_eliminator(prefix_depth, (BOOLEAN,),
-                                 (lambda: BOOLEAN.lift(None),))
+                                 (lambda: BOOLEAN.lift(None),),
+                                 lift_factors=_BOOLEAN_FACTORS)
     else:
         exists = None
 
@@ -583,6 +791,7 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
                         head: Sequence[str] | None = None,
                         aggregates: Sequence[Aggregate] | None = None,
                         ranked: Sequence[tuple[str, bool]] | None = None,
+                        factorize: bool = True,
                         ) -> Iterator[tuple]:
     """Lazily enumerate the full join, yielding tuples over ``query.variables``.
 
@@ -618,11 +827,17 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
         stream then yields head tuples in exact sort order via any-k
         ranked enumeration (see :func:`wcoj_stream`), so abandoning it
         after k tuples never pays for the full join.
+    factorize:
+        Whether eliminators split the residual tail into connected
+        components and combine the per-component folds with the semiring
+        product (see :func:`wcoj_stream`); results are identical either
+        way, so False exists for ablation and benchmarking only.
     """
     return wcoj_stream(query, database, hash_probe_intersect,
                        order=order, counter=counter, tries=tries,
                        selections=selections, head=head,
-                       aggregates=aggregates, ranked=ranked)
+                       aggregates=aggregates, ranked=ranked,
+                       factorize=factorize)
 
 
 def generic_join(query: ConjunctiveQuery, database: Database,

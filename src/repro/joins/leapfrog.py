@@ -105,24 +105,27 @@ def leapfrog_stream(query: ConjunctiveQuery, database: Database,
                     head: Sequence[str] | None = None,
                     aggregates: Sequence[Aggregate] | None = None,
                     ranked: Sequence[tuple[str, bool]] | None = None,
+                    factorize: bool = True,
                     ) -> Iterator[tuple]:
     """Lazily enumerate the full join with Leapfrog Triejoin.
 
     Parameters are identical to
     :func:`repro.joins.generic_join.generic_join_stream` (including
     binding-level ``selections`` pushdown, early-deduplicating ``head``
-    projection, in-recursion semiring ``aggregates``, and any-k
-    ``ranked`` enumeration); the difference is purely in how the
-    per-variable intersections are computed (sorted leapfrog seeks
-    instead of hash probes), which is the design-choice ablation
-    benchmarked in ``benchmarks/bench_intersection.py``.  Both share the
+    projection, in-recursion semiring ``aggregates`` with
+    component-``factorize``d elimination, and any-k ``ranked``
+    enumeration); the difference is purely in how the per-variable
+    intersections are computed (sorted leapfrog seeks instead of hash
+    probes), which is the design-choice ablation benchmarked in
+    ``benchmarks/bench_intersection.py``.  Both share the
     variable-at-a-time recursion of
     :func:`repro.joins.generic_join.wcoj_stream`.
     """
     return wcoj_stream(query, database, leapfrog_intersect,
                        order=order, counter=counter, tries=tries,
                        selections=selections, head=head,
-                       aggregates=aggregates, ranked=ranked)
+                       aggregates=aggregates, ranked=ranked,
+                       factorize=factorize)
 
 
 def leapfrog_triejoin(query: ConjunctiveQuery, database: Database,

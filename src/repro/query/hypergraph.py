@@ -151,6 +151,61 @@ class Hypergraph:
             covered |= edge
         return covered == set(self._vertices)
 
+    def residual_components(self, conditioned: Iterable[str] = (),
+                            couplings: Iterable[Iterable[str]] = ()
+                            ) -> tuple[frozenset[str], ...]:
+        """Connected components of the residual hypergraph H | conditioned.
+
+        Conditioning on a set of vertices (a bound separator, in the FAQ /
+        variable-elimination reading) deletes them from every edge; two
+        remaining vertices are connected when some edge contains both.
+        The components are the conditionally-independent sub-problems of
+        the residual query: an eliminator may fold each component
+        separately and combine the per-component values with the semiring
+        product, and a planner may order and price each component's tail
+        on its own.
+
+        ``couplings`` are extra virtual edges — in practice the variable
+        sets of the query's selections, whose truth couples the
+        assignments of every unconditioned variable they read, so the
+        components they span must be glued together.  Passing *all*
+        selections is safe: members in ``conditioned`` drop out exactly
+        like edge members, so a selection fully bound by the separator
+        glues nothing.  This is the single component-split rule shared by
+        the executors' eliminators, the planner's tail scoring, and
+        ``explain()``.
+
+        Vertices in ``conditioned`` (or coupling members) that are not in
+        the hypergraph are ignored (a separator may mention variables an
+        induced subquery no longer has).  Components are returned in a
+        deterministic order: sorted by the position of their earliest
+        vertex in ``vertices``.
+        """
+        conditioned = set(conditioned)
+        remaining = [v for v in self._vertices if v not in conditioned]
+        remaining_set = set(remaining)
+        parent: dict[str, str] = {v: v for v in remaining}
+
+        def find(v: str) -> str:
+            while parent[v] != v:
+                parent[v] = parent[parent[v]]
+                v = parent[v]
+            return v
+
+        groups_of: Iterable[Iterable[str]] = (
+            list(self._edges.values()) + [set(c) for c in couplings]
+        )
+        for group in groups_of:
+            members = [v for v in group if v in remaining_set]
+            for other in members[1:]:
+                root_a, root_b = find(members[0]), find(other)
+                if root_a != root_b:
+                    parent[root_b] = root_a
+        grouped: dict[str, list[str]] = {}
+        for v in remaining:  # vertex order makes the grouping deterministic
+            grouped.setdefault(find(v), []).append(v)
+        return tuple(frozenset(group) for group in grouped.values())
+
     def __repr__(self) -> str:
         edges = {k: sorted(v) for k, v in self._edges.items()}
         return f"Hypergraph(vertices={list(self._vertices)!r}, edges={edges!r})"

@@ -264,12 +264,28 @@ class _Parser:
                 and str(token.value).lower() == word)
 
     def parse_trailer(self) -> tuple[list[tuple[str, bool]], int | None]:
-        """The optional ``ORDER BY ... LIMIT n`` trailer after the body."""
+        """The optional ``ORDER BY ... LIMIT n`` trailer after the body.
+
+        Errors inside the trailer point at the offending token: a
+        dangling comma swallowing the ``LIMIT`` keyword as a column name
+        would otherwise surface as a confusing "dangling text: int"
+        error at the limit *count*, one token too late.
+        """
         order_by: list[tuple[str, bool]] = []
         if self._keyword("order") and self._keyword("by", 1):
             self.advance()
             self.advance()
             while True:
+                token = self.peek()
+                if self._keyword("limit") and self.peek(1).kind == "int":
+                    # ``ORDER BY A, LIMIT 3``: the LIMIT clause cannot
+                    # double as a sort column.  (A genuine column named
+                    # ``limit`` is still fine — it is only rejected when
+                    # directly followed by a count, where the user
+                    # plainly meant the clause.)
+                    self.fail(
+                        "expected an ORDER BY column, found the LIMIT "
+                        "clause (dangling comma in ORDER BY?)", token)
                 column = self.expect("ident", "an ORDER BY column").value
                 descending = False
                 if self._keyword("asc"):

@@ -15,7 +15,13 @@ supplies the pluggable semiring layer for the unified query surface:
 * an :class:`Aggregate` names one aggregate head term (``SUM(X) AS total``);
 * :func:`fold_aggregates` folds a stream of full join tuples into grouped
   aggregate rows *tuple-at-a-time* — the drain-and-fold execution mode the
-  engine falls back to when in-recursion aggregation does not apply.
+  engine falls back to when in-recursion aggregation does not apply;
+* :func:`times_fold` is the ``⊗``-combine of component-factorized
+  elimination (per-component fold values of conditionally-independent
+  tail components compose with the product), and
+  :func:`product_semiring` builds componentwise product semirings — with
+  an absorbing element only when *every* factor declares one, since a
+  single absorbing coordinate does not absorb the tuple.
 
 Aggregation semantics follow the package's set-semantics relations: the
 aggregates range over the **distinct** full-join assignments, grouped by
@@ -286,6 +292,101 @@ def register_semiring(semiring: Semiring) -> None:
     if semiring.name in SEMIRINGS:
         raise QueryError(f"semiring {semiring.name!r} is already registered")
     SEMIRINGS[semiring.name] = semiring
+
+
+def times_fold(semiring: Semiring, values: Iterable[Any]) -> Any:
+    """The ``⊗``-product of several semiring values (``one`` when empty).
+
+    This is the combine step of component-factorized elimination: when the
+    residual tail of a query splits into conditionally-independent
+    components, each component folds to one value and the values compose
+    with the semiring product — counts multiply, sums cross-weight
+    (distributivity), tropical MIN/MAX annotations pass through their
+    ``one``, and ranking-semiring sort-key vectors over *disjoint* key
+    positions merge positionwise, which is exactly why a per-component
+    best-suffix bound stays admissible (indeed exact) for any-k.
+
+    Note the deliberate asymmetry with the ``⊕``-fold: an *absorbing*
+    element of ``plus`` (e.g. the boolean ``True``) is **not** a
+    short-circuit for ``times`` — only the semiring zero annihilates a
+    product, and callers that track empty sub-problems as ``None`` should
+    short-circuit on those *before* folding.
+
+    Raises
+    ------
+    QueryError
+        If the semiring declares no product (``times`` is None).
+    """
+    if semiring.times is None:
+        raise QueryError(
+            f"semiring {semiring.name!r} has no product; "
+            "component values cannot be combined"
+        )
+    total = semiring.one
+    for value in values:
+        total = semiring.times(total, value)
+    return total
+
+
+def product_semiring(name: str, factors: Sequence[Semiring],
+                     finalize: Callable[[Any], Any] | None = None) -> Semiring:
+    """The componentwise product of several semirings.
+
+    Elements are tuples with one coordinate per factor; ``zero``/``one``
+    are the tuples of the factors' identities and ``plus``/``times``/
+    ``lift`` apply coordinatewise (every factor lifts the *same* column
+    value, so a product aggregate can observe one variable through
+    several algebras at once).  ``times`` is only defined when every
+    factor has a product, and ``finalize`` defaults to the coordinatewise
+    finalizers whenever any factor declares one.
+
+    **Absorbing elements do not survive the product unless every factor
+    has one.**  ``(a₁, x)`` with ``a₁`` absorbing for the first factor
+    does not absorb in the second coordinate, so a product advertising
+    ``has_absorbing`` from a single factor would let an eliminator stop a
+    fold early and silently drop the other coordinates' remaining
+    contributions (the ``_avg_finalize`` confusion: a saturated boolean
+    paired with a half-folded (sum, count) finalizes to a wrong average).
+    The product therefore carries an absorbing element exactly when *all*
+    factors declare one.
+
+    Note ``AVG`` is *not* this construction: its (sum, count) carrier
+    uses a cross-weighting product (see ``_avg_times``), not the
+    coordinatewise one, because the sum of a join factor is weighted by
+    the other factor's multiplicity.
+    """
+    factors = tuple(factors)
+    if not factors:
+        raise QueryError("a product semiring needs at least one factor")
+
+    def plus(a: tuple, b: tuple) -> tuple:
+        return tuple(f.plus(x, y) for f, x, y in zip(factors, a, b))
+
+    def lift(v: Any) -> tuple:
+        return tuple(f.lift(v) for f in factors)
+
+    times = None
+    if all(f.has_product for f in factors):
+        def times(a: tuple, b: tuple) -> tuple:
+            return tuple(f.times(x, y) for f, x, y in zip(factors, a, b))
+
+    if finalize is None and any(f.finalize is not None for f in factors):
+        def finalize(value: tuple) -> tuple:
+            return tuple(f.finish(v) for f, v in zip(factors, value))
+
+    absorbing = (tuple(f.absorbing for f in factors)
+                 if all(f.has_absorbing for f in factors) else _NO_ABSORBING)
+    return Semiring(
+        name,
+        zero=tuple(f.zero for f in factors),
+        plus=plus,
+        lift=lift,
+        needs_variable=any(f.needs_variable for f in factors),
+        one=tuple(f.one for f in factors),
+        times=times,
+        finalize=finalize,
+        absorbing=absorbing,
+    )
 
 
 def _avg_plus(a: tuple, b: tuple) -> tuple:

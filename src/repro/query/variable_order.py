@@ -72,44 +72,85 @@ def pushdown_order(query: ConjunctiveQuery,
 
 
 def _best_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
-                     tail: tuple[str, ...], max_exact_tail: int
+                     tail: tuple[str, ...], max_exact_tail: int,
+                     selections=(), factorize: bool = True,
                      ) -> tuple[tuple[str, ...], float]:
-    """The prefix + width-minimizing tail, scored by induced decomposition.
+    """The prefix + width-minimizing tail, scored *per residual component*.
 
-    Shared by the aggregate and ranked planners: every candidate tail
-    permutation is scored by the tree decomposition its reversed binding
-    order induces (elimination runs innermost-first), first by integer
-    width (cheap, no LP); the winner's fractional hypertree width over
-    those bags is returned as the width proxy the dispatcher prices with.
-    Tails longer than ``max_exact_tail`` fall back to the heuristic
-    single candidate rather than enumerating permutations.
+    Shared by the aggregate and ranked planners.  Conditioned on the
+    prefix (the separator the executors bind before eliminating), the
+    tail splits into the connected components of the residual hypergraph
+    (:meth:`repro.query.hypergraph.Hypergraph.residual_components`, the
+    query's ``selections`` passed as couplings so a predicate spanning
+    components glues them — exactly the split the factorized eliminator
+    executes).  Each component's permutation is therefore chosen (and
+    priced) on its own: candidates are scored by the tree decomposition
+    their reversed binding order induces on the component's induced
+    sub-hypergraph (elimination runs innermost-first), first by integer
+    width (cheap, no LP); the returned width proxy is the **maximum over
+    components** of the winner's fractional hypertree width — the exact
+    FAQ-bound exponent of factorized elimination, where the monolithic
+    tail width would overcharge product-decomposable tails.
+
+    Scoring per component also shrinks the search: a tail of three
+    independent pairs costs ``3·2!`` candidate scores instead of ``6!``,
+    and a component longer than ``max_exact_tail`` falls back to its
+    heuristic single candidate without giving up exactness elsewhere.
+
+    ``factorize=False`` scores the whole tail as one component — the
+    exponent a *monolithic* fold pays, which is what callers must price
+    when an aggregate's semiring has no product and the executor cannot
+    factorize.
     """
     from repro.query.widths import decomposition_from_elimination_order
 
     hypergraph = query.hypergraph()
-    if len(tail) > 1 and len(tail) <= max_exact_tail:
-        candidates = itertools.permutations(tail)
-    else:
-        candidates = iter((tail,))
-
-    best_order: tuple[str, ...] | None = None
-    best_decomp = None
-    best_width = None
-    for perm in candidates:
-        order = prefix + tuple(perm)
+    if not tail:
         decomp = decomposition_from_elimination_order(
-            hypergraph, tuple(reversed(order)))
-        width = decomp.width()
-        if best_width is None or width < best_width:
-            best_order, best_decomp, best_width = order, decomp, width
-    assert best_order is not None and best_decomp is not None
-    return best_order, best_decomp.fractional_hypertree_width(hypergraph)
+            hypergraph, tuple(reversed(prefix)))
+        return prefix, decomp.fractional_hypertree_width(hypergraph)
+
+    tail_position = {v: i for i, v in enumerate(tail)}
+    if factorize:
+        split = hypergraph.residual_components(
+            prefix, couplings=[sel.variables for sel in selections])
+    else:
+        split = (frozenset(tail),)
+    components = sorted(
+        (tuple(sorted(c, key=tail_position.__getitem__)) for c in split),
+        key=lambda c: tail_position[c[0]],
+    )
+
+    order = prefix
+    width = 0.0
+    for component in components:
+        sub = (hypergraph if len(components) == 1
+               else hypergraph.restrict_to(set(prefix) | set(component)))
+        if len(component) > 1 and len(component) <= max_exact_tail:
+            candidates = itertools.permutations(component)
+        else:
+            candidates = iter((component,))
+        best_perm: tuple[str, ...] | None = None
+        best_decomp = None
+        best_width = None
+        for perm in candidates:
+            decomp = decomposition_from_elimination_order(
+                sub, tuple(reversed(prefix + tuple(perm))))
+            w = decomp.width()
+            if best_width is None or w < best_width:
+                best_perm, best_decomp, best_width = tuple(perm), decomp, w
+        assert best_perm is not None and best_decomp is not None
+        order = order + best_perm
+        width = max(width, best_decomp.fractional_hypertree_width(sub))
+    return order, width
 
 
 def aggregate_elimination_order(query: ConjunctiveQuery,
                                 group: Collection[str] = (),
                                 fixed: Collection[str] = (),
                                 max_exact_tail: int = 5,
+                                selections=(),
+                                factorize: bool = True,
                                 ) -> tuple[tuple[str, ...], float]:
     """A binding order for in-recursion (FAQ-style) aggregation.
 
@@ -131,7 +172,10 @@ def aggregate_elimination_order(query: ConjunctiveQuery,
     heuristic (one candidate) rather than enumerating permutations.  The
     prefix is ordered by the same block heuristic as
     :func:`pushdown_order`, so the whole result is a deterministic
-    function of the query structure.
+    function of the query structure.  The tail is chosen and priced per
+    residual component (``selections`` glue the components they span;
+    ``factorize=False`` prices the monolithic fold instead — see
+    :func:`_best_tail_order`).
 
     Returns ``(order, width)``.
     """
@@ -139,7 +183,8 @@ def aggregate_elimination_order(query: ConjunctiveQuery,
     prefix_set = set(fixed) | set(group)
     prefix = tuple(v for v in base if v in prefix_set)
     tail = tuple(v for v in base if v not in prefix_set)
-    return _best_tail_order(query, prefix, tail, max_exact_tail)
+    return _best_tail_order(query, prefix, tail, max_exact_tail,
+                            selections=selections, factorize=factorize)
 
 
 def ranked_order(query: ConjunctiveQuery,
@@ -147,6 +192,7 @@ def ranked_order(query: ConjunctiveQuery,
                  fixed: Collection[str] = (),
                  head: Collection[str] = (),
                  max_exact_tail: int = 5,
+                 selections=(),
                  ) -> tuple[tuple[str, ...], float]:
     """A binding order for any-k ranked enumeration.
 
@@ -178,7 +224,8 @@ def ranked_order(query: ConjunctiveQuery,
                       if v in prefix_set
                       and v not in fixed_set and v not in key_block))
     tail = tuple(v for v in base if v not in prefix_set)
-    return _best_tail_order(query, prefix, tail, max_exact_tail)
+    return _best_tail_order(query, prefix, tail, max_exact_tail,
+                            selections=selections)
 
 
 def greedy_min_domain_order(query: ConjunctiveQuery, database: Database

@@ -1,0 +1,96 @@
+"""Per-call ``limit`` min-merge across ranked and aggregate plans.
+
+``Engine._run`` must apply the effective limit (min of the query's own
+LIMIT and the per-call one) strictly *after* ordering, in every mode
+combination: any-k plans stream in sort order and are truncated, drain
+plans heap-select, and ordered aggregate queries (which always drain the
+group stream) sort their folded rows before the cut.  These tests pin the
+truncation order and the min-merge across all of them.
+"""
+
+import pytest
+
+from repro.engine import Engine
+from repro.errors import QueryError
+from repro.relational.relation import Relation
+
+
+def ordered_engine() -> Engine:
+    r = Relation("R", ("a", "b"),
+                 [(a, b) for a in range(6) for b in range(5)])
+    s = Relation("S", ("b", "c"),
+                 [(b, c) for b in range(5) for c in range(4)])
+    return Engine(relations=[r, s], cache_results=False)
+
+
+TOPK = "Q(A,B) :- R(A,B), S(B,C) ORDER BY B DESC, A LIMIT 6"
+
+
+class TestRankedLimitMerge:
+    def test_per_call_limit_tightens_the_query_limit(self):
+        engine = ordered_engine()
+        anyk = engine.execute(TOPK, ranked_mode="anyk", limit=3)
+        assert len(anyk) == 3
+        # Ordering first, then the cut: the any-k prefix equals the
+        # drain result's first three rows in rank order.
+        drain_rows = list(engine.stream(TOPK, ranked_mode="drain"))
+        anyk_rows = list(engine.stream(TOPK, ranked_mode="anyk", limit=3))
+        assert anyk_rows == drain_rows[:3]
+
+    def test_per_call_limit_looser_than_query_limit_is_ignored(self):
+        engine = ordered_engine()
+        result = list(engine.stream(TOPK, ranked_mode="anyk", limit=50))
+        assert len(result) == 6
+        assert result == list(engine.stream(TOPK, ranked_mode="drain"))
+
+    def test_zero_per_call_limit(self):
+        engine = ordered_engine()
+        assert list(engine.stream(TOPK, ranked_mode="anyk", limit=0)) == []
+
+    def test_modes_agree_for_every_merged_limit(self):
+        engine = ordered_engine()
+        for limit in (1, 2, 4, 6, 9):
+            anyk = list(engine.stream(TOPK, ranked_mode="anyk",
+                                      limit=limit))
+            drain = list(engine.stream(TOPK, ranked_mode="drain",
+                                       limit=limit))
+            assert anyk == drain, limit
+            assert len(anyk) == min(limit, 6)
+
+
+ORDERED_AGG = ("Q(A, COUNT(*) AS n) :- R(A,B), S(B,C) "
+               "ORDER BY n DESC, A LIMIT 4")
+
+
+class TestOrderedAggregateLimitMerge:
+    def test_aggregates_always_drain_and_sort_before_the_cut(self):
+        engine = ordered_engine()
+        explanation = engine.explain(ORDERED_AGG)
+        assert explanation.ranked_mode == "drain"
+        full = list(engine.stream(ORDERED_AGG))
+        assert len(full) == 4
+        cut = list(engine.stream(ORDERED_AGG, limit=2))
+        assert cut == full[:2]
+
+    def test_anyk_is_rejected_for_aggregate_queries(self):
+        engine = ordered_engine()
+        with pytest.raises(QueryError, match="anyk"):
+            engine.execute(ORDERED_AGG, ranked_mode="anyk")
+        with pytest.raises(QueryError, match="anyk"):
+            engine.stream(ORDERED_AGG, ranked_mode="anyk", limit=1)
+
+    def test_per_call_limit_smaller_than_group_count(self):
+        # The per-call limit must not truncate the *join* under an
+        # in-recursion aggregate plan — only the ordered group rows.
+        engine = ordered_engine()
+        rows = list(engine.stream(ORDERED_AGG, aggregate_mode="recursion",
+                                  limit=3))
+        assert rows == list(engine.stream(ORDERED_AGG,
+                                          aggregate_mode="fold"))[:3]
+
+    def test_execute_many_applies_the_merge_batch_wide(self):
+        engine = ordered_engine()
+        results = engine.execute_many([TOPK, TOPK], ranked_mode="anyk",
+                                      limit=2)
+        for result in results:
+            assert len(result) == 2

@@ -112,3 +112,35 @@ class TestStructuralOps:
     def test_restrict_to_unknown_vertex(self, triangle):
         with pytest.raises(QueryError):
             triangle.restrict_to(["A", "Z"])
+
+
+class TestResidualComponents:
+    def test_star_decomposes_after_conditioning_on_the_hub(self):
+        h = Hypergraph(["A", "B", "C", "D"],
+                       {"R1": ["A", "B"], "R2": ["A", "C"],
+                        "R3": ["A", "D"]})
+        assert h.residual_components(["A"]) == (
+            frozenset({"B"}), frozenset({"C"}), frozenset({"D"}))
+
+    def test_chain_stays_connected(self):
+        h = Hypergraph(["A", "B", "C"], {"R": ["A", "B"], "S": ["B", "C"]})
+        assert h.residual_components(["A"]) == (frozenset({"B", "C"}),)
+
+    def test_no_conditioning_gives_plain_components(self):
+        h = Hypergraph(["A", "B", "C", "D"],
+                       {"R": ["A", "B"], "S": ["C", "D"]})
+        assert h.residual_components() == (frozenset({"A", "B"}),
+                                           frozenset({"C", "D"}))
+
+    def test_conditioning_set_may_mention_unknown_vertices(self):
+        h = Hypergraph(["A", "B"], {"R": ["A", "B"]})
+        assert h.residual_components(["A", "Z"]) == (frozenset({"B"}),)
+
+    def test_conditioning_everything_leaves_no_components(self):
+        h = Hypergraph(["A", "B"], {"R": ["A", "B"]})
+        assert h.residual_components(["A", "B"]) == ()
+
+    def test_order_is_deterministic_by_vertex_position(self):
+        h = Hypergraph(["D", "C", "B"], {"R": ["D"], "S": ["C"], "T": ["B"]})
+        assert h.residual_components() == (
+            frozenset({"D"}), frozenset({"C"}), frozenset({"B"}))

@@ -81,3 +81,74 @@ class TestTrailerErrors:
         q = parse_query("Q(A,B) :- LIMIT(A,B)")
         assert isinstance(q, ConjunctiveQuery)
         assert q.atoms[0].relation == "LIMIT"
+
+
+class TestTrailerErrorPositions:
+    """Dangling text after the trailer must point at the offending token.
+
+    The ``ORDER BY ... LIMIT`` trailer is the grammar's newest path;
+    these negative tests pin the exact 1-based line/column every error
+    reports, so a refactor cannot silently shift blame one token left or
+    right (the classic failure being a dangling ORDER BY comma
+    swallowing ``LIMIT`` as a column name and erroring at the count).
+    """
+
+    @staticmethod
+    def position_of(text: str) -> tuple[int, int, str]:
+        with pytest.raises(ParseError) as excinfo:
+            parse_query(text)
+        return excinfo.value.line, excinfo.value.column, str(excinfo.value)
+
+    def test_dangling_ident_after_limit(self):
+        line, column, message = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B LIMIT 3 nonsense")
+        assert (line, column) == (1, 37)
+        assert "nonsense" in message
+
+    def test_second_limit_clause_is_dangling(self):
+        line, column, _m = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B LIMIT 3 LIMIT 4")
+        assert (line, column) == (1, 37)
+
+    def test_double_direction_keyword(self):
+        line, column, _m = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B DESC ASC")
+        assert (line, column) == (1, 34)
+
+    def test_dangling_text_after_trailing_period(self):
+        line, column, message = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B LIMIT 3 . extra")
+        assert (line, column) == (1, 39)
+        assert "extra" in message
+
+    def test_positions_track_newlines_inside_the_trailer(self):
+        line, column, message = self.position_of(
+            "Q(A,B) :- R(A,B)\nORDER BY B\nLIMIT 3 junk")
+        assert (line, column) == (3, 9)
+        assert "junk" in message
+
+    def test_trailing_comma_at_end_of_order_by(self):
+        line, column, message = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B,")
+        assert (line, column) == (1, 29)
+        assert "end of input" in message
+
+    def test_comma_directly_before_limit_blames_the_limit_token(self):
+        # Previously the LIMIT keyword was consumed as a column name and
+        # the error surfaced at the *count* ("dangling text: int 3"),
+        # one token late and with a misleading message.
+        line, column, message = self.position_of(
+            "Q(A,B) :- R(A,B) ORDER BY B, LIMIT 3")
+        assert (line, column) == (1, 30)
+        assert "LIMIT clause" in message
+        assert "dangling comma" in message
+
+    def test_column_genuinely_named_limit_still_parses(self):
+        q = parse_query("Q(A, limit) :- R(A, limit) ORDER BY limit LIMIT 2")
+        assert q.order_by == (("limit", False),)
+        assert q.limit == 2
+
+    def test_comma_after_limit_count_is_dangling(self):
+        line, column, _m = self.position_of(
+            "Q(A,B) :- R(A,B) LIMIT 3,")
+        assert (line, column) == (1, 25)

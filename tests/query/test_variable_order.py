@@ -71,3 +71,49 @@ class TestOrders:
     def test_validate_order_rejects_extras(self):
         with pytest.raises(ValueError):
             validate_order(triangle_query(), ("A", "B", "C", "D"))
+
+
+class TestComponentwiseTailScoring:
+    def test_star_tail_width_is_the_max_component_width(self):
+        from repro.query.variable_order import aggregate_elimination_order
+        q = ConjunctiveQuery([Atom("R1", ("A", "B")), Atom("R2", ("A", "C")),
+                              Atom("R3", ("A", "D"))])
+        order, width = aggregate_elimination_order(q, group=("A",))
+        assert order[0] == "A"
+        assert sorted(order[1:]) == ["B", "C", "D"]
+        # Each residual component {B}, {C}, {D} has width 1; the
+        # monolithic tail would report the same exponent here, but the
+        # component split is what the factorized eliminator executes.
+        assert width == 1.0
+
+    def test_product_tail_of_two_pairs(self):
+        from repro.query.variable_order import aggregate_elimination_order
+        q = ConjunctiveQuery([Atom("R", ("A", "B", "C")),
+                              Atom("S", ("D", "E"))])
+        order, width = aggregate_elimination_order(q, group=("A",))
+        assert order[0] == "A"
+        assert width == 1.0
+        # Components stay contiguous in the tail: {B, C} then {D, E}
+        # (deterministic order by first tail occurrence).
+        tail = order[1:]
+        assert set(tail[:2]) == {"B", "C"}
+        assert set(tail[2:]) == {"D", "E"}
+
+    def test_large_components_fall_back_per_component(self):
+        from repro.query.variable_order import aggregate_elimination_order
+        # One oversized component (> max_exact_tail) next to a small one:
+        # only the big one loses permutation search.
+        atoms = [Atom("R", ("A", "B1", "B2", "B3", "B4", "B5", "B6")),
+                 Atom("S", ("A", "C"))]
+        q = ConjunctiveQuery(atoms)
+        order, width = aggregate_elimination_order(q, group=("A",),
+                                                   max_exact_tail=3)
+        assert order[0] == "A"
+        assert width >= 1.0
+
+    def test_non_decomposable_scoring_is_unchanged(self):
+        from repro.query.variable_order import aggregate_elimination_order
+        q = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("B", "C")),
+                              Atom("T", ("A", "C"))])
+        _order, width = aggregate_elimination_order(q, group=("A",))
+        assert width == 1.5
