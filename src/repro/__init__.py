@@ -20,6 +20,8 @@ The package is organized bottom-up:
 * :mod:`repro.datagen`     — synthetic workloads;
 * :mod:`repro.engine`      — the persistent query engine: plan cache, index
   registry, cost-based dispatch, streaming execution;
+* :mod:`repro.obs`         — observability: query-lifecycle tracing, a
+  metrics registry, EXPLAIN ANALYZE cost-model calibration;
 * :mod:`repro.experiments` — one module per table / figure / claim.
 
 The most common entry points are re-exported here.
@@ -61,6 +63,7 @@ from repro.joins import (
     OperationCounter,
 )
 from repro.engine import Engine, EngineStats, Explanation
+from repro.obs import MetricsRegistry, ProfileReport, Tracer
 from repro.panda.interpreter import panda_evaluate
 
 __version__ = "1.0.0"
@@ -103,6 +106,9 @@ __all__ = [
     "Engine",
     "EngineStats",
     "Explanation",
+    "MetricsRegistry",
+    "ProfileReport",
+    "Tracer",
     "panda_evaluate",
     "__version__",
 ]

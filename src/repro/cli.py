@@ -21,6 +21,11 @@ Usage::
     repro engine --relation E=edges.csv \\
         -q "Q(A,B) :- E(A,B) ORDER BY B DESC LIMIT 10" --ranked-mode anyk
 
+    # Observability: span traces, cost-model calibration, metrics:
+    repro engine --demo triangle-skew --trace trace.ndjson --repeat 2
+    repro engine --demo triangle-skew --profile
+    repro engine --demo triangle-skew --metrics
+
 (``python -m repro ...`` works identically when the package is not
 installed.)  Experiments print the same tables the benchmark harness embeds,
 so this is the quickest way to regenerate a single paper artifact without
@@ -169,6 +174,20 @@ def build_engine_parser() -> argparse.ArgumentParser:
                         help="result format; json/csv print every result "
                              "row to stdout (machine-consumable) and move "
                              "the session chatter to stderr")
+    observability = parser.add_argument_group("observability")
+    observability.add_argument("--trace", metavar="FILE", dest="trace",
+                               help="record query-lifecycle spans and write "
+                                    "them to FILE as NDJSON at session end")
+    observability.add_argument("--profile", action="store_true",
+                               help="after each query's first run, execute "
+                                    "it under every priced strategy and "
+                                    "print the cost-model calibration table "
+                                    "(predicted envelope vs measured "
+                                    "operations)")
+    observability.add_argument("--metrics", action="store_true",
+                               help="print the session's metrics registry "
+                                    "in Prometheus text exposition format "
+                                    "at session end")
     return parser
 
 
@@ -304,6 +323,7 @@ def _emit_result(result, query, fmt: str, show: int) -> None:
 def engine_main(argv: list[str] | None = None) -> int:
     """Entry point of the ``engine`` subcommand."""
     from repro.engine import Engine
+    from repro.obs import Tracer
     from repro.query.parser import parse_query
     from repro.relational.database import Database
 
@@ -349,7 +369,11 @@ def engine_main(argv: list[str] | None = None) -> int:
               file=sys.stderr)
         return 2
 
-    engine = Engine(database=database)
+    # The CLI always counts operations: the per-query summary line is the
+    # cheapest window into what a strategy actually did (and shows zero
+    # work on result-cache hits).  Tracing stays opt-in via --trace.
+    tracer = Tracer() if args.trace else None
+    engine = Engine(database=database, tracer=tracer, collect_operations=True)
     # In the machine-consumable formats, only result rows go to stdout;
     # the session chatter (banner, explain, timing, stats) moves to stderr.
     chatter = sys.stdout if args.format == "table" else sys.stderr
@@ -405,14 +429,35 @@ def engine_main(argv: list[str] | None = None) -> int:
                     return 2
                 elapsed_ms = (time.perf_counter() - started) * 1000.0
                 label = f"[run {round_index + 1}/{args.repeat}]"
+                operations = engine.last_operations
+                work = ""
+                if operations is not None:
+                    work = (f" · {operations.total()} ops "
+                            f"({operations.search_nodes} search nodes)")
                 print(f"{label} {result.name}: {len(result)} tuples "
-                      f"in {elapsed_ms:.2f} ms", file=chatter)
+                      f"in {elapsed_ms:.2f} ms{work}", file=chatter)
                 _emit_result(result, query, args.format, args.show)
+                if args.profile and round_index == 0:
+                    print(engine.profile(
+                        query, mode=args.mode,
+                        aggregate_mode=args.aggregate_mode,
+                        ranked_mode=args.ranked_mode,
+                    ).render(), file=chatter)
     except ReproError as error:  # parse/schema/dispatch problems
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(file=chatter)
     print(engine.stats, file=chatter)
+    if args.metrics:
+        print(file=chatter)
+        print(engine.metrics_exposition(), end="", file=chatter)
+    if args.trace:
+        try:
+            exported = engine.tracer.export_ndjson(args.trace)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"wrote {exported} spans to {args.trace}", file=chatter)
     return 0
 
 

@@ -194,6 +194,25 @@ def _trie_requests(query: ConjunctiveQuery, database: Database,
     return requests
 
 
+def unique_index_layouts(executor, spec: Query, database: Database,
+                         payload) -> list[tuple[str, tuple[str, ...]]]:
+    """Deduplicated ``(relation, layout)`` pairs a plan's run would use.
+
+    Self-join atoms request the same physical index under distinct edge
+    keys; the registry builds it once, so prewarming (``execute_many``,
+    the traced ``index.resolve`` stage) and ``explain``'s warm/cold
+    report both want the per-index view, in first-request order.
+    """
+    seen: set[tuple[str, tuple[str, ...]]] = set()
+    layouts: list[tuple[str, tuple[str, ...]]] = []
+    for _edge_key, relation_name, layout in executor.index_requests(
+            spec, database, payload):
+        if (relation_name, layout) not in seen:
+            seen.add((relation_name, layout))
+            layouts.append((relation_name, layout))
+    return layouts
+
+
 class _WcojExecutor:
     """Shared adaptation of the two streaming WCOJ engines."""
 

@@ -99,6 +99,22 @@ class LRUCache:
             del self._entries[key]
         return len(stale)
 
+    @property
+    def hit_rate(self) -> float:
+        """Hits over lookups (0.0 before the first lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss/occupancy accounting for metrics snapshots."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "entries": len(self._entries),
+            "capacity": self._max_size,
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

@@ -108,5 +108,17 @@ class IndexRegistry:
         return [key for key, (version, _) in self._tries.items()
                 if version == self._database.version(key[0])]
 
+    def warm_count(self) -> int:
+        """How many cached indexes are valid for the current data versions.
+
+        Unlike ``len()`` this excludes entries a version bump has made
+        unreachable but eager invalidation has not yet dropped; it is the
+        figure the metrics gauge reports.
+        """
+        return len(self.warm_layouts()) + sum(
+            1 for key, (version, _) in self._hashes.items()
+            if version == self._database.version(key[0])
+        )
+
     def __len__(self) -> int:
         return len(self._tries) + len(self._hashes)

@@ -46,7 +46,8 @@ prebuilds the shared indexes before running it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import asdict, dataclass
+import time
+from dataclasses import asdict, dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
 from repro.engine.cost import AGGREGATE_MODES, MODES, RANKED_MODES, dispatch
@@ -56,12 +57,16 @@ from repro.engine.executors import (
     payload_order,
     payload_ranked_mode,
     split_pushable_selections,
+    unique_index_layouts,
 )
 from repro.engine.fingerprint import CanonicalQuery, canonical_query
 from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
 from repro.engine.registry import IndexRegistry
 from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import ProfileReport, profile_query
+from repro.obs.trace import NULL_TRACER
 from repro.query.builder import Query, sort_rows
 from repro.query.semiring import fold_aggregates
 from repro.relational.database import Database
@@ -166,6 +171,11 @@ class Explanation:                 # make a generated __hash__ crash
         heap-select the top-k); None without ORDER BY.
     session_stats:
         A snapshot of the engine's cache counters at explain time.
+    analysis:
+        With ``explain(..., analyze=True)``: the
+        :class:`~repro.obs.profile.ProfileReport` joining every priced
+        strategy's predicted envelope to the operations it actually
+        performed (calibration ratios); None otherwise.
     """
 
     query: str
@@ -190,6 +200,7 @@ class Explanation:                 # make a generated __hash__ crash
     limit: int | None = None
     ranked_mode: str | None = None
     session_stats: dict[str, int] | None = None
+    analysis: ProfileReport | None = None
 
     @property
     def agm_bound(self) -> float:
@@ -254,6 +265,8 @@ class Explanation:                 # make a generated __hash__ crash
         if self.session_stats is not None:
             lines.append("session stats:  "
                          + EngineStats(**self.session_stats).summary())
+        if self.analysis is not None:
+            lines.append(self.analysis.render())
         return "\n".join(lines)
 
     def __str__(self) -> str:
@@ -302,13 +315,35 @@ class Engine:
     cache_results:
         Whether to cache materialized results keyed on data versions.
         Streaming (`stream`) never consults the result cache mid-flight.
+    tracer:
+        A :class:`~repro.obs.trace.Tracer` to thread through the query
+        lifecycle (parse → canonicalize → plan-cache lookup → pricing →
+        index resolution → execution → delivery).  None (the default)
+        installs the shared no-op tracer, whose per-stage cost is one
+        attribute read.
+    metrics:
+        A :class:`~repro.obs.metrics.MetricsRegistry` to record cache
+        outcomes, dispatch counts, execution-time and any-k delay
+        histograms into.  None/True creates a fresh registry (the
+        default); False disables metrics entirely; an explicit registry
+        can be shared across engines (the future multi-tenant service).
+    collect_operations:
+        When True, every ``execute``/``stream`` call without an explicit
+        ``counter`` allocates a fresh :class:`OperationCounter`, exposed
+        as :attr:`last_operations` and fed into the operations metrics.
+        Off by default: threading a counter through the join recursion
+        costs real time on the hot path (see
+        ``benchmarks/bench_trace_overhead.py``).
     """
 
     def __init__(self, database: Database | None = None,
                  relations: Iterable[Relation] = (),
                  plan_cache_size: int = 256,
                  result_cache_size: int = 128,
-                 cache_results: bool = True):
+                 cache_results: bool = True,
+                 tracer=None,
+                 metrics: MetricsRegistry | bool | None = None,
+                 collect_operations: bool = False):
         if database is not None and tuple(relations):
             raise QueryError("pass either a database or relations, not both")
         self._db = database if database is not None else Database(relations)
@@ -321,6 +356,64 @@ class Engine:
         self._parse_cache: LRUCache = LRUCache(plan_cache_size)
         self._canon_cache: LRUCache = LRUCache(plan_cache_size)
         self.stats = EngineStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if metrics is False:
+            self._metrics: MetricsRegistry | None = None
+        elif metrics is None or metrics is True:
+            self._metrics = MetricsRegistry()
+        else:
+            self._metrics = metrics
+        self._collect = collect_operations
+        #: The operation counter of the most recent execute/stream call:
+        #: the per-call counter when one was threaded (explicitly or via
+        #: ``collect_operations``), a fresh zeroed counter when a cached
+        #: result was served (a cache hit performs no execution work),
+        #: None when nothing was counted.
+        self.last_operations: OperationCounter | None = None
+        if self._metrics is not None:
+            self._declare_metrics()
+
+    def _declare_metrics(self) -> None:
+        """Declare the session's instruments once, keeping bound
+        references so hot-path recording skips the registry lookup."""
+        m = self._metrics
+        self._m_queries = m.counter(
+            "repro_queries_total", "Queries served (execute/stream/batch)")
+        self._m_plan_lookups = m.counter(
+            "repro_plan_cache_lookups_total",
+            "Plan-cache lookups by outcome", ("outcome",))
+        self._m_result_lookups = m.counter(
+            "repro_result_cache_lookups_total",
+            "Result-cache lookups by outcome", ("outcome",))
+        self._m_index_events = m.counter(
+            "repro_index_events_total",
+            "Index registry builds, reuses and invalidations", ("event",))
+        self._m_dispatch = m.counter(
+            "repro_dispatch_total", "Executed plans by strategy",
+            ("strategy",))
+        self._m_exec_seconds = m.histogram(
+            "repro_execution_seconds",
+            "Wall-clock seconds of materializing query runs")
+        self._m_operations = m.counter(
+            "repro_operations_total",
+            "Executor operations by kind (counted runs only)", ("kind",))
+        self._m_search_nodes = m.counter(
+            "repro_search_nodes_total",
+            "Search nodes by join variable (detail counters only)",
+            ("variable",))
+        self._m_anyk_first = m.histogram(
+            "repro_anyk_first_row_seconds",
+            "Any-k ranked enumeration: time to the first row")
+        self._m_anyk_delay = m.histogram(
+            "repro_anyk_delay_seconds",
+            "Any-k ranked enumeration: delay between consecutive rows")
+        self._m_plan_entries = m.gauge(
+            "repro_plan_cache_entries", "Plan cache occupancy")
+        self._m_result_entries = m.gauge(
+            "repro_result_cache_entries", "Result cache occupancy")
+        self._m_indexes = m.gauge(
+            "repro_registry_indexes", "Registry indexes warm for the "
+            "current data versions")
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -335,6 +428,34 @@ class Engine:
         """The index registry (exposed for inspection and prewarming)."""
         return self._registry
 
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The session's metrics registry (None when disabled)."""
+        return self._metrics
+
+    def _refresh_gauges(self) -> None:
+        self._m_plan_entries.set(len(self._plans))
+        self._m_result_entries.set(len(self._results))
+        self._m_indexes.set(self._registry.warm_count())
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable snapshot of every metric (gauges current)."""
+        if self._metrics is None:
+            raise QueryError(
+                "metrics are disabled for this engine "
+                "(constructed with metrics=False)")
+        self._refresh_gauges()
+        return self._metrics.as_dict()
+
+    def metrics_exposition(self) -> str:
+        """The Prometheus text exposition (the future ``/metrics`` body)."""
+        if self._metrics is None:
+            raise QueryError(
+                "metrics are disabled for this engine "
+                "(constructed with metrics=False)")
+        self._refresh_gauges()
+        return self._metrics.exposition()
+
     def add_relation(self, relation: Relation) -> None:
         """Register a new relation in the catalog."""
         self._db.add(relation)
@@ -342,7 +463,10 @@ class Engine:
     def replace_relation(self, relation: Relation) -> None:
         """Rebind a name to a new relation, invalidating derived state."""
         self._db.replace(relation)
-        self.stats.invalidations += self._registry.invalidate(relation.name)
+        dropped = self._registry.invalidate(relation.name)
+        self.stats.invalidations += dropped
+        if self._metrics is not None and dropped:
+            self._m_index_events.inc(dropped, event="invalidate")
         # Version-tagged keys already make old results unreachable; evict
         # them eagerly so dead materialized relations don't pin memory
         # until capacity eviction (mirrors the registry's eager policy).
@@ -402,7 +526,12 @@ class Engine:
                 f"unknown ranked mode {ranked_mode!r}; "
                 f"expected one of {RANKED_MODES}"
             )
-        query = self._normalize(query)
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("parse", from_text=isinstance(query, str)):
+                query = self._normalize(query)
+        else:
+            query = self._normalize(query)
         if aggregate_mode != "auto" and not query.aggregates:
             raise QueryError(
                 f"aggregate_mode={aggregate_mode!r} needs an aggregate query"
@@ -416,7 +545,12 @@ class Engine:
                 "ranked_mode='anyk' does not apply to aggregate queries; "
                 "their ordered output is the folded group stream"
             )
-        canon = self._canonical(query)
+        if tracer.enabled:
+            with tracer.span("canonicalize") as span:
+                canon = self._canonical(query)
+                span.set(form=canon.form)
+        else:
+            canon = self._canonical(query)
         core = query.core
         fingerprint = statistics_fingerprint(
             self._db,
@@ -428,23 +562,47 @@ class Engine:
         key = (canon.form, fingerprint, mode,
                aggregate_mode if query.aggregates else "auto",
                ranked_mode if query.order_by else "auto")
-        cached = self._plans.get(key)
+        if tracer.enabled:
+            with tracer.span("plan_cache.lookup") as span:
+                cached = self._plans.get(key)
+                span.set(outcome="hit" if cached is not None else "miss")
+        else:
+            cached = self._plans.get(key)
         if cached is not None:
             self.stats.plan_hits += 1
+            if self._metrics is not None:
+                self._m_plan_lookups.inc(outcome="hit")
             executor = executor_for(cached.strategy)
             payload = executor.payload_from_canonical(cached.payload, canon,
                                                       query)
             return _Prepared(query, mode, canon, cached, payload, "hit")
 
         self.stats.plan_misses += 1
-        decision = dispatch(core, self._db, mode,
-                            selections=query.all_selections,
-                            aggregates=query.aggregates,
-                            group=query.head_vars,
-                            aggregate_mode=aggregate_mode,
-                            order_by=query.order_by,
-                            limit=query.limit,
-                            ranked_mode=ranked_mode)
+        if self._metrics is not None:
+            self._m_plan_lookups.inc(outcome="miss")
+        if tracer.enabled:
+            with tracer.span("dispatch.price", mode=mode) as span:
+                decision = dispatch(core, self._db, mode,
+                                    selections=query.all_selections,
+                                    aggregates=query.aggregates,
+                                    group=query.head_vars,
+                                    aggregate_mode=aggregate_mode,
+                                    order_by=query.order_by,
+                                    limit=query.limit,
+                                    ranked_mode=ranked_mode)
+                span.set(strategy=decision.strategy,
+                         costs={name: cost for name, cost
+                                in decision.costs.items()
+                                if cost != float("inf")})
+        else:
+            decision = dispatch(core, self._db, mode,
+                                selections=query.all_selections,
+                                aggregates=query.aggregates,
+                                group=query.head_vars,
+                                aggregate_mode=aggregate_mode,
+                                order_by=query.order_by,
+                                limit=query.limit,
+                                ranked_mode=ranked_mode)
         executor = executor_for(decision.strategy)
         # The dispatcher already computed the greedy order while pricing the
         # binary strategy (and the aggregate-aware order while resolving the
@@ -560,10 +718,22 @@ class Engine:
             zero work and verify bounds vacuously.
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
-        effective = self._effective_limit(prepared.query, limit)
-        return self._execute_prepared(prepared, effective, counter,
-                                      cacheable=limit is None)
+        tracer = self.tracer
+        if not tracer.enabled:
+            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+            effective = self._effective_limit(prepared.query, limit)
+            return self._execute_prepared(prepared, effective, counter,
+                                          cacheable=limit is None)
+        with tracer.span("query", mode=mode) as span:
+            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+            effective = self._effective_limit(prepared.query, limit)
+            result = self._execute_prepared(prepared, effective, counter,
+                                            cacheable=limit is None)
+            span.set(query=str(prepared.query),
+                     strategy=prepared.plan.strategy,
+                     plan_cache=prepared.plan_provenance,
+                     rows=len(result))
+            return result
 
     def _execute_prepared(self, prepared: _Prepared, limit: int | None,
                           counter: OperationCounter | None,
@@ -577,20 +747,67 @@ class Engine:
         (the repeated top-k workload the ordered surface exists for).
         """
         self.stats.queries += 1
+        metrics = self._metrics
+        if metrics is not None:
+            self._m_queries.inc()
+        tracer = self.tracer
         cacheable = cacheable and self._cache_results and counter is None
         if cacheable:
             cached = self._results.get(self._result_key(prepared))
             if cached is not None:
                 self.stats.result_hits += 1
+                if metrics is not None:
+                    self._m_result_lookups.inc(outcome="hit")
+                # A served cache entry performs no execution work: report
+                # a fresh zeroed counter, never the populating run's
+                # tallies.
+                self.last_operations = OperationCounter()
+                if tracer.enabled:
+                    with tracer.span("deliver", result_cache="hit"):
+                        return self._serve_cached(prepared, cached)
                 return self._serve_cached(prepared, cached)
             self.stats.result_misses += 1
+            if metrics is not None:
+                self._m_result_lookups.inc(outcome="miss")
 
-        rows = self._run(prepared, counter, limit)
-        result = Relation(prepared.query.name,
-                          prepared.query.output_columns, rows)
+        run_counter = counter
+        if run_counter is None and self._collect:
+            # Detail mode feeds the per-variable search-node metrics.
+            run_counter = OperationCounter(detail=metrics is not None)
+        self.last_operations = run_counter
+        start = time.perf_counter()
+        rows = self._run(prepared, run_counter, limit)
+        if tracer.enabled:
+            with tracer.span("execute",
+                             strategy=prepared.plan.strategy) as span:
+                rows = list(rows)
+                span.set(rows=len(rows))
+                if run_counter is not None:
+                    span.set(operations=run_counter.as_dict())
+            with tracer.span("deliver", result_cache="store"
+                             if cacheable else "bypass"):
+                result = Relation(prepared.query.name,
+                                  prepared.query.output_columns, rows)
+        else:
+            result = Relation(prepared.query.name,
+                              prepared.query.output_columns, rows)
+        if metrics is not None:
+            self._m_exec_seconds.observe(time.perf_counter() - start)
+            if run_counter is not None:
+                self._record_operations(run_counter)
         if cacheable:
             self._results.put(self._result_key(prepared), result)
         return result
+
+    def _record_operations(self, counter: OperationCounter) -> None:
+        """Feed a finished run's counter into the operations metrics."""
+        for kind in OperationCounter._KNOWN:
+            amount = getattr(counter, kind)
+            if amount:
+                self._m_operations.inc(amount, kind=kind)
+        for label, amount in counter.breakdown.items():
+            if label.startswith("search_nodes[") and label.endswith("]"):
+                self._m_search_nodes.inc(amount, variable=label[13:-1])
 
     def stream(self, query: QueryLike, mode: str = "auto",
                limit: int | None = None,
@@ -610,12 +827,22 @@ class Engine:
         and drain-ranked or stream-folded aggregate queries must drain
         the join first; ``limit`` then merely truncates the iteration
         (top-k for ordered queries — always applied *after* ordering).
+
+        With ``collect_operations`` (or an explicit ``counter``),
+        :attr:`last_operations` is the *live* counter of the returned
+        stream: its tallies grow as the iterator is consumed.
         """
         self._check_limit(limit)
         prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
         limit = self._effective_limit(prepared.query, limit)
         self.stats.queries += 1
-        return self._run(prepared, counter, limit)
+        if self._metrics is not None:
+            self._m_queries.inc()
+        run_counter = counter
+        if run_counter is None and self._collect:
+            run_counter = OperationCounter(detail=self._metrics is not None)
+        self.last_operations = run_counter
+        return self._run(prepared, run_counter, limit)
 
     def execute_many(self, queries: Sequence[QueryLike],
                      mode: str = "auto", limit: int | None = None,
@@ -635,11 +862,17 @@ class Engine:
         requested: set[tuple[str, tuple[str, ...]]] = set()
         for prep in prepared:
             executor = executor_for(prep.plan.strategy)
-            for _, relation_name, layout in executor.index_requests(
-                    prep.query, self._db, prep.payload):
-                requested.add((relation_name, layout))
-        for relation_name, layout in sorted(requested):
-            self._registry.trie(relation_name, layout)
+            requested.update(unique_index_layouts(
+                executor, prep.query, self._db, prep.payload))
+        tracer = self.tracer
+        if tracer.enabled:
+            with tracer.span("index.resolve", batch=len(prepared)) as span:
+                for relation_name, layout in sorted(requested):
+                    self._registry.trie(relation_name, layout)
+                span.set(indexes=len(requested))
+        else:
+            for relation_name, layout in sorted(requested):
+                self._registry.trie(relation_name, layout)
         self._sync_index_stats()
         return [
             self._execute_prepared(prep,
@@ -650,24 +883,25 @@ class Engine:
 
     def explain(self, query: QueryLike, mode: str = "auto",
                 aggregate_mode: str = "auto",
-                ranked_mode: str = "auto") -> Explanation:
+                ranked_mode: str = "auto",
+                analyze: bool = False) -> Explanation:
         """Plan the query (without executing) and report the evidence.
 
         Explaining warms the plan cache: a subsequent ``execute`` of the
-        same query reports a plan-cache hit.
+        same query reports a plan-cache hit.  With ``analyze=True`` the
+        query additionally *runs* under every priced strategy (see
+        :meth:`profile`) and the resulting calibration report — the
+        predicted envelope against actual operation counts per strategy —
+        is attached as :attr:`Explanation.analysis`.
         """
         prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
         executor = executor_for(prepared.plan.strategy)
         warm: list[str] = []
         cold: list[str] = []
-        seen_layouts: set[tuple[str, tuple[str, ...]]] = set()
-        for _, relation_name, layout in executor.index_requests(
-                prepared.query, self._db, prepared.payload):
-            # Self-join atoms can request the same physical index; report
-            # each (relation, layout) once — it is built once.
-            if (relation_name, layout) in seen_layouts:
-                continue
-            seen_layouts.add((relation_name, layout))
+        # Self-join atoms can request the same physical index; report
+        # each (relation, layout) once — it is built once.
+        for relation_name, layout in unique_index_layouts(
+                executor, prepared.query, self._db, prepared.payload):
             label = f"{relation_name}[{','.join(layout)}]"
             if self._registry.is_warm(relation_name, layout):
                 warm.append(label)
@@ -685,7 +919,7 @@ class Engine:
                          or ("fold" if spec.aggregates else None))
         resolved_ranked = (payload_ranked_mode(prepared.payload)
                            or ("drain" if spec.order_by else None))
-        return Explanation(
+        explanation = Explanation(
             query=str(spec),
             mode=mode,
             strategy=prepared.plan.strategy,
@@ -709,6 +943,28 @@ class Engine:
             ranked_mode=resolved_ranked,
             session_stats=self.stats.as_dict(),
         )
+        if analyze:
+            explanation = replace(
+                explanation,
+                analysis=profile_query(self, query, mode=mode,
+                                       aggregate_mode=aggregate_mode,
+                                       ranked_mode=ranked_mode))
+        return explanation
+
+    def profile(self, query: QueryLike, mode: str = "auto",
+                aggregate_mode: str = "auto",
+                ranked_mode: str = "auto") -> ProfileReport:
+        """Run the query under every priced strategy and calibrate the
+        cost model: per strategy, the dispatcher's predicted envelope is
+        joined to the operations the run actually performed (a fresh
+        detail counter per run, bypassing the result cache), yielding a
+        calibration ratio and a verdict on whether dispatch picked the
+        empirically best strategy.  See
+        :func:`repro.obs.profile.profile_query`.
+        """
+        return profile_query(self, query, mode=mode,
+                             aggregate_mode=aggregate_mode,
+                             ranked_mode=ranked_mode)
 
     @staticmethod
     def _elimination_placement(prepared: _Prepared,
@@ -832,6 +1088,21 @@ class Engine:
         """
         spec = prepared.query
         executor = executor_for(prepared.plan.strategy)
+        tracer = self.tracer
+        if tracer.enabled:
+            # Resolve the plan's indexes up front, inside their own span
+            # (executor.stream would otherwise resolve them invisibly).
+            with tracer.span("index.resolve") as span:
+                layouts = unique_index_layouts(executor, spec, self._db,
+                                               prepared.payload)
+                already_warm = sum(
+                    1 for name, layout in layouts
+                    if self._registry.is_warm(name, layout))
+                for relation_name, layout in layouts:
+                    self._registry.trie(relation_name, layout)
+                span.set(indexes=len(layouts), warm=already_warm)
+        if self._metrics is not None:
+            self._m_dispatch.inc(strategy=prepared.plan.strategy)
         rows = executor.stream(spec, self._db, prepared.payload,
                                registry=self._registry, counter=counter)
         self._sync_index_stats()
@@ -843,11 +1114,37 @@ class Engine:
                 spec, prepared.payload):
             return iter(sort_rows(rows, spec.output_columns, spec.order_by,
                                   limit=limit))
+        if (self._metrics is not None and spec.order_by
+                and executor.handles_ordering(spec, prepared.payload)):
+            rows = self._observe_anyk_delays(rows)
         if limit is not None:
             return itertools.islice(rows, limit)
         return rows
 
+    def _observe_anyk_delays(self, rows: Iterator[tuple]) -> Iterator[tuple]:
+        """Pass an any-k ranked stream through, feeding the delay
+        histograms: time to the first row, then each inter-row gap —
+        the measurable face of the any-k delay guarantees."""
+        previous = time.perf_counter()
+        first = True
+        for row in rows:
+            now = time.perf_counter()
+            if first:
+                self._m_anyk_first.observe(now - previous)
+                first = False
+            else:
+                self._m_anyk_delay.observe(now - previous)
+            previous = now
+            yield row
+
     def _sync_index_stats(self) -> None:
+        if self._metrics is not None:
+            built = self._registry.builds - self.stats.index_builds
+            reused = self._registry.reuses - self.stats.index_reuses
+            if built:
+                self._m_index_events.inc(built, event="build")
+            if reused:
+                self._m_index_events.inc(reused, event="reuse")
         self.stats.index_builds = self._registry.builds
         self.stats.index_reuses = self._registry.reuses
 
@@ -855,7 +1152,10 @@ class Engine:
         """Drop plan and result caches and all registry indexes."""
         self._plans.clear()
         self._results.clear()
-        self.stats.invalidations += self._registry.invalidate()
+        dropped = self._registry.invalidate()
+        self.stats.invalidations += dropped
+        if self._metrics is not None and dropped:
+            self._m_index_events.inc(dropped, event="invalidate")
         self._parse_cache.clear()
         self._canon_cache.clear()
 

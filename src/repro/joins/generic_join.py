@@ -192,6 +192,13 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
     variables = query.variables
     binding: dict[str, Any] = {}
 
+    # Per-variable search-node attribution (EXPLAIN ANALYZE / metrics):
+    # opt-in via the counter's ``detail`` flag, with the labels prebuilt
+    # so the hot recursion pays one dict lookup per node, not a format.
+    detail = counter is not None and counter.detail
+    node_labels = ({v: f"search_nodes[{v}]" for v in order} if detail
+                   else {})
+
     # Selection pushdown: each predicate fires at the shallowest depth
     # where all of its variables are bound.
     position = {v: i for i, v in enumerate(order)}
@@ -340,6 +347,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
                 variable = order[depth]
                 if counter is not None:
                     counter.charge(search_nodes=1)
+                    if detail:
+                        counter.attribute(node_labels[variable])
                 total: list | None = None
                 for value in candidates_for(variable):
                     binding[variable] = value
@@ -578,6 +587,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             variable = order[depth]
             if counter is not None:
                 counter.charge(search_nodes=1)
+                if detail:
+                    counter.attribute(node_labels[variable])
             prefix = tuple(binding[v] for v in order[:depth])
             for value in candidates_for(variable):
                 binding[variable] = value
@@ -599,6 +610,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             variable = order[depth]
             if counter is not None:
                 counter.charge(search_nodes=1)
+                if detail:
+                    counter.attribute(node_labels[variable])
             for value in candidates_for(variable):
                 binding[variable] = value
                 if passes(depth):
@@ -682,6 +695,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
             variable = order[depth]
             if counter is not None:
                 counter.charge(search_nodes=1)
+                if detail:
+                    counter.attribute(node_labels[variable])
             for value in candidates_for(variable):
                 binding[variable] = value
                 if passes(depth):
@@ -744,6 +759,8 @@ def wcoj_stream(query: ConjunctiveQuery, database: Database,
         variable = order[depth]
         if counter is not None:
             counter.charge(search_nodes=1)
+            if detail:
+                counter.attribute(node_labels[variable])
         for value in candidates_for(variable):
             binding[variable] = value
             if passes(depth):
@@ -807,7 +824,9 @@ def generic_join_stream(query: ConjunctiveQuery, database: Database,
         constraints.
     counter:
         Optional operation counter; intersection steps, emitted tuples and
-        search nodes are charged to it.
+        search nodes are charged to it.  With ``counter.detail`` set,
+        search nodes are additionally attributed per join variable into
+        ``counter.breakdown`` (``search_nodes[A]``, ...).
     tries:
         Optional prebuilt tries keyed by edge key (see :func:`resolve_tries`).
     selections:

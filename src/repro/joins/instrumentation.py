@@ -10,7 +10,9 @@ pytest-benchmark still records wall clock for the same runs).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 
 @dataclass
@@ -35,6 +37,17 @@ class OperationCounter:
         Sorted-seek operations (Leapfrog Triejoin's galloping).
     search_nodes:
         Nodes expanded in a backtracking search tree.
+    detail:
+        When True, the algorithms additionally *attribute* work — per
+        join variable, per Yannakakis phase — into :attr:`breakdown`.
+        Off by default: attribution roughly doubles the bookkeeping on
+        the hot recursion.
+    breakdown:
+        Labelled attributions (``search_nodes[A]``, ``semijoin.bottom_up
+        .tuples_scanned``, ...).  Breakdown entries re-slice work already
+        charged to the main counters, so they are excluded from
+        :meth:`total` and :meth:`as_dict` — unlike :attr:`extra`, whose
+        entries are *new* work.
     """
 
     tuples_scanned: int = 0
@@ -46,6 +59,8 @@ class OperationCounter:
     seeks: int = 0
     search_nodes: int = 0
     extra: dict[str, int] = field(default_factory=dict)
+    detail: bool = False
+    breakdown: dict[str, int] = field(default_factory=dict)
 
     _KNOWN = (
         "tuples_scanned",
@@ -70,6 +85,15 @@ class OperationCounter:
             else:
                 self.extra[name] = self.extra.get(name, 0) + amount
 
+    def attribute(self, label: str, amount: int = 1) -> None:
+        """Re-slice already-charged work under a breakdown label.
+
+        Unlike :meth:`charge`, this never affects :meth:`total` — the
+        work was charged to a main counter at the same site.  Callers
+        guard with :attr:`detail` so the disabled cost is one branch.
+        """
+        self.breakdown[label] = self.breakdown.get(label, 0) + amount
+
     def total(self) -> int:
         """Total work: the sum of every counter (including extras)."""
         return sum(getattr(self, name) for name in self._KNOWN) + sum(self.extra.values())
@@ -82,18 +106,45 @@ class OperationCounter:
         return result
 
     def reset(self) -> None:
-        """Zero every counter."""
+        """Zero every counter (the ``detail`` flag is configuration and
+        survives)."""
         for name in self._KNOWN:
             setattr(self, name, 0)
         self.extra.clear()
+        self.breakdown.clear()
 
     def merge(self, other: "OperationCounter") -> None:
-        """Add another counter's tallies into this one."""
+        """Add another counter's tallies (and breakdown) into this one."""
         for name in self._KNOWN:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         for key, value in other.extra.items():
             self.extra[key] = self.extra.get(key, 0) + value
+        for key, value in other.breakdown.items():
+            self.breakdown[key] = self.breakdown.get(key, 0) + value
 
     def __str__(self) -> str:
         parts = [f"{k}={v}" for k, v in self.as_dict().items() if v]
         return "OperationCounter(" + ", ".join(parts) + ")"
+
+
+@contextmanager
+def phase(counter: OperationCounter | None, label: str) -> Iterator[None]:
+    """Attribute every counter delta inside the block to ``label``.
+
+    Used for coarse per-phase breakdowns (Yannakakis' semijoin passes,
+    message passes, frontier expansion): snapshot the known counters on
+    entry, and on exit write each field's delta into the breakdown as
+    ``{label}.{field}``.  A no-op unless ``counter.detail`` is set, so
+    undetailed runs pay one branch per phase, not per operation.
+    """
+    if counter is None or not counter.detail:
+        yield
+        return
+    before = [getattr(counter, name) for name in OperationCounter._KNOWN]
+    try:
+        yield
+    finally:
+        for name, start in zip(OperationCounter._KNOWN, before):
+            delta = getattr(counter, name) - start
+            if delta:
+                counter.attribute(f"{label}.{name}", delta)

@@ -113,8 +113,10 @@ def leapfrog_stream(query: ConjunctiveQuery, database: Database,
     :func:`repro.joins.generic_join.generic_join_stream` (including
     binding-level ``selections`` pushdown, early-deduplicating ``head``
     projection, in-recursion semiring ``aggregates`` with
-    component-``factorize``d elimination, and any-k ``ranked``
-    enumeration); the difference is purely in how the per-variable
+    component-``factorize``d elimination, any-k ``ranked``
+    enumeration, and per-variable search-node attribution under a
+    ``counter`` with ``detail`` set); the difference is purely in how the
+    per-variable
     intersections are computed (sorted leapfrog seeks instead of hash
     probes), which is the design-choice ablation benchmarked in
     ``benchmarks/bench_intersection.py``.  Both share the

@@ -38,7 +38,7 @@ import itertools
 from typing import Any, Iterator, Sequence
 
 from repro.errors import QueryError
-from repro.joins.instrumentation import OperationCounter
+from repro.joins.instrumentation import OperationCounter, phase
 from repro.joins.plan import apply_covered_selections, raise_if_pending
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import gyo_reduction
@@ -82,16 +82,23 @@ def _join_tree(query: ConjunctiveQuery):
 def _semijoin_passes(relations: dict[str, Relation], parent: dict[str, str | None],
                      children: dict[str, list[str]], order: list[str],
                      counter: OperationCounter | None) -> None:
-    """The two semijoin passes (bottom-up then top-down), in place."""
-    for node in order:
-        par = parent.get(node)
-        if par is None:
-            continue
-        relations[par] = semijoin(relations[par], relations[node], counter=counter)
-    for node in reversed(order):
-        for child in children.get(node, ()):
-            relations[child] = semijoin(relations[child], relations[node],
-                                        counter=counter)
+    """The two semijoin passes (bottom-up then top-down), in place.
+
+    With a detail counter, each pass attributes its work under
+    ``semijoin.bottom_up`` / ``semijoin.top_down``.
+    """
+    with phase(counter, "semijoin.bottom_up"):
+        for node in order:
+            par = parent.get(node)
+            if par is None:
+                continue
+            relations[par] = semijoin(relations[par], relations[node],
+                                      counter=counter)
+    with phase(counter, "semijoin.top_down"):
+        for node in reversed(order):
+            for child in children.get(node, ()):
+                relations[child] = semijoin(relations[child], relations[node],
+                                            counter=counter)
 
 
 def yannakakis(query: ConjunctiveQuery, database: Database,
@@ -133,16 +140,18 @@ def yannakakis(query: ConjunctiveQuery, database: Database,
 
     # Phase 4: join bottom-up, firing cross-atom predicates as soon as a
     # join binds all their variables.
-    for node in order:
-        par = parent.get(node)
-        if par is None:
-            continue
-        joined = natural_join(relations[par], relations[node], counter=counter)
-        if pending:
-            joined = apply_covered_selections(joined, pending, counter)
-        if counter is not None:
-            counter.charge(intermediate_tuples=len(joined))
-        relations[par] = joined
+    with phase(counter, "join"):
+        for node in order:
+            par = parent.get(node)
+            if par is None:
+                continue
+            joined = natural_join(relations[par], relations[node],
+                                  counter=counter)
+            if pending:
+                joined = apply_covered_selections(joined, pending, counter)
+            if counter is not None:
+                counter.charge(intermediate_tuples=len(joined))
+            relations[par] = joined
 
     result = relations[root]
     raise_if_pending(pending, query)
@@ -306,19 +315,20 @@ def yannakakis_aggregate_stream(query: ConjunctiveQuery, database: Database,
             )
 
     tables: dict[str, _AnnTable] = {}
-    for edge_key, relation in relations.items():
-        schema = tuple(relation.attributes)
-        var_pos = {v: p for p, v in enumerate(schema)}
-        rows: dict[tuple, list] = {}
-        for t in relation:
-            rows[t] = [
-                sr.lift(t[var_pos[aggregates[i].var]])
-                if designated.get(i) == edge_key else sr.one
-                for i, sr in enumerate(semirings)
-            ]
-        if counter is not None:
-            counter.charge(tuples_scanned=len(relation))
-        tables[edge_key] = (schema, rows)
+    with phase(counter, "annotate"):
+        for edge_key, relation in relations.items():
+            schema = tuple(relation.attributes)
+            var_pos = {v: p for p, v in enumerate(schema)}
+            rows: dict[tuple, list] = {}
+            for t in relation:
+                rows[t] = [
+                    sr.lift(t[var_pos[aggregates[i].var]])
+                    if designated.get(i) == edge_key else sr.one
+                    for i, sr in enumerate(semirings)
+                ]
+            if counter is not None:
+                counter.charge(tuples_scanned=len(relation))
+            tables[edge_key] = (schema, rows)
 
     pending = list(selections)
     group_set = set(group)
@@ -332,18 +342,20 @@ def yannakakis_aggregate_stream(query: ConjunctiveQuery, database: Database,
 
     # Bottom-up: aggregate each node onto its message columns, join into
     # the parent (``⊗``), firing cross-atom predicates as they bind.
-    for node in order:
-        par = parent.get(node)
-        if par is None:
-            continue
-        schema, _rows = tables[node]
-        par_schema, _par_rows = tables[par]
-        separator = set(schema) & set(par_schema)
-        message = _ann_project(tables[node], keep_columns(schema, separator),
-                               semirings, counter)
-        del tables[node]
-        tables[par] = _ann_join(tables[par], message, semirings, pending,
-                                counter)
+    with phase(counter, "messages"):
+        for node in order:
+            par = parent.get(node)
+            if par is None:
+                continue
+            schema, _rows = tables[node]
+            par_schema, _par_rows = tables[par]
+            separator = set(schema) & set(par_schema)
+            message = _ann_project(tables[node],
+                                   keep_columns(schema, separator),
+                                   semirings, counter)
+            del tables[node]
+            tables[par] = _ann_join(tables[par], message, semirings, pending,
+                                    counter)
 
     raise_if_pending(pending, query)
 
@@ -467,41 +479,43 @@ def yannakakis_ranked_stream(query: ConjunctiveQuery, database: Database,
     # contribution; per node, candidate lists sorted by annotation.
     annotations: dict[str, dict[tuple, tuple]] = {}
     candidates: dict[str, dict[tuple, list[tuple]]] = {}
-    for node in reversed(sequence):  # children before parents
-        schema = schemas[node]
-        positions = [(p, schema.index(keys[p][0]), keys[p][1])
-                     for p in sorted(owned[node])]
-        messages = []
-        for child in children.get(node, ()):
-            best: dict[tuple, tuple] = {}
-            child_positions = child_sep_positions[child]
-            for row, ann in annotations[child].items():
-                key = pick(row, child_positions)
-                best[key] = RANKING.plus(best.get(key), ann)
-            messages.append((parent_sep_positions[child], best))
-        table: dict[tuple, tuple] = {}
-        for row in relations[node]:
-            ann = tuple((p, rank_component(row[i], d))
-                        for p, i, d in positions)
-            for own_positions, best in messages:
-                child_best = best.get(pick(row, own_positions))
-                if child_best is None:  # subtree died under selections
-                    ann = None
-                    break
-                ann = RANKING.times(ann, child_best)
-            if ann is not None:
-                table[row] = ann
-        if counter is not None:
-            counter.charge(tuples_scanned=len(relations[node]))
-        annotations[node] = table
-        if parent.get(node) is not None:
-            grouped: dict[tuple, list[tuple]] = {}
-            for row, ann in table.items():
-                key = pick(row, child_sep_positions[node])
-                grouped.setdefault(key, []).append((ann, row))
-            for group_rows in grouped.values():
-                group_rows.sort(key=lambda pair: tuple(c for _p, c in pair[0]))
-            candidates[node] = grouped
+    with phase(counter, "annotate"):
+        for node in reversed(sequence):  # children before parents
+            schema = schemas[node]
+            positions = [(p, schema.index(keys[p][0]), keys[p][1])
+                         for p in sorted(owned[node])]
+            messages = []
+            for child in children.get(node, ()):
+                best: dict[tuple, tuple] = {}
+                child_positions = child_sep_positions[child]
+                for row, ann in annotations[child].items():
+                    key = pick(row, child_positions)
+                    best[key] = RANKING.plus(best.get(key), ann)
+                messages.append((parent_sep_positions[child], best))
+            table: dict[tuple, tuple] = {}
+            for row in relations[node]:
+                ann = tuple((p, rank_component(row[i], d))
+                            for p, i, d in positions)
+                for own_positions, best in messages:
+                    child_best = best.get(pick(row, own_positions))
+                    if child_best is None:  # subtree died under selections
+                        ann = None
+                        break
+                    ann = RANKING.times(ann, child_best)
+                if ann is not None:
+                    table[row] = ann
+            if counter is not None:
+                counter.charge(tuples_scanned=len(relations[node]))
+            annotations[node] = table
+            if parent.get(node) is not None:
+                grouped: dict[tuple, list[tuple]] = {}
+                for row, ann in table.items():
+                    key = pick(row, child_sep_positions[node])
+                    grouped.setdefault(key, []).append((ann, row))
+                for group_rows in grouped.values():
+                    group_rows.sort(
+                        key=lambda pair: tuple(c for _p, c in pair[0]))
+                candidates[node] = grouped
 
     root_list = sorted(((ann, row) for row, ann in annotations[root].items()),
                        key=lambda pair: tuple(c for _p, c in pair[0]))
@@ -541,42 +555,44 @@ def yannakakis_ranked_stream(query: ConjunctiveQuery, database: Database,
             return None
         return tuple(binding[h] for h in head)
 
-    while heap:
-        priority, _tick, indices, rows = heapq.heappop(heap)
-        if counter is not None:
-            counter.charge(search_nodes=1)
-        if buffer_rows and priority > buffer_key:
-            for row in sorted(buffer_rows):
-                if counter is not None:
-                    counter.charge(tuples_emitted=1)
-                yield row
-            buffer_key, buffer_rows = None, set()
-        depth = len(indices) - 1
-        # Successor: the next candidate at the last assigned node.
-        successor_list = candidate_list(rows, depth)
-        nxt = indices[depth] + 1
-        if nxt < len(successor_list):
-            ann, row = successor_list[nxt]
-            heapq.heappush(heap, (
-                dense(priority, ann), next(tick),
-                indices[:depth] + (nxt,), rows[:depth] + (row,),
-            ))
-        if depth + 1 < len(sequence):
-            # Extension: the next node's best matching tuple.  Its subtree
-            # bound is already in the priority (the DP minimum equals the
-            # sorted candidate list's head), so the priority is unchanged.
-            extension_list = candidate_list(rows, depth + 1)
-            _ann, row = extension_list[0]
-            heapq.heappush(heap, (
-                priority, next(tick), indices + (0,), rows + (row,),
-            ))
-        else:
-            row = complete_row(rows)
-            if row is not None:
-                if buffer_key is None:
-                    buffer_key = priority
-                buffer_rows.add(row)
-    for row in sorted(buffer_rows):
-        if counter is not None:
-            counter.charge(tuples_emitted=1)
-        yield row
+    with phase(counter, "frontier"):
+        while heap:
+            priority, _tick, indices, rows = heapq.heappop(heap)
+            if counter is not None:
+                counter.charge(search_nodes=1)
+            if buffer_rows and priority > buffer_key:
+                for row in sorted(buffer_rows):
+                    if counter is not None:
+                        counter.charge(tuples_emitted=1)
+                    yield row
+                buffer_key, buffer_rows = None, set()
+            depth = len(indices) - 1
+            # Successor: the next candidate at the last assigned node.
+            successor_list = candidate_list(rows, depth)
+            nxt = indices[depth] + 1
+            if nxt < len(successor_list):
+                ann, row = successor_list[nxt]
+                heapq.heappush(heap, (
+                    dense(priority, ann), next(tick),
+                    indices[:depth] + (nxt,), rows[:depth] + (row,),
+                ))
+            if depth + 1 < len(sequence):
+                # Extension: the next node's best matching tuple.  Its
+                # subtree bound is already in the priority (the DP minimum
+                # equals the sorted candidate list's head), so the priority
+                # is unchanged.
+                extension_list = candidate_list(rows, depth + 1)
+                _ann, row = extension_list[0]
+                heapq.heappush(heap, (
+                    priority, next(tick), indices + (0,), rows + (row,),
+                ))
+            else:
+                row = complete_row(rows)
+                if row is not None:
+                    if buffer_key is None:
+                        buffer_key = priority
+                    buffer_rows.add(row)
+        for row in sorted(buffer_rows):
+            if counter is not None:
+                counter.charge(tuples_emitted=1)
+            yield row

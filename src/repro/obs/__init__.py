@@ -1,0 +1,42 @@
+"""Observability: query-lifecycle tracing, metrics, and profiling.
+
+Three small, dependency-free modules the engine threads through the
+query lifecycle:
+
+* :mod:`repro.obs.trace` — span-based tracing with NDJSON export and a
+  no-op tracer (the default) whose overhead is a single attribute check;
+* :mod:`repro.obs.metrics` — a registry of counters/gauges/histograms
+  with a JSON snapshot and Prometheus-style text exposition;
+* :mod:`repro.obs.profile` — EXPLAIN ANALYZE: run a query under every
+  feasible strategy and report each one's predicted envelope against the
+  operations it actually performed (the cost model's calibration).
+
+Nothing here imports from :mod:`repro.engine` (the engine imports *us*),
+so the layer stays mountable on future surfaces — the ROADMAP's async
+service wants ``metrics.exposition()`` behind a ``/metrics`` endpoint.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_exposition,
+)
+from repro.obs.profile import ProfileReport, StrategyProfile, profile_query
+from repro.obs.trace import NULL_TRACER, NullTracer, SpanRecord, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ProfileReport",
+    "SpanRecord",
+    "StrategyProfile",
+    "Tracer",
+    "parse_exposition",
+    "profile_query",
+]

@@ -1,0 +1,200 @@
+"""EXPLAIN ANALYZE: the cost model's predictions against measured work.
+
+The dispatcher prices every feasible strategy with a *worst-case
+envelope* (AGM / degree-aware / FAQ-width estimated operations, see
+:mod:`repro.engine.cost`) and runs the cheapest.  Nothing in the survey
+guarantees the envelope is *tight* on a given instance — that is exactly
+what its worst-case framing leaves open — so this module closes the
+loop: run the query under every priced strategy with a detail
+:class:`~repro.joins.instrumentation.OperationCounter`, and report per
+strategy the **calibration ratio** ``actual operations / predicted
+envelope``.  A ratio near 1 means the instance realizes its worst case
+(the AGM-tight constructions); a ratio far below 1 quantifies the
+slack skew-adaptive dispatch would need to exploit.
+
+``profile_query`` is deliberately engine-agnostic (the engine is passed
+in and used through its public ``explain``/``execute`` surface) so this
+module never imports :mod:`repro.engine` — the engine imports us.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import QueryError
+from repro.joins.instrumentation import OperationCounter
+
+
+@dataclass(frozen=True)
+class StrategyProfile:
+    """One strategy's measured run joined to its predicted envelope.
+
+    Attributes
+    ----------
+    strategy:
+        The executor that ran.
+    predicted:
+        The dispatcher's estimated operations for it (None when the
+        profile ran under a forced mode, which skips pricing).
+    operations:
+        The detail counter's :meth:`~repro.joins.instrumentation.
+        OperationCounter.as_dict` — actual work, including ``total``.
+    breakdown:
+        Per-variable / per-phase attribution (``search_nodes[A]``,
+        ``semijoin.bottom_up.tuples_scanned``, ...).
+    calibration:
+        ``actual total / predicted`` — below 1 the envelope over-states
+        the instance, near 1 the instance realizes its worst case; None
+        without a finite positive prediction.
+    wall_ms:
+        Wall-clock of the measured run (context, not the primary axis:
+        operation counts are what the bounds speak about).
+    rows:
+        Result cardinality.
+    """
+
+    strategy: str
+    predicted: float | None
+    operations: dict[str, int]
+    breakdown: dict[str, int] = field(default_factory=dict)
+    calibration: float | None = None
+    wall_ms: float = 0.0
+    rows: int = 0
+
+    @property
+    def actual(self) -> int:
+        """Total measured operations."""
+        return self.operations.get("total", 0)
+
+
+@dataclass(frozen=True, eq=False)
+class ProfileReport:
+    """Every strategy's calibration for one query, plus the verdict.
+
+    ``dispatch_optimal`` is whether the dispatched strategy's measured
+    operation total is the minimum among the profiled strategies — i.e.
+    whether the cost model's *ranking* was right on this instance, which
+    is a weaker (and more achievable) property than its *values* being
+    tight.
+    """
+
+    query: str
+    mode: str
+    dispatched: str
+    agm_log2: float
+    profiles: tuple[StrategyProfile, ...]
+    best_strategy: str | None
+    dispatch_optimal: bool
+
+    def profile_for(self, strategy: str) -> StrategyProfile | None:
+        for profile in self.profiles:
+            if profile.strategy == strategy:
+                return profile
+        return None
+
+    def render(self) -> str:
+        """A human-readable calibration table (used by ``--profile``)."""
+        lines = [f"profile:        {self.query}",
+                 f"dispatched:     {self.dispatched} (mode={self.mode})"]
+        header = (f"  {'strategy':<12} {'predicted':>12} {'actual':>10} "
+                  f"{'calibration':>12} {'wall ms':>9} {'rows':>7}")
+        lines.append(header)
+        for profile in self.profiles:
+            predicted = (f"{profile.predicted:.4g}"
+                         if profile.predicted is not None else "—")
+            ratio = (f"{profile.calibration:.3f}"
+                     if profile.calibration is not None else "—")
+            marker = " *" if profile.strategy == self.dispatched else ""
+            lines.append(
+                f"  {profile.strategy:<12} {predicted:>12} "
+                f"{profile.actual:>10} {ratio:>12} "
+                f"{profile.wall_ms:>9.2f} {profile.rows:>7}{marker}"
+            )
+        dispatched = self.profile_for(self.dispatched)
+        if dispatched is not None and dispatched.breakdown:
+            lines.append("  dispatched breakdown:")
+            for label in sorted(dispatched.breakdown):
+                lines.append(f"    {label} = {dispatched.breakdown[label]}")
+        if self.best_strategy is not None:
+            verdict = ("dispatch picked the empirically best strategy"
+                       if self.dispatch_optimal else
+                       f"dispatch picked {self.dispatched}; "
+                       f"{self.best_strategy} did fewer operations")
+            lines.append(f"  {verdict}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _priced_strategies(costs: dict[str, float]) -> list[tuple[str, float]]:
+    """Feasible (finite-cost) strategy entries from a costs dict.
+
+    The dispatcher's costs dict also carries meta entries for resolved
+    sub-modes (``agg[recursion]``, ``ranked[anyk]``, ...); strategies are
+    exactly the bracket-free keys.
+    """
+    return [(name, cost) for name, cost in sorted(costs.items())
+            if "[" not in name and cost != float("inf")]
+
+
+def profile_query(engine: Any, query: Any, mode: str = "auto",
+                  aggregate_mode: str = "auto",
+                  ranked_mode: str = "auto") -> ProfileReport:
+    """Run ``query`` under every priced strategy and calibrate the model.
+
+    Each run passes a fresh detail counter, which also bypasses the
+    engine's result cache — a cached answer costs zero operations and
+    would calibrate the model against nothing.  Under a forced ``mode``
+    the dispatcher skips pricing, so only that strategy runs and its
+    ``predicted`` is None.
+    """
+    explanation = engine.explain(query, mode=mode,
+                                 aggregate_mode=aggregate_mode,
+                                 ranked_mode=ranked_mode)
+    priced = _priced_strategies(explanation.costs)
+    if not priced:
+        priced = [(explanation.strategy, None)]
+
+    profiles: list[StrategyProfile] = []
+    for strategy, predicted in priced:
+        counter = OperationCounter(detail=True)
+        start = time.perf_counter()
+        try:
+            result = engine.execute(query, mode=strategy, counter=counter,
+                                    aggregate_mode=aggregate_mode,
+                                    ranked_mode=ranked_mode)
+        except QueryError:
+            # Priced but unrunnable here (e.g. a stale plan regime);
+            # profiling reports what did run rather than failing the lot.
+            continue
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        actual = counter.total()
+        calibration = (actual / predicted
+                       if predicted is not None and predicted > 0 else None)
+        profiles.append(StrategyProfile(
+            strategy=strategy,
+            predicted=predicted,
+            operations=counter.as_dict(),
+            breakdown=dict(counter.breakdown),
+            calibration=calibration,
+            wall_ms=wall_ms,
+            rows=len(result),
+        ))
+
+    best = min(profiles, key=lambda p: p.actual, default=None)
+    dispatched_profile = next(
+        (p for p in profiles if p.strategy == explanation.strategy), None)
+    dispatch_optimal = (best is not None and dispatched_profile is not None
+                        and dispatched_profile.actual == best.actual)
+    return ProfileReport(
+        query=explanation.query,
+        mode=mode,
+        dispatched=explanation.strategy,
+        agm_log2=explanation.agm_log2,
+        profiles=tuple(profiles),
+        best_strategy=best.strategy if best is not None else None,
+        dispatch_optimal=dispatch_optimal,
+    )

@@ -1,0 +1,103 @@
+"""Regression tests: operation counters are isolated per execution.
+
+Every ``execute()``/``stream()`` call must tally into a *fresh*
+:class:`OperationCounter` — a shared counter would report cumulative
+session work as if one query did it — and a result-cache hit must report
+zero execution work, not the stale counts of the run that populated the
+cache.
+"""
+
+import itertools
+
+from repro.engine import Engine
+from repro.joins.instrumentation import OperationCounter
+
+
+def _engine(small_triangle_instance, **kwargs):
+    _query, database, _expected = small_triangle_instance
+    return Engine(database, collect_operations=True, **kwargs)
+
+
+class TestExecuteIsolation:
+    def test_repeated_execute_reports_per_call_work(
+            self, small_triangle_instance):
+        query, _, expected = small_triangle_instance
+        engine = _engine(small_triangle_instance, cache_results=False)
+        assert set(engine.execute(query).tuples) == expected
+        first = engine.last_operations
+        assert set(engine.execute(query).tuples) == expected
+        second = engine.last_operations
+        assert first is not second
+        assert first.total() > 0
+        # Identical uncached runs do identical work — a shared counter
+        # would make the second total twice the first.
+        assert second.total() == first.total()
+
+    def test_result_cache_hit_reports_zero_work(
+            self, small_triangle_instance):
+        query, _, _ = small_triangle_instance
+        engine = _engine(small_triangle_instance)
+        engine.execute(query)
+        assert engine.last_operations.total() > 0
+        engine.execute(query)  # served from the result cache
+        assert engine.stats.result_hits == 1
+        assert engine.last_operations.total() == 0
+        assert engine.last_operations.extra == {}
+
+    def test_execute_many_second_occurrence_is_free(
+            self, small_triangle_instance):
+        query, _, _ = small_triangle_instance
+        engine = _engine(small_triangle_instance)
+        engine.execute_many([query, query])
+        assert engine.stats.result_hits == 1
+        assert engine.last_operations.total() == 0
+
+    def test_caller_counter_still_accumulates_across_calls(
+            self, small_triangle_instance):
+        # A caller-owned counter aggregates on purpose (that is what
+        # passing one in means); isolation applies to engine-owned ones.
+        query, _, _ = small_triangle_instance
+        engine = _engine(small_triangle_instance, cache_results=False)
+        counter = OperationCounter()
+        engine.execute(query, counter=counter)
+        per_call = counter.total()
+        engine.execute(query, counter=counter)
+        assert counter.total() == 2 * per_call
+        assert engine.last_operations is counter
+
+    def test_counting_disabled_by_default(self, small_triangle_instance):
+        query, database, _ = small_triangle_instance
+        engine = Engine(database)
+        engine.execute(query)
+        assert engine.last_operations is None
+
+
+class TestStreamIsolation:
+    def test_stream_counter_is_live_and_fresh(self, small_triangle_instance):
+        query, _, _ = small_triangle_instance
+        engine = _engine(small_triangle_instance)
+        rows = engine.stream(query)
+        counter = engine.last_operations
+        assert counter.total() == 0  # nothing consumed yet
+        next(iter(rows))
+        partial = counter.total()
+        assert partial > 0
+        list(rows)
+        assert counter.total() >= partial
+
+    def test_two_streams_do_not_share_a_counter(
+            self, small_triangle_instance):
+        query, _, _ = small_triangle_instance
+        engine = _engine(small_triangle_instance)
+        first_rows = engine.stream(query)
+        first = engine.last_operations
+        second_rows = engine.stream(query)
+        second = engine.last_operations
+        assert first is not second
+        # Interleaved consumption charges each stream's own counter.
+        for row in itertools.islice(first_rows, 2):
+            pass
+        assert first.total() > 0
+        assert second.total() == 0
+        list(second_rows)
+        assert second.total() > 0

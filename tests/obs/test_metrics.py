@@ -1,0 +1,160 @@
+"""Tests for the metrics registry and its exposition format."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, parse_exposition
+
+
+class TestCounter:
+    def test_unlabelled_counter(self):
+        registry = MetricsRegistry()
+        queries = registry.counter("queries_total", "Queries served")
+        queries.inc()
+        queries.inc(4)
+        assert queries.value() == 5
+        assert registry.as_dict()["queries_total"] == 5
+
+    def test_labelled_counter_makes_child_series(self):
+        registry = MetricsRegistry()
+        lookups = registry.counter("lookups_total", "Lookups",
+                                   label_names=("outcome",))
+        lookups.inc(outcome="hit")
+        lookups.inc(outcome="hit")
+        lookups.inc(outcome="miss")
+        assert lookups.value(outcome="hit") == 2
+        assert lookups.value(outcome="miss") == 1
+        assert lookups.value(outcome="never_seen") == 0
+
+    def test_counter_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("ops_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_wrong_labels_raise(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x_total", label_names=("kind",))
+        with pytest.raises(ValueError):
+            counter.inc(flavor="a")
+        with pytest.raises(ValueError):
+            counter.inc()
+
+
+class TestGauge:
+    def test_set_and_inc(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("entries", "Cache entries")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value() == 7
+
+    def test_labelled_gauge(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("depth", label_names=("queue",))
+        gauge.set(2, queue="a")
+        gauge.set(5, queue="b")
+        assert gauge.value(queue="b") == 5
+
+
+class TestHistogram:
+    def test_observe_buckets_cumulatively(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus buckets are upper-inclusive: observe(le) counts in le.
+        registry = MetricsRegistry()
+        hist = registry.histogram("seconds", buckets=(1.0, 2.0))
+        hist.observe(1.0)
+        assert hist.snapshot()["buckets"]["1"] == 1
+
+    def test_empty_bucket_list_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "A")
+        second = registry.counter("a_total")
+        assert first is second
+        assert "a_total" in registry
+
+    def test_redeclare_with_different_kind_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_redeclare_with_different_labels_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x", label_names=("a",))
+        with pytest.raises(ValueError):
+            registry.counter("x", label_names=("b",))
+
+    def test_to_json_is_valid_json(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        registry.histogram("seconds", buckets=(1.0,)).observe(0.5)
+        decoded = json.loads(registry.to_json())
+        assert decoded["queries_total"] == 3
+        assert decoded["seconds"]["count"] == 1
+
+
+class TestExposition:
+    def test_counter_exposition_has_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "Queries served").inc(2)
+        text = registry.exposition()
+        assert "# HELP queries_total Queries served" in text
+        assert "# TYPE queries_total counter" in text
+        assert "queries_total 2" in text
+
+    def test_unlabelled_untouched_counter_exposes_zero(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total")
+        assert "queries_total 0" in registry.exposition()
+
+    def test_histogram_exposition_shape(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("delay_seconds", buckets=(0.1, 1.0))
+        hist.observe(0.05)
+        hist.observe(0.5)
+        text = registry.exposition()
+        assert 'delay_seconds_bucket{le="0.1"} 1' in text
+        assert 'delay_seconds_bucket{le="1"} 2' in text
+        assert 'delay_seconds_bucket{le="+Inf"} 2' in text
+        assert "delay_seconds_count 2" in text
+
+    def test_exposition_round_trips_through_parser(self):
+        registry = MetricsRegistry()
+        lookups = registry.counter("lookups_total", "Lookups",
+                                   label_names=("outcome",))
+        lookups.inc(3, outcome="hit")
+        lookups.inc(outcome="miss")
+        registry.gauge("entries").set(12)
+        hist = registry.histogram("seconds", buckets=(1.0,))
+        hist.observe(0.25)
+        hist.observe(2.0)
+
+        parsed = parse_exposition(registry.exposition())
+        assert parsed["lookups_total"]['{outcome="hit"}'] == 3
+        assert parsed["lookups_total"]['{outcome="miss"}'] == 1
+        assert parsed["entries"][""] == 12
+        assert parsed["seconds_bucket"]['{le="1"}'] == 1
+        assert parsed["seconds_bucket"]['{le="+Inf"}'] == 2
+        assert parsed["seconds_count"][""] == 2
+        assert parsed["seconds_sum"][""] == pytest.approx(2.25)
+
+    def test_empty_registry_exposition_is_empty(self):
+        assert MetricsRegistry().exposition() == ""

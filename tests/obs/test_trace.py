@@ -1,0 +1,126 @@
+"""Tests for the span tracer and its NDJSON export."""
+
+import json
+import time
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestSpans:
+    def test_span_records_on_exit(self):
+        tracer = Tracer()
+        with tracer.span("parse", from_text=True):
+            pass
+        assert len(tracer) == 1
+        record = tracer.spans[0]
+        assert record.name == "parse"
+        assert record.parent_id is None
+        assert record.attributes == {"from_text": True}
+        assert record.duration_ms >= 0.0
+
+    def test_nested_spans_link_to_parent(self):
+        tracer = Tracer()
+        with tracer.span("query") as outer:
+            with tracer.span("execute"):
+                pass
+        execute, query = tracer.spans  # completion order: child first
+        assert query.name == "query"
+        assert execute.parent_id == outer.span_id
+        assert tracer.children(query) == [execute]
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            with tracer.span("parse"):
+                pass
+            with tracer.span("execute"):
+                pass
+        query = tracer.find("query")[0]
+        assert {s.name for s in tracer.children(query)} == {"parse", "execute"}
+
+    def test_set_attaches_attributes_late(self):
+        tracer = Tracer()
+        with tracer.span("execute") as span:
+            span.set(rows=42).set(strategy="generic")
+        assert tracer.spans[0].attributes == {"rows": 42,
+                                              "strategy": "generic"}
+
+    def test_record_with_explicit_timestamps(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        end = start + 0.25
+        record = tracer.record("deliver", start, end, rows=3)
+        assert abs(record.duration_ms - 250.0) < 1e-6
+        assert record.attributes == {"rows": 3}
+        assert tracer.spans == [record]
+
+    def test_start_is_relative_to_tracer_epoch(self):
+        tracer = Tracer()
+        with tracer.span("query"):
+            pass
+        assert 0.0 <= tracer.spans[0].start < 60.0
+
+    def test_find_and_iter(self):
+        tracer = Tracer()
+        with tracer.span("parse"):
+            pass
+        with tracer.span("parse"):
+            pass
+        assert len(tracer.find("parse")) == 2
+        assert len(tracer.find("missing")) == 0
+        assert [s.name for s in tracer] == ["parse", "parse"]
+
+    def test_reset_drops_spans_but_not_ids(self):
+        tracer = Tracer()
+        with tracer.span("query") as first:
+            pass
+        tracer.reset()
+        assert len(tracer) == 0
+        with tracer.span("query") as second:
+            pass
+        assert second.span_id > first.span_id
+
+
+class TestExport:
+    def test_export_ndjson_to_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("query", mode="auto"):
+            with tracer.span("parse"):
+                pass
+        path = tmp_path / "trace.ndjson"
+        assert tracer.export_ndjson(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        records = [json.loads(line) for line in lines]
+        by_name = {r["name"]: r for r in records}
+        assert by_name["parse"]["parent_id"] == by_name["query"]["span_id"]
+        assert by_name["query"]["attributes"] == {"mode": "auto"}
+
+    def test_to_ndjson_round_trips(self):
+        tracer = Tracer()
+        with tracer.span("execute", rows=7):
+            pass
+        record = json.loads(tracer.to_ndjson())
+        assert record["name"] == "execute"
+        assert record["attributes"]["rows"] == 7
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert not tracer.enabled
+        with tracer.span("query", mode="auto") as span:
+            span.set(rows=1)
+        assert len(tracer) == 0
+        assert list(tracer) == []
+        assert tracer.to_ndjson() == ""
+        assert tracer.record("x", 0.0, 1.0) is None
+        tracer.reset()
+
+    def test_null_export_writes_nothing(self, tmp_path):
+        path = tmp_path / "empty.ndjson"
+        assert NULL_TRACER.export_ndjson(str(path)) == 0
+
+    def test_real_tracer_is_enabled(self):
+        assert Tracer.enabled
+        assert not NullTracer.enabled

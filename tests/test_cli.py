@@ -207,3 +207,64 @@ class TestEngineCliRichQueries:
         out = capsys.readouterr().out
         assert "pushed below join" in out
         assert "session stats:" in out
+
+    def test_stats_line_reports_operations(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--repeat", "2", "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        runs = [line for line in out.splitlines() if "search nodes" in line]
+        assert len(runs) == 2
+        assert "[run 1/2]" in runs[0] and " ops (" in runs[0]
+        # The repeat is a result-cache hit: zero execution work, not the
+        # first run's stale tallies.
+        assert "0 ops (0 search nodes)" in runs[1]
+        assert "0 ops" not in runs[0]
+
+    def test_trace_flag_writes_ndjson(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.ndjson"
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--trace", str(trace_path), "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert f"spans to {trace_path}" in out
+        records = [json.loads(line)
+                   for line in trace_path.read_text().splitlines()]
+        assert records
+        names = {record["name"] for record in records}
+        assert {"query", "parse", "execute", "deliver"} <= names
+
+    def test_trace_to_unwritable_path_errors(self, tmp_path, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--trace", str(tmp_path / "no" / "dir.ndjson"),
+                     "--show", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_profile_flag_prints_calibration_table(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--profile", "--repeat", "2", "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("calibration") == 1  # first round only
+        assert "dispatched:" in out
+        assert ("empirically best" in out
+                or "did fewer operations" in out)
+
+    def test_metrics_flag_prints_exposition(self, capsys):
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--metrics", "--show", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in out
+        assert "repro_queries_total 1" in out
+        assert 'repro_dispatch_total{strategy=' in out
+
+    def test_observability_chatter_stays_off_stdout_in_json(
+            self, capsys):
+        import json
+
+        assert main(["engine", "--demo", "triangle-skew", "--size", "60",
+                     "--metrics", "--profile", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        for line in captured.out.splitlines():
+            json.loads(line)  # stdout stays machine-consumable
+        assert "# TYPE" in captured.err
+        assert "calibration" in captured.err
