@@ -21,6 +21,13 @@ Usage::
     repro engine --relation E=edges.csv \\
         -q "Q(A,B) :- E(A,B) ORDER BY B DESC LIMIT 10" --ranked-mode anyk
 
+    # Standing queries: subscribe, then stream tuple deltas through the
+    # incremental-view-maintenance path (each batch re-prints the
+    # refreshed result):
+    repro engine --relation R=r.csv --relation S=s.csv \\
+        -q "Q(A, SUM(B) AS total) :- R(A,B), S(A,C)" \\
+        --subscribe --delta "R:+1,10" --delta "R:-2,20;+3,30"
+
     # Observability: span traces, cost-model calibration, metrics:
     repro engine --demo triangle-skew --trace trace.ndjson --repeat 2
     repro engine --demo triangle-skew --profile
@@ -140,6 +147,18 @@ def build_engine_parser() -> argparse.ArgumentParser:
     workload.add_argument("--repeat", type=int, default=1,
                           help="run the whole workload this many times "
                                "(repetitions exercise the caches)")
+    workload.add_argument("--subscribe", action="store_true",
+                          help="register each query as a standing query "
+                               "(incremental view maintenance) instead of "
+                               "running it once; results re-print after "
+                               "every --delta batch")
+    workload.add_argument("--delta", action="append", default=[],
+                          metavar="NAME:+1,2;-3,4",
+                          help="apply a tuple delta batch to relation NAME "
+                               "after the subscriptions materialize: "
+                               "';'-separated signed tuples, '+' inserts "
+                               "and '-' deletes (repeatable; requires "
+                               "--subscribe)")
     execution = parser.add_argument_group("execution")
     execution.add_argument("--mode", default="auto", choices=MODES,
                            help="executor dispatch mode")
@@ -242,6 +261,37 @@ def _load_csv_relation(spec: str):
     return Relation(name.strip(), attributes, _coerce_rows(rows))
 
 
+def _parse_delta(spec: str) -> tuple[str, list[tuple], list[tuple]]:
+    """Parse ``NAME:+1,2;-3,4`` into (name, inserts, deletes).
+
+    Signed tuples are ';'-separated; cells follow the same all-or-nothing
+    int coercion as CSV relations (:func:`_coerce_rows`), applied across
+    the whole batch so inserts and deletes stay in one value domain.
+    """
+    if ":" not in spec:
+        raise ValueError(
+            f"--delta expects NAME:+v1,v2;-v1,v2, got {spec!r}"
+        )
+    name, body = spec.split(":", 1)
+    inserts: list[tuple] = []
+    deletes: list[tuple] = []
+    for part in body.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        sign, cells = part[0], part[1:]
+        if sign not in "+-" or not cells.strip():
+            raise ValueError(
+                f"delta tuple {part!r} must be '+v1,v2' or '-v1,v2'"
+            )
+        row = tuple(cell.strip() for cell in cells.split(","))
+        (inserts if sign == "+" else deletes).append(row)
+    if not inserts and not deletes:
+        raise ValueError(f"--delta batch {spec!r} holds no tuples")
+    coerced = _coerce_rows(inserts + deletes)
+    return name.strip(), coerced[:len(inserts)], coerced[len(inserts):]
+
+
 def _demo_instance(demo: str, size: int):
     """A (database, default queries) pair for a built-in demo family."""
     from repro.datagen.loomis_whitney import loomis_whitney_random_instance
@@ -333,6 +383,16 @@ def engine_main(argv: list[str] | None = None) -> int:
         parser.error("--repeat must be >= 1")
     if args.limit is not None and args.limit < 0:
         parser.error("--limit must be >= 0")
+    if args.delta and not args.subscribe:
+        parser.error("--delta requires --subscribe")
+    if args.subscribe and args.repeat != 1:
+        parser.error("--subscribe does not combine with --repeat "
+                     "(a standing query is already long-lived)")
+    try:
+        deltas = [_parse_delta(spec) for spec in args.delta]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
     queries: list = []
     if args.demo:
@@ -397,7 +457,46 @@ def engine_main(argv: list[str] | None = None) -> int:
                 return 2
             parsed_queries.append(parsed)
 
-        for round_index in range(args.repeat):
+        if args.subscribe:
+            subs = []
+            for query in parsed_queries:
+                if args.explain:
+                    print(file=chatter)
+                    print(engine.explain(
+                        query, mode=args.mode,
+                        aggregate_mode=args.aggregate_mode,
+                        ranked_mode=args.ranked_mode,
+                    ).render(), file=chatter)
+                started = time.perf_counter()
+                sub = engine.subscribe(
+                    query, mode=args.mode,
+                    aggregate_mode=args.aggregate_mode,
+                    ranked_mode=args.ranked_mode)
+                elapsed_ms = (time.perf_counter() - started) * 1000.0
+                maintained = ("incremental" if sub.incremental
+                              else f"refresh-only: {sub.fallback_reason}")
+                print(f"[subscribe] {sub.result.name}: {len(sub.result)} "
+                      f"tuples in {elapsed_ms:.2f} ms · "
+                      f"{sub.last_maintenance.operations} ops · "
+                      f"{maintained}", file=chatter)
+                _emit_result(sub.result, sub.query, args.format, args.show)
+                subs.append(sub)
+            for name, inserts, removals in deltas:
+                applied = engine.apply_delta(name, inserts, removals)
+                print(f"[delta] {name}: +{len(applied.inserted)} "
+                      f"-{len(applied.deleted)} "
+                      f"(version {applied.version})", file=chatter)
+                for sub in subs:
+                    reads = any(atom.relation == name
+                                for atom in sub.query.core.atoms)
+                    if reads and applied.changed:
+                        maint = sub.last_maintenance
+                        print(f"[maintain] {sub.result.name}: {maint.kind} "
+                              f"· {maint.operations} ops · {maint.reason}",
+                              file=chatter)
+                    _emit_result(sub.result, sub.query, args.format,
+                                 args.show)
+        for round_index in range(args.repeat if not args.subscribe else 0):
             for query in parsed_queries:
                 if args.explain:
                     print(file=chatter)

@@ -143,6 +143,27 @@ def translate_wcoj_payload(payload: tuple, canon: CanonicalQuery) -> tuple:
     return canon.translate_variables(payload)
 
 
+def fingerprint_drift(current: tuple[int, ...],
+                      planned: tuple[int, ...]) -> int:
+    """How far a statistics fingerprint has drifted from plan time.
+
+    Fingerprints are per-canonical-atom power-of-two size buckets
+    (:func:`repro.relational.statistics.statistics_fingerprint`); the
+    drift is the largest per-atom bucket distance, i.e. the number of
+    doublings/halvings the most-changed input relation has gone through.
+    Standing queries compare this against their re-plan threshold: a
+    drift of 1 already means some input left the size regime its plan
+    was priced for.
+    """
+    if len(current) != len(planned):
+        raise ValueError(
+            f"fingerprints differ in arity: {len(current)} vs {len(planned)}"
+        )
+    if not current:
+        return 0
+    return max(abs(a - b) for a, b in zip(current, planned))
+
+
 def canonical_query(query: ConjunctiveQuery | Query) -> CanonicalQuery:
     """Compute the canonical form of a (possibly rich) query.
 

@@ -123,10 +123,35 @@ class LRUCache:
 
 
 class PlanCache(LRUCache):
-    """An :class:`LRUCache` specialized to :class:`CachedPlan` values."""
+    """An :class:`LRUCache` specialized to :class:`CachedPlan` values.
+
+    Beyond plain LRU bookkeeping it records *invalidations by reason*:
+    when a standing query decides its plan no longer fits (the statistics
+    fingerprint drifted past its threshold, or an out-of-band version
+    bump replaced the data wholesale) the owner calls
+    :meth:`record_invalidation` so the re-plan shows up in cache stats
+    and the metrics snapshot instead of looking like an ordinary miss.
+    """
+
+    def __init__(self, max_size: int = 256):
+        super().__init__(max_size)
+        self.invalidations: dict[str, int] = {}
 
     def get(self, key: Hashable) -> CachedPlan | None:
         return super().get(key)
 
     def put(self, key: Hashable, value: CachedPlan) -> None:
         super().put(key, value)
+
+    def record_invalidation(self, reason: str) -> None:
+        """Count one plan invalidation under ``reason``."""
+        self.invalidations[reason] = self.invalidations.get(reason, 0) + 1
+
+    def invalidation_counts(self) -> dict[str, int]:
+        """Invalidations by reason (a copy, for snapshots)."""
+        return dict(self.invalidations)
+
+    def cache_stats(self) -> dict[str, float]:
+        stats = super().cache_stats()
+        stats["invalidations"] = sum(self.invalidations.values())
+        return stats

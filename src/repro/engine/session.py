@@ -69,7 +69,7 @@ from repro.obs.profile import ProfileReport, profile_query
 from repro.obs.trace import NULL_TRACER
 from repro.query.builder import Query, sort_rows
 from repro.query.semiring import fold_aggregates
-from repro.relational.database import Database
+from repro.relational.database import AppliedDelta, Database
 from repro.relational.relation import Relation
 from repro.relational.statistics import statistics_fingerprint
 
@@ -370,6 +370,9 @@ class Engine:
         #: result was served (a cache hit performs no execution work),
         #: None when nothing was counted.
         self.last_operations: OperationCounter | None = None
+        #: Standing queries (see :meth:`subscribe`): every catalog
+        #: mutation is pushed into these after the caches are settled.
+        self._subscriptions: list = []
         if self._metrics is not None:
             self._declare_metrics()
 
@@ -407,6 +410,21 @@ class Engine:
         self._m_anyk_delay = m.histogram(
             "repro_anyk_delay_seconds",
             "Any-k ranked enumeration: delay between consecutive rows")
+        self._m_plan_invalidations = m.counter(
+            "repro_plan_cache_invalidations_total",
+            "Plan invalidations by reason (stats-drift vs version-bump)",
+            ("reason",))
+        self._m_deltas = m.counter(
+            "repro_deltas_applied_total",
+            "Effective tuple deltas applied to the catalog", ("kind",))
+        self._m_view_maint = m.counter(
+            "repro_view_maintenance_total",
+            "Standing-query maintenance steps by kind", ("kind",))
+        self._m_view_seconds = m.histogram(
+            "repro_view_maintenance_seconds",
+            "Wall-clock seconds of standing-query maintenance steps")
+        self._m_subscriptions = m.gauge(
+            "repro_subscriptions_active", "Registered standing queries")
         self._m_plan_entries = m.gauge(
             "repro_plan_cache_entries", "Plan cache occupancy")
         self._m_result_entries = m.gauge(
@@ -437,6 +455,8 @@ class Engine:
         self._m_plan_entries.set(len(self._plans))
         self._m_result_entries.set(len(self._results))
         self._m_indexes.set(self._registry.warm_count())
+        self._m_subscriptions.set(
+            sum(1 for sub in self._subscriptions if sub.active))
 
     def metrics_snapshot(self) -> dict[str, Any]:
         """A JSON-serializable snapshot of every metric (gauges current)."""
@@ -461,9 +481,63 @@ class Engine:
         self._db.add(relation)
 
     def replace_relation(self, relation: Relation) -> None:
-        """Rebind a name to a new relation, invalidating derived state."""
+        """Rebind a name to a new relation, invalidating derived state.
+
+        Standing queries reading the name treat this as an out-of-band
+        *version bump*: no delta to propagate, so they re-plan and
+        refresh (see :meth:`subscribe`).
+        """
         self._db.replace(relation)
-        dropped = self._registry.invalidate(relation.name)
+        self._invalidate_derived(relation.name)
+        self._notify_version_bump(relation.name)
+
+    def remove_relation(self, name: str) -> None:
+        """Drop a relation from the catalog, invalidating derived state.
+
+        Standing queries that read ``name`` are deactivated — they can no
+        longer be evaluated — and record the drop as their final
+        maintenance step.
+        """
+        self._db.remove(name)
+        self._invalidate_derived(name)
+        self._notify_version_bump(name)
+
+    def insert(self, name: str, rows: Iterable[Sequence]) -> int:
+        """Add tuples to a relation; returns how many were actually new.
+
+        A convenience wrapper over :meth:`apply_delta` — inserts share
+        its invalidation and subscription-maintenance path, and an
+        idempotent load (nothing new) keeps warm indexes and results.
+        """
+        return len(self.apply_delta(name, inserts=rows).inserted)
+
+    def apply_delta(self, name: str, inserts: Iterable[Sequence] = (),
+                    deletes: Iterable[Sequence] = ()) -> AppliedDelta:
+        """Apply a tuple-level delta batch and maintain derived state.
+
+        The batch lands atomically in the catalog with exactly one
+        version bump (:meth:`repro.relational.database.Database.apply_delta`),
+        then — only when it actually changed something — indexes and
+        cached results over ``name`` are invalidated and every standing
+        query is offered the *effective* delta for incremental
+        maintenance.  Returns the effective delta either way.
+        """
+        applied = self._db.apply_delta(name, inserts, deletes)
+        if not applied.changed:
+            return applied
+        self._invalidate_derived(name)
+        if self._metrics is not None:
+            if applied.inserted:
+                self._m_deltas.inc(len(applied.inserted), kind="insert")
+            if applied.deleted:
+                self._m_deltas.inc(len(applied.deleted), kind="delete")
+        for sub in list(self._subscriptions):
+            sub._on_delta(applied)
+        return applied
+
+    def _invalidate_derived(self, name: str) -> None:
+        """Drop indexes and cached results derived from ``name``."""
+        dropped = self._registry.invalidate(name)
         self.stats.invalidations += dropped
         if self._metrics is not None and dropped:
             self._m_index_events.inc(dropped, event="invalidate")
@@ -471,24 +545,86 @@ class Engine:
         # them eagerly so dead materialized relations don't pin memory
         # until capacity eviction (mirrors the registry's eager policy).
         self._results.evict_where(
-            lambda key: any(name == relation.name for name, _ in key[1])
+            lambda key: any(n == name for n, _ in key[1])
         )
 
-    def insert(self, name: str, rows: Iterable[Sequence]) -> int:
-        """Add tuples to a relation; returns how many were actually new.
+    # ------------------------------------------------------------------
+    # Standing queries
+    # ------------------------------------------------------------------
+    def subscribe(self, query: QueryLike, mode: str = "auto",
+                  aggregate_mode: str = "auto", ranked_mode: str = "auto",
+                  on_change=None, replan_threshold: int = 1):
+        """Register a standing query; returns its live subscription.
 
-        Relations are immutable, so this rebinds ``name`` to the union and
-        bumps its version — every index and cached result derived from the
-        old contents becomes unreachable.
+        The query materializes once through the ordinary dispatch path,
+        then stays current as :meth:`apply_delta` / :meth:`insert` /
+        :meth:`replace_relation` / :meth:`remove_relation` mutate the
+        catalog — incrementally through semiring delta propagation over
+        the stored join-tree messages when the query shape allows it,
+        by tracked full refresh otherwise (see
+        :class:`repro.ivm.subscription.Subscription` for the fallback
+        matrix).  ``on_change`` is called with the subscription after
+        every maintenance step that changed the result;
+        ``replan_threshold`` is the statistics-fingerprint drift (in
+        power-of-two size buckets) that triggers automatic re-planning.
         """
-        old = self._db.get(name)
-        added = {tuple(row) for row in rows}
-        new_tuples = old.tuples | added
-        grown = len(new_tuples) - len(old)
-        if grown == 0:
-            return 0  # idempotent load: keep warm indexes and results
-        self.replace_relation(Relation(name, old.schema, new_tuples))
-        return grown
+        # Imported lazily: repro.ivm sits above the engine layer (it
+        # re-enters execute/_prepare), so a module-level import would
+        # be circular.
+        from repro.ivm.subscription import Subscription
+
+        sub = Subscription(self, query, mode=mode,
+                           aggregate_mode=aggregate_mode,
+                           ranked_mode=ranked_mode, on_change=on_change,
+                           replan_threshold=replan_threshold)
+        self._subscriptions.append(sub)
+        if self._metrics is not None:
+            self._m_subscriptions.set(
+                sum(1 for s in self._subscriptions if s.active))
+        return sub
+
+    def unsubscribe(self, subscription) -> bool:
+        """Deregister a subscription; True when it was registered here."""
+        try:
+            self._subscriptions.remove(subscription)
+        except ValueError:
+            return False
+        subscription._deactivate()
+        if self._metrics is not None:
+            self._m_subscriptions.set(
+                sum(1 for s in self._subscriptions if s.active))
+        return True
+
+    @property
+    def subscriptions(self) -> tuple:
+        """The registered standing queries (including deactivated ones)."""
+        return tuple(self._subscriptions)
+
+    def _notify_version_bump(self, name: str) -> None:
+        for sub in list(self._subscriptions):
+            sub._on_version_bump(name)
+
+    def _record_plan_invalidation(self, reason: str,
+                                  canonical_form: str | None = None) -> None:
+        """Count a plan invalidation and evict the stale entries.
+
+        ``reason`` is ``"stats-drift"`` (fingerprint left the plan's size
+        regime) or ``"version-bump"`` (out-of-band wholesale rebinding);
+        with a ``canonical_form`` every cached plan for that query shape
+        is evicted so the next preparation re-enters the dispatcher.
+        """
+        self._plans.record_invalidation(reason)
+        if self._metrics is not None:
+            self._m_plan_invalidations.inc(reason=reason)
+        if canonical_form is not None:
+            self._plans.evict_where(lambda key: key[0] == canonical_form)
+
+    def _observe_maintenance(self, record) -> None:
+        """Record one standing-query maintenance step in the metrics."""
+        if self._metrics is None:
+            return
+        self._m_view_maint.inc(kind=record.kind)
+        self._m_view_seconds.observe(record.seconds)
 
     # ------------------------------------------------------------------
     # Planning

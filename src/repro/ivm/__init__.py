@@ -1,0 +1,20 @@
+"""Incremental view maintenance: standing queries over the engine.
+
+The subsystem keeps subscribed query results current under tuple-level
+catalog deltas by propagating semiring-annotated changes through the
+stored Yannakakis join-tree messages (:mod:`repro.ivm.view`), falling
+back to tracked full refresh for the shapes the FAQ delta rule cannot
+repair (:mod:`repro.ivm.subscription`).  Entry point:
+:meth:`repro.engine.session.Engine.subscribe`.
+"""
+
+from repro.ivm.subscription import (MaintenanceRecord, Subscription,
+                                    incremental_decision)
+from repro.ivm.view import ViewState
+
+__all__ = [
+    "MaintenanceRecord",
+    "Subscription",
+    "ViewState",
+    "incremental_decision",
+]

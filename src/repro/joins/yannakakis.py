@@ -29,13 +29,23 @@ Two extensions serve the engine's richer surface:
   priority frontier expands root-down tuple assignments in exact bound
   order — ``ORDER BY ... LIMIT k`` emits k rows after the reduction plus
   the bottom-up DP, never materializing the join.
+
+The annotated-message primitives are exported for reuse:
+:func:`join_tree_of` (the GYO join tree as a :class:`JoinTree`),
+:func:`ann_project` (the ``⊕`` message projection) and :func:`ann_join`
+(the ``⊗`` annotated join).  They are the *message re-derivation* entry
+points incremental view maintenance (:mod:`repro.ivm`) builds on: a
+standing query's per-node state is exactly the annotated tables and
+messages these produce, and a tuple-level delta re-derives only the
+messages on the changed leaf's root path with the same two operations.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter, phase
@@ -77,6 +87,34 @@ def _join_tree(query: ConjunctiveQuery):
         # Single-edge query: the only edge is its own root.
         root = order[-1]
     return parent, children, order, root
+
+
+@dataclass(frozen=True)
+class JoinTree:
+    """A GYO join tree over a query's edge keys.
+
+    ``order`` is the bottom-up (ear-elimination) sequence — every node
+    appears before its parent — and ``children`` lists each node's
+    children in that same absorption order, which is the deterministic
+    schema-construction order the annotated passes (and the IVM view
+    state) rely on.
+    """
+
+    parent: Mapping[str, str | None]
+    children: Mapping[str, tuple[str, ...]]
+    order: tuple[str, ...]
+    root: str
+
+
+def join_tree_of(query: ConjunctiveQuery) -> JoinTree:
+    """The query's GYO join tree (raises :class:`QueryError` if cyclic)."""
+    parent, children, order, root = _join_tree(query)
+    return JoinTree(
+        parent=dict(parent),
+        children={node: tuple(kids) for node, kids in children.items()},
+        order=tuple(order),
+        root=root,
+    )
 
 
 def _semijoin_passes(relations: dict[str, Relation], parent: dict[str, str | None],
@@ -190,7 +228,8 @@ def semijoin_reduce(query: ConjunctiveQuery, database: Database,
 
 #: An annotated relation: variable schema plus one annotation list (one
 #: semiring value per aggregate) for each tuple.
-_AnnTable = tuple[tuple[str, ...], dict[tuple, list]]
+AnnTable = tuple[tuple[str, ...], dict[tuple, list]]
+_AnnTable = AnnTable
 
 
 def _ann_project(table: _AnnTable, keep: Sequence[str],
@@ -261,6 +300,32 @@ def _ann_join(left: _AnnTable, right: _AnnTable,
             if counter is not None:
                 counter.charge(tuples_emitted=1)
     return out_schema, out
+
+
+def ann_project(table: AnnTable, keep: Sequence[str],
+                semirings: Sequence[Semiring],
+                counter: OperationCounter | None = None) -> AnnTable:
+    """Public ``⊕`` message derivation: aggregate onto ``keep`` columns.
+
+    This is the message-projection half of the annotated join-tree pass,
+    exported so incremental maintenance can re-derive a single node's
+    message from its (updated) annotated table without re-running the
+    whole bottom-up sweep.
+    """
+    return _ann_project(table, keep, semirings, counter)
+
+
+def ann_join(left: AnnTable, right: AnnTable,
+             semirings: Sequence[Semiring],
+             counter: OperationCounter | None = None) -> AnnTable:
+    """Public ``⊗`` annotated join (no selection side-channel).
+
+    The join half of the annotated pass: combine two annotated tables on
+    their common columns, multiplying annotations coordinatewise.  Used
+    by the IVM view state both when building per-node state and when
+    joining a delta against unchanged sibling messages.
+    """
+    return _ann_join(left, right, semirings, [], counter)
 
 
 def yannakakis_aggregate_stream(query: ConjunctiveQuery, database: Database,

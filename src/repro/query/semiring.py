@@ -21,7 +21,15 @@ supplies the pluggable semiring layer for the unified query surface:
   tail components compose with the product), and
   :func:`product_semiring` builds componentwise product semirings — with
   an absorbing element only when *every* factor declares one, since a
-  single absorbing coordinate does not absorb the tuple.
+  single absorbing coordinate does not absorb the tuple;
+* the **ring protocol**: a semiring may declare ``negate``, the additive
+  inverse (``a ⊕ negate(a) = zero``), making it a commutative ring.  This
+  is what incremental view maintenance needs for *deletes*: removing a
+  tuple is ``⊕``-ing the negated annotation of every join assignment it
+  participated in, so SUM/COUNT/AVG views repair in place while MIN/MAX
+  (tropical, no inverse: ``min(a, x) = +inf`` has no solution) and the
+  ordering semiring force a recomputation.  :func:`negate_value` is the
+  checked entry point delete paths must use.
 
 Aggregation semantics follow the package's set-semantics relations: the
 aggregates range over the **distinct** full-join assignments, grouped by
@@ -96,6 +104,17 @@ class Semiring:
         in-recursion fold can stop a subtree as soon as its accumulator
         saturates — for the boolean semiring this is exactly the classical
         one-witness existential search.
+    negate:
+        Optional additive inverse (``a ⊕ negate(a) = zero``), upgrading
+        the semiring to a commutative **ring**.  Rings are what make
+        *deletes* incremental: removing a tuple ``⊕``-s the negation of
+        every annotation it contributed, so the fold never has to be
+        recomputed from scratch.  When ``times`` is also declared, the
+        inverse must be compatible with the product
+        (``negate(a) ⊗ b = negate(a ⊗ b)``) so a negated delta tuple can
+        be joined against unchanged annotations.  ``None`` declares the
+        semiring non-invertible (MIN/MAX, boolean, ranking): delete paths
+        must refuse it via :func:`negate_value`.
     """
 
     name: str
@@ -107,11 +126,17 @@ class Semiring:
     times: Callable[[Any, Any], Any] | None = None
     finalize: Callable[[Any], Any] | None = None
     absorbing: Any = _NO_ABSORBING
+    negate: Callable[[Any], Any] | None = None
 
     @property
     def has_product(self) -> bool:
         """True when the algebra is a full semiring (``times`` defined)."""
         return self.times is not None
+
+    @property
+    def has_inverse(self) -> bool:
+        """True when the algebra is a ring (``negate`` defined)."""
+        return self.negate is not None
 
     @property
     def has_absorbing(self) -> bool:
@@ -182,15 +207,24 @@ def _tropical_add(a: Any, b: Any) -> Any:
     return a + b
 
 
+def _numeric_negate(value: Any) -> Any:
+    return -value
+
+
 #: Built-in semirings, keyed by aggregate keyword.  ``MIN``/``MAX`` use
 #: ``None`` as the fold identity (reported for an empty, group-free
 #: aggregate) and live in the tropical semirings (min, +) / (max, +);
-#: ``COUNT``/``SUM`` live in the numeric sum-product semiring (+, ×).
+#: ``COUNT``/``SUM`` live in the numeric sum-product semiring (+, ×),
+#: which is in fact a ring — its ``negate`` is what lets incremental view
+#: maintenance handle deletes.  The tropical semirings declare no
+#: ``negate``: ``min(a, x) = +∞`` has no solution, so a deleted minimum
+#: cannot be "subtracted out" and delete paths must recompute.
 SEMIRINGS: dict[str, Semiring] = {
     "count": Semiring("count", 0, lambda a, b: a + b, lambda _v: 1,
-                      needs_variable=False, one=1, times=_mul),
+                      needs_variable=False, one=1, times=_mul,
+                      negate=_numeric_negate),
     "sum": Semiring("sum", 0, lambda a, b: a + b, lambda v: v,
-                    one=1, times=_mul),
+                    one=1, times=_mul, negate=_numeric_negate),
     "min": Semiring("min", None, _min_plus, lambda v: v,
                     one=_TROPICAL_ONE, times=_tropical_add),
     "max": Semiring("max", None, _max_plus, lambda v: v,
@@ -328,6 +362,28 @@ def times_fold(semiring: Semiring, values: Iterable[Any]) -> Any:
     return total
 
 
+def negate_value(semiring: Semiring, value: Any) -> Any:
+    """The additive inverse of ``value``, or a clear refusal.
+
+    This is the checked entry point every delete path must go through:
+    incremental deletion ``⊕``-s negated annotations into maintained
+    state, which is only sound when the semiring is a ring.
+
+    Raises
+    ------
+    QueryError
+        If the semiring declares no additive inverse (MIN/MAX, boolean,
+        ranking): callers must fall back to recomputation for deletes.
+    """
+    if semiring.negate is None:
+        raise QueryError(
+            f"semiring {semiring.name!r} has no additive inverse; "
+            "deletes need a ring semiring (SUM/COUNT/AVG) — "
+            "recompute the aggregate instead"
+        )
+    return semiring.negate(value)
+
+
 def product_semiring(name: str, factors: Sequence[Semiring],
                      finalize: Callable[[Any], Any] | None = None) -> Semiring:
     """The componentwise product of several semirings.
@@ -374,6 +430,14 @@ def product_semiring(name: str, factors: Sequence[Semiring],
         def finalize(value: tuple) -> tuple:
             return tuple(f.finish(v) for f, v in zip(factors, value))
 
+    # The product is a ring exactly when every factor is: the inverse is
+    # coordinatewise, and a single non-invertible coordinate (say a MIN)
+    # poisons the whole tuple for deletes.
+    negate = None
+    if all(f.has_inverse for f in factors):
+        def negate(value: tuple) -> tuple:
+            return tuple(f.negate(v) for f, v in zip(factors, value))
+
     absorbing = (tuple(f.absorbing for f in factors)
                  if all(f.has_absorbing for f in factors) else _NO_ABSORBING)
     return Semiring(
@@ -386,6 +450,7 @@ def product_semiring(name: str, factors: Sequence[Semiring],
         times=times,
         finalize=finalize,
         absorbing=absorbing,
+        negate=negate,
     )
 
 
@@ -407,6 +472,12 @@ def _avg_finalize(value: tuple) -> Any:
     return total / count
 
 
+def _avg_negate(value: tuple) -> tuple:
+    # Negating both coordinates is compatible with the cross-weighting
+    # product: (−s₁, −c₁) ⊗ (s₂, c₂) = (−(s₁c₂ + s₂c₁), −c₁c₂).
+    return (-value[0], -value[1])
+
+
 # ``AVG`` is deliberately registered through the public pluggable-semiring
 # path: it is the (sum, count) product semiring with a non-identity lift
 # and a finalizer, exercising every extension hook a custom semiring has.
@@ -418,6 +489,7 @@ register_semiring(Semiring(
     one=(0, 1),
     times=_avg_times,
     finalize=_avg_finalize,
+    negate=_avg_negate,
 ))
 
 

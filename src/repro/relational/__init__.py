@@ -9,7 +9,7 @@ needed to state degree constraints.
 
 from repro.relational.schema import Schema
 from repro.relational.relation import Relation
-from repro.relational.database import Database
+from repro.relational.database import AppliedDelta, Database
 from repro.relational.index import HashIndex, TrieIndex
 from repro.relational.operators import (
     select,
@@ -35,6 +35,7 @@ from repro.relational.statistics import (
 __all__ = [
     "Schema",
     "Relation",
+    "AppliedDelta",
     "Database",
     "HashIndex",
     "TrieIndex",

@@ -12,14 +12,46 @@ themselves are immutable, so ``(name, version)`` pins down the exact tuple
 set a name referred to at some point in time — the hook the query engine's
 index registry and result cache use to reuse work safely across queries and
 invalidate it on mutation.
+
+Mutation comes in two granularities.  Whole-relation rebinding
+(:meth:`Database.replace`, :meth:`Database.remove`) swaps or drops the
+binding and bumps the version.  Tuple-level deltas
+(:meth:`Database.apply_delta`) apply a batch of inserts and deletes as one
+atomic step — **exactly one** version bump per effective batch, none when
+the batch is a no-op under set semantics — and report the *effective*
+delta (what actually changed) as an :class:`AppliedDelta`, which is what
+incremental view maintenance propagates through join-tree messages.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError
 from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class AppliedDelta:
+    """The effective result of one :meth:`Database.apply_delta` batch.
+
+    ``inserted`` / ``deleted`` hold only the tuples that actually changed
+    membership (requested inserts already present, deletes of absent
+    tuples, and insert+delete of the same new tuple within one batch all
+    normalize away), and ``version`` is the relation's version *after* the
+    batch — unchanged when the batch was a no-op.
+    """
+
+    name: str
+    inserted: frozenset
+    deleted: frozenset
+    version: int
+
+    @property
+    def changed(self) -> bool:
+        """True when the batch changed the relation's tuple set."""
+        return bool(self.inserted or self.deleted)
 
 
 class Database:
@@ -63,6 +95,42 @@ class Database:
         """Register a relation, overwriting any existing one with that name."""
         self._relations[relation.name] = relation
         self._versions[relation.name] = self._versions.get(relation.name, 0) + 1
+
+    def remove(self, name: str) -> None:
+        """Drop the relation bound to ``name``; raises if absent.
+
+        The version history survives the removal (and is bumped), so a
+        later re-``add`` continues the sequence instead of restarting at
+        1 — cached work keyed on an old ``(name, version)`` can never be
+        confused with the re-registered relation's contents.
+        """
+        if name not in self._relations:
+            raise SchemaError(f"no relation named {name!r} in database")
+        del self._relations[name]
+        self._versions[name] += 1
+
+    def apply_delta(self, name: str, inserts: Iterable[tuple] = (),
+                    deletes: Iterable[tuple] = ()) -> AppliedDelta:
+        """Apply a batch of tuple inserts and deletes atomically.
+
+        The batch is normalized to its *effective* delta under set
+        semantics: inserts already present and deletes of absent tuples
+        drop out, and a tuple both inserted and deleted in the same batch
+        nets to a delete (deletes win).  The version is bumped exactly
+        once per effective batch and not at all for a no-op, mirroring
+        the engine's idempotent-insert convention.
+        """
+        old = self.get(name)
+        requested_inserts = {tuple(row) for row in inserts}
+        requested_deletes = {tuple(row) for row in deletes}
+        inserted = frozenset(requested_inserts - old.tuples - requested_deletes)
+        deleted = frozenset(requested_deletes & old.tuples)
+        if not inserted and not deleted:
+            return AppliedDelta(name, inserted, deleted, self.version(name))
+        updated = Relation(name, old.schema, (old.tuples | inserted) - deleted)
+        self._relations[name] = updated
+        self._versions[name] += 1
+        return AppliedDelta(name, inserted, deleted, self._versions[name])
 
     def version(self, name: str) -> int:
         """The mutation version of ``name``: bumped on every add/replace.

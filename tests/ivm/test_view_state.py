@@ -1,0 +1,145 @@
+"""ViewState: the repairable join-tree materialization, in isolation."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.ivm.view import ViewState
+from repro.joins.instrumentation import OperationCounter
+from repro.query.builder import Query
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+def star_db():
+    return Database([
+        Relation("R1", ("a", "b"), {(1, 10), (2, 20), (3, 30)}),
+        Relation("R2", ("a", "c"), {(1, 5), (2, 6), (3, 7)}),
+        Relation("R3", ("a", "d"), {(1, 100), (2, 200)}),
+    ])
+
+
+def spec(text):
+    return Query.coerce(text)
+
+
+def apply_db_and_state(db, state, name, inserts=(), deletes=()):
+    """Mirror the engine: delta the catalog, then repair the state."""
+    applied = db.apply_delta(name, inserts, deletes)
+    return state.apply(name, applied.inserted, applied.deleted)
+
+
+class TestBuild:
+    def test_initial_rows_match_join(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        assert sorted(state.rows()) == [(1, 10), (2, 20)]
+
+    def test_plain_projection_view(self):
+        db = star_db()
+        state = ViewState(spec("Q(A, C) :- R1(A,B), R2(A,C)"), db)
+        assert sorted(state.rows()) == [(1, 5), (2, 6), (3, 7)]
+
+    def test_cyclic_query_rejected(self):
+        db = Database([
+            Relation("E", ("x", "y"), {(1, 2), (2, 3), (3, 1)}),
+        ])
+        with pytest.raises(QueryError):
+            ViewState(spec("Q(X) :- E(X,Y), E(Y,Z), E(Z,X)"), db)
+
+    def test_single_atom_selections_prefilter(self):
+        db = star_db()
+        state = ViewState(spec("Q(A, SUM(B) AS t) :- R1(A,B), R2(A,C), B > 15"),
+                          db)
+        assert sorted(state.rows()) == [(2, 20), (3, 30)]
+
+    def test_cross_atom_residual_selection(self):
+        db = star_db()
+        state = ViewState(spec("Q(A) :- R1(A,B), R2(A,C), C < B"), db)
+        assert sorted(state.rows()) == [(1,), (2,), (3,)]
+        # delete the only R2 tuple keeping A=1 alive under C < B
+        assert apply_db_and_state(db, state, "R2", deletes=[(1, 5)]) is True
+        assert sorted(state.rows()) == [(2,), (3,)]
+
+    def test_group_free_aggregate_empty_join_is_zero_row(self):
+        db = Database([
+            Relation("R1", ("a", "b"), set()),
+            Relation("R2", ("a", "c"), {(1, 5)}),
+        ])
+        state = ViewState(
+            spec("Q(SUM(B) AS s, COUNT(*) AS n) :- R1(A,B), R2(A,C)"), db)
+        assert state.rows() == [(0, 0)]
+
+
+class TestRepair:
+    def test_insert_updates_affected_group_only(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total, COUNT(*) AS n) :- "
+                 "R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        assert apply_db_and_state(db, state, "R1", inserts=[(1, 990)]) is True
+        assert sorted(state.rows()) == [(1, 1000, 2), (2, 20, 1)]
+
+    def test_delete_retracts_contribution(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        assert apply_db_and_state(db, state, "R3", deletes=[(2, 200)]) is True
+        assert sorted(state.rows()) == [(1, 10)]
+
+    def test_insert_then_delete_round_trips(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        before = sorted(state.rows())
+        apply_db_and_state(db, state, "R1", inserts=[(1, 77)])
+        apply_db_and_state(db, state, "R1", deletes=[(1, 77)])
+        assert sorted(state.rows()) == before
+
+    def test_irrelevant_relation_is_a_noop(self):
+        db = star_db()
+        state = ViewState(spec("Q(A, SUM(B) AS t) :- R1(A,B), R2(A,C)"), db)
+        assert state.apply("R3", [(9, 9)], []) is False
+
+    def test_delta_dying_in_sibling_subtree_changes_nothing(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        # A=3 joins R1 and R2 but has no R3 partner: the delta dies.
+        assert apply_db_and_state(db, state, "R1", inserts=[(3, 999)]) is False
+        assert sorted(state.rows()) == [(1, 10), (2, 20)]
+
+    def test_counter_charges_stay_delta_sized(self):
+        db = star_db()
+        q = spec("Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C), R3(A,D)")
+        state = ViewState(q, db)
+        counter = OperationCounter()
+        applied = db.apply_delta("R1", inserts=[(1, 50)])
+        state.apply("R1", applied.inserted, applied.deleted, counter)
+        assert 0 < counter.total() < 30
+
+
+class TestFallbackSignals:
+    def test_self_join_delta_returns_none(self):
+        db = Database([Relation("E", ("x", "y"), {(1, 2), (2, 3)})])
+        state = ViewState(spec("Q(X, Z) :- E(X,Y), E(Y,Z)"), db)
+        assert state.apply("E", [(3, 4)], []) is None
+        # state untouched: rows still reflect the original contents
+        assert sorted(state.rows()) == [(1, 3)]
+
+    def test_min_insert_is_incremental_but_delete_is_not(self):
+        db = star_db()
+        state = ViewState(spec("Q(A, MIN(B) AS lo) :- R1(A,B)"), db)
+        assert not state.supports_deletes
+        assert apply_db_and_state(db, state, "R1", inserts=[(1, 3)]) is True
+        assert sorted(state.rows()) == [(1, 3), (2, 20), (3, 30)]
+        assert state.apply("R1", [], [(1, 3)]) is None
+
+    def test_avg_supports_deletes(self):
+        db = star_db()
+        state = ViewState(spec("Q(A, AVG(B) AS mean) :- R1(A,B)"), db)
+        assert state.supports_deletes
+        apply_db_and_state(db, state, "R1", inserts=[(1, 30)])
+        assert sorted(state.rows()) == [(1, 20.0), (2, 20.0), (3, 30.0)]
+        apply_db_and_state(db, state, "R1", deletes=[(1, 10)])
+        assert sorted(state.rows()) == [(1, 30.0), (2, 20.0), (3, 30.0)]

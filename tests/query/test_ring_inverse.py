@@ -1,0 +1,80 @@
+"""Ring-protocol property checks: ``negate`` is a true additive inverse.
+
+Incremental view maintenance retracts a deleted tuple's contribution by
+propagating ``negate(annotation)`` through the same ⊕/⊗ message pipeline
+the insert used, so ``negate`` must satisfy two laws on the fold carrier:
+
+* additive inverse: ``a ⊕ negate(a) = zero``;
+* product compatibility: ``negate(a) ⊗ b = negate(a ⊗ b)`` — negating a
+  leaf is the same as negating the joined result, which is what lets a
+  delete ride the unchanged sibling messages.
+
+Non-invertible semirings (MIN/MAX — tropical addition has no inverse —
+the boolean and the ranking semiring) must be rejected by the checked
+entry point ``negate_value`` with a clear error, which is what routes
+deletes under them to full refresh.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.query.semiring import (BOOLEAN, SEMIRINGS, negate_value,
+                                  product_semiring, ranking_semiring)
+
+values = st.integers(min_value=-10_000, max_value=10_000)
+value_lists = st.lists(values, min_size=1, max_size=8)
+
+RINGS = ["sum", "count", "avg"]
+
+
+def carrier(semiring, xs):
+    """A fold-carrier value: ⊕ over lifted column values."""
+    acc = semiring.zero
+    for x in xs:
+        acc = semiring.plus(acc, semiring.lift(x))
+    return acc
+
+
+@pytest.mark.parametrize("name", RINGS)
+@given(xs=value_lists)
+def test_negate_is_additive_inverse(name, xs):
+    semiring = SEMIRINGS[name]
+    a = carrier(semiring, xs)
+    assert semiring.plus(a, negate_value(semiring, a)) == semiring.zero
+
+
+@pytest.mark.parametrize("name", RINGS)
+@given(xs=value_lists, ys=value_lists)
+def test_negate_commutes_with_product(name, xs, ys):
+    semiring = SEMIRINGS[name]
+    a, b = carrier(semiring, xs), carrier(semiring, ys)
+    negated_leaf = semiring.times(negate_value(semiring, a), b)
+    negated_join = negate_value(semiring, semiring.times(a, b))
+    assert negated_leaf == negated_join
+
+
+@given(xs=value_lists, ys=value_lists)
+def test_product_semiring_negates_coordinatewise(xs, ys):
+    product = product_semiring("sum_count",
+                               [SEMIRINGS["sum"], SEMIRINGS["count"]])
+    assert product.has_inverse
+    a = carrier(product, xs)
+    assert product.plus(a, negate_value(product, a)) == product.zero
+    b = carrier(product, ys)
+    assert (product.times(negate_value(product, a), b)
+            == negate_value(product, product.times(a, b)))
+
+
+def test_product_with_noninvertible_factor_has_no_inverse():
+    mixed = product_semiring("sum_min", [SEMIRINGS["sum"], SEMIRINGS["min"]])
+    assert not mixed.has_inverse
+
+
+@pytest.mark.parametrize("semiring", [
+    SEMIRINGS["min"], SEMIRINGS["max"], BOOLEAN, ranking_semiring(),
+], ids=["min", "max", "bool", "ranking"])
+def test_noninvertible_semirings_rejected_with_clear_error(semiring):
+    with pytest.raises(QueryError, match="no additive inverse"):
+        negate_value(semiring, semiring.zero)

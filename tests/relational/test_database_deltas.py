@@ -1,0 +1,84 @@
+"""Version semantics of tuple-level deltas and relation removal."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.database import AppliedDelta, Database
+from repro.relational.relation import Relation
+
+
+def db():
+    return Database([Relation("R", ("a", "b"), {(1, 2), (3, 4)})])
+
+
+class TestApplyDelta:
+    def test_batch_bumps_version_exactly_once(self):
+        d = db()
+        before = d.version("R")
+        applied = d.apply_delta("R", inserts=[(5, 6), (7, 8)],
+                                deletes=[(1, 2)])
+        assert d.version("R") == before + 1
+        assert applied.version == before + 1
+        assert d.get("R").tuples == {(3, 4), (5, 6), (7, 8)}
+
+    def test_noop_batch_keeps_version(self):
+        d = db()
+        before = d.version("R")
+        applied = d.apply_delta("R", inserts=[(1, 2)], deletes=[(9, 9)])
+        assert not applied.changed
+        assert applied.version == before
+        assert d.version("R") == before
+
+    def test_effective_delta_is_normalized(self):
+        d = db()
+        applied = d.apply_delta(
+            "R",
+            inserts=[(1, 2), (5, 6), (7, 8)],  # (1,2) already present
+            deletes=[(7, 8), (9, 9)],          # (7,8) nets out, (9,9) absent
+        )
+        assert applied.inserted == frozenset({(5, 6)})
+        assert applied.deleted == frozenset()
+        assert d.get("R").tuples == {(1, 2), (3, 4), (5, 6)}
+
+    def test_delete_wins_for_existing_tuple_in_same_batch(self):
+        d = db()
+        applied = d.apply_delta("R", inserts=[(1, 2)], deletes=[(1, 2)])
+        assert applied.deleted == frozenset({(1, 2)})
+        assert (1, 2) not in d.get("R").tuples
+
+    def test_arity_error_leaves_state_unchanged(self):
+        d = db()
+        before_version = d.version("R")
+        before_tuples = d.get("R").tuples
+        with pytest.raises(SchemaError):
+            d.apply_delta("R", inserts=[(1, 2, 3)])
+        assert d.version("R") == before_version
+        assert d.get("R").tuples == before_tuples
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(SchemaError):
+            db().apply_delta("S", inserts=[(1, 2)])
+
+    def test_applied_delta_changed_flag(self):
+        assert AppliedDelta("R", frozenset({(1,)}), frozenset(), 2).changed
+        assert not AppliedDelta("R", frozenset(), frozenset(), 1).changed
+
+
+class TestRemove:
+    def test_remove_drops_and_bumps(self):
+        d = db()
+        before = d.version("R")
+        d.remove("R")
+        assert "R" not in d
+        assert d.version("R") == before + 1
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(SchemaError):
+            db().remove("S")
+
+    def test_readd_continues_version_sequence(self):
+        d = db()
+        d.remove("R")
+        after_remove = d.version("R")
+        d.add(Relation("R", ("a", "b"), {(9, 9)}))
+        assert d.version("R") == after_remove + 1

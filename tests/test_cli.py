@@ -268,3 +268,41 @@ class TestEngineCliRichQueries:
             json.loads(line)  # stdout stays machine-consumable
         assert "# TYPE" in captured.err
         assert "calibration" in captured.err
+
+    def test_subscribe_reprints_results_after_each_delta(self, tmp_path,
+                                                         capsys):
+        import json
+
+        r1 = tmp_path / "r1.csv"
+        r1.write_text("a,b\n1,10\n2,20\n")
+        r2 = tmp_path / "r2.csv"
+        r2.write_text("a,c\n1,5\n2,6\n")
+        assert main(["engine", "--relation", f"R1={r1}",
+                     "--relation", f"R2={r2}",
+                     "-q", "Q(A, SUM(B) AS total) :- R1(A,B), R2(A,C)",
+                     "--subscribe", "--delta", "R1:+1,100",
+                     "--delta", "R1:-1,10", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        payloads = [json.loads(line) for line in captured.out.splitlines()]
+        assert [p["rows"] for p in payloads] == [
+            [[1, 10], [2, 20]],
+            [[1, 110], [2, 20]],
+            [[1, 100], [2, 20]],
+        ]
+        assert "[subscribe] Q:" in captured.err
+        assert "[delta] R1: +1 -0 (version 2)" in captured.err
+        assert "[maintain] Q: incremental" in captured.err
+
+    def test_delta_requires_subscribe(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["engine", "--demo", "triangle-skew",
+                  "--delta", "R:+1,2"])
+        assert "--delta requires --subscribe" in capsys.readouterr().err
+
+    def test_malformed_delta_errors(self, tmp_path, capsys):
+        r1 = tmp_path / "r1.csv"
+        r1.write_text("a,b\n1,10\n")
+        assert main(["engine", "--relation", f"R1={r1}",
+                     "-q", "Q(A) :- R1(A,B)", "--subscribe",
+                     "--delta", "R1:1,2"]) == 2
+        assert "must be '+v1,v2' or '-v1,v2'" in capsys.readouterr().err
