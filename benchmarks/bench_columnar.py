@@ -1,0 +1,205 @@
+"""Columnar backend vs the pure-Python oracle: wall-clock speedup gate.
+
+Two workloads where the per-tuple Python constant dominates:
+
+* **triangle** — the skewed ("star") triangle instance, full enumeration:
+  pairwise joins are Omega(n^2/4) while the output is O(n), so both
+  backends run the same worst-case-optimal plan and the measured gap is
+  pure representation (sorted NumPy columns + galloping intersection vs
+  per-tuple dict probing).
+* **star** — a skewed 3-arm star with head projection ``Q(A)``: the
+  existential tail exercises the component-factorized boolean eliminator,
+  vectorized over frontier runs on the columnar side.
+
+Both backends run the *same* generic-join plan (strategy held fixed) and
+must return bit-identical rows in bit-identical order — asserted on every
+measurement, never trusted.  This is the repo's first wall-clock (not
+node-count) gate: the columnar backend exists purely for constant-factor
+speed, so constants are what it is held to.  Wall-clock on shared CI
+runners is noisy, which the gate absorbs by demanding a margin (>=10x)
+far above the noise floor.
+
+Results are written to ``BENCH_columnar.json`` at the repo root (triangle
++ star, python vs columnar, cold vs warm layout) so future PRs have a
+perf trajectory to regress against.
+
+Run standalone (exit code gates on the speedup)::
+
+    python benchmarks/bench_columnar.py [--quick]
+
+or through pytest::
+
+    python -m pytest benchmarks/bench_columnar.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import time
+
+import pytest
+
+try:
+    from repro.engine import Engine
+except ImportError:  # running standalone from a checkout without install
+    sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+    from repro.engine import Engine
+
+from repro.datagen.worstcase import triangle_skew_instance
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+#: Minimum acceptable python/columnar wall-clock ratio (CI gate).
+TARGET_SPEEDUP = 10.0
+
+BENCH_PATH = os.path.join(os.path.dirname(__file__), "..",
+                          "BENCH_columnar.json")
+
+TRIANGLE_QUERY = "Q(A,B,C) :- R(A,B), S(B,C), T(A,C)"
+STAR_QUERY = "Q(A) :- R1(A,B1), R2(A,B2), R3(A,B3)"
+
+
+def star_skew_instance(n: int) -> Database:
+    """Three arms around a shared key with one heavy hub.
+
+    Key 0 carries ~n/2 rows per arm, the rest are singletons: the
+    projection ``Q(A)`` forces the existential eliminator to prove one
+    witness per surviving key while the hub key alone would enumerate
+    Omega(n^3/8) full bindings if projection were done by drain-and-dedup.
+    """
+    m = max(1, n // 2)
+    relations = []
+    for i, column in enumerate(("B1", "B2", "B3")):
+        rng = random.Random(1000 * i + n)
+        rows = [(0, j) for j in range(1, m + 1)]
+        rows += [(k, rng.randrange(m)) for k in range(1, m + 1)]
+        relations.append(Relation(f"R{i + 1}", ("A", column), sorted(set(rows))))
+    return Database(relations)
+
+
+def _timed(engine: Engine, query: str, **kwargs) -> tuple[float, list]:
+    started = time.perf_counter()
+    result = engine.execute(query, mode="generic", **kwargs)
+    return time.perf_counter() - started, list(result.tuples)
+
+
+def _best_of(repeats: int, engine: Engine, query: str,
+             expected: list, label: str, **kwargs) -> float:
+    """Minimum wall-clock over ``repeats`` runs, rows checked every time.
+
+    Single-shot wall clock on a shared runner is dominated by scheduler
+    and allocator noise; the minimum is the standard robust estimator of
+    the actual cost.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        seconds, rows = _timed(engine, query, **kwargs)
+        if rows != expected:
+            raise AssertionError(
+                f"{label}: rows diverged from the python oracle")
+        best = min(best, seconds)
+    return best
+
+
+def measure(workload: str, n: int, repeats: int = 3) -> dict:
+    """One workload at one size: python warm vs columnar cold and warm.
+
+    The python run is measured with its tries already built (warm-up run
+    first), the columnar side both cold (layout materialization included,
+    single shot by definition) and warm — the steady-state comparison the
+    dispatcher's pricing assumes.  Warm figures are best-of-``repeats``;
+    bit-identity of rows and order is asserted on every run.
+    """
+    if workload == "triangle":
+        query = TRIANGLE_QUERY
+        _q, database = triangle_skew_instance(n)
+    else:
+        query = STAR_QUERY
+        database = star_skew_instance(n)
+    engine = Engine(database=database, cache_results=False)
+
+    _warmup_s, expected = _timed(engine, query)  # builds the tries
+    python_s = _best_of(repeats, engine, query, expected,
+                        f"{workload}[{n}] python")
+    cold_s, cold_rows = _timed(engine, query, backend="columnar")
+    if cold_rows != expected:
+        raise AssertionError(
+            f"{workload}[{n}]: columnar rows diverged from the python oracle")
+    warm_s = _best_of(repeats, engine, query, expected,
+                      f"{workload}[{n}] columnar", backend="columnar")
+
+    return {
+        "workload": workload,
+        "n": n,
+        "rows": len(expected),
+        "python_ms": python_s * 1000.0,
+        "columnar_cold_ms": cold_s * 1000.0,
+        "columnar_warm_ms": warm_s * 1000.0,
+        "speedup_cold": python_s / max(cold_s, 1e-9),
+        "speedup_warm": python_s / max(warm_s, 1e-9),
+    }
+
+
+#: Per-workload sizes.  The triangle's python cost grows ~quadratically
+#: (pairwise skew), the star's linearly — the star needs larger n before
+#: the columnar backend's fixed per-query overhead amortizes away.
+FULL_SIZES = {"triangle": (4000, 10000), "star": (15000, 30000)}
+QUICK_SIZES = {"triangle": (3000,), "star": (15000,)}
+
+
+@pytest.mark.experiment("columnar")
+@pytest.mark.parametrize("workload,n", [("triangle", 2500), ("star", 15000)])
+def test_columnar_wall_clock_speedup(workload, n):
+    """The columnar backend must beat warm python by >=10x wall-clock,
+    returning bit-identical rows (asserted inside measure)."""
+    entry = measure(workload, n)
+    assert entry["speedup_warm"] >= TARGET_SPEEDUP, (
+        f"{workload}[{n}]: {entry['speedup_warm']:.1f}x < "
+        f"{TARGET_SPEEDUP:.0f}x (python {entry['python_ms']:.1f} ms, "
+        f"columnar warm {entry['columnar_warm_ms']:.1f} ms)")
+
+
+def run(sizes=FULL_SIZES, emit_json: bool = True) -> bool:
+    print("columnar backend vs python oracle — wall clock, same "
+          "generic-join plan, bit-identical output asserted")
+    print(f"{'workload':>9s} {'n':>7s} {'rows':>7s} {'python (ms)':>12s} "
+          f"{'cold (ms)':>10s} {'warm (ms)':>10s} {'speedup':>8s}")
+    entries = []
+    ok = True
+    for workload in ("triangle", "star"):
+        for n in sizes[workload]:
+            entry = measure(workload, n)
+            entries.append(entry)
+            ok = ok and entry["speedup_warm"] >= TARGET_SPEEDUP
+            print(f"{workload:>9s} {n:7d} {entry['rows']:7d} "
+                  f"{entry['python_ms']:12.1f} "
+                  f"{entry['columnar_cold_ms']:10.1f} "
+                  f"{entry['columnar_warm_ms']:10.1f} "
+                  f"{entry['speedup_warm']:7.1f}x")
+    print(f"target: >= {TARGET_SPEEDUP:.0f}x wall-clock on the warm path")
+    if emit_json:
+        payload = {
+            "benchmark": "columnar_backend",
+            "target_speedup": TARGET_SPEEDUP,
+            "queries": {"triangle": TRIANGLE_QUERY, "star": STAR_QUERY},
+            "entries": entries,
+        }
+        with open(BENCH_PATH, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {os.path.normpath(BENCH_PATH)}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    return 0 if run(sizes=QUICK_SIZES if quick else FULL_SIZES,
+                    emit_json=not quick) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,7 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def build_engine_parser() -> argparse.ArgumentParser:
     """Build the ``engine`` subcommand parser (exposed for testing)."""
-    from repro.engine import AGGREGATE_MODES, MODES, RANKED_MODES
+    from repro.engine import AGGREGATE_MODES, BACKENDS, MODES, RANKED_MODES
 
     parser = argparse.ArgumentParser(
         prog="repro engine",
@@ -177,6 +177,13 @@ def build_engine_parser() -> argparse.ArgumentParser:
                                 "heap-selects the top-k, 'auto' prices "
                                 "both (queries may carry 'ORDER BY col "
                                 "[DESC] ... LIMIT k' trailers)")
+    execution.add_argument("--backend", default="python", choices=BACKENDS,
+                           help="physical execution backend: 'python' "
+                                "(reference tuple-at-a-time), 'columnar' "
+                                "(sorted NumPy layouts with galloping "
+                                "intersection; transparently falls back "
+                                "when unsupported), 'auto' prices both — "
+                                "results are identical either way")
     execution.add_argument("--limit", type=int, default=None,
                            help="stop each query after this many tuples "
                                 "(pushed into the join recursion; applied "
@@ -388,6 +395,9 @@ def engine_main(argv: list[str] | None = None) -> int:
     if args.subscribe and args.repeat != 1:
         parser.error("--subscribe does not combine with --repeat "
                      "(a standing query is already long-lived)")
+    if args.subscribe and args.backend != "python":
+        parser.error("--subscribe maintains results incrementally on the "
+                     "python backend; --backend does not apply")
     try:
         deltas = [_parse_delta(spec) for spec in args.delta]
     except ValueError as error:
@@ -504,13 +514,15 @@ def engine_main(argv: list[str] | None = None) -> int:
                         query, mode=args.mode,
                         aggregate_mode=args.aggregate_mode,
                         ranked_mode=args.ranked_mode,
+                        backend=args.backend,
                     ).render(), file=chatter)
                 started = time.perf_counter()
                 try:
                     result = engine.execute(
                         query, mode=args.mode, limit=args.limit,
                         aggregate_mode=args.aggregate_mode,
-                        ranked_mode=args.ranked_mode)
+                        ranked_mode=args.ranked_mode,
+                        backend=args.backend)
                 except TypeError as error:
                     # Joining an all-int relation against a textual one
                     # compares incomparable values in the sorted engines;

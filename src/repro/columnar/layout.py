@@ -1,0 +1,132 @@
+"""Dictionary-encoded, lexicographically sorted columnar relation layouts.
+
+A :class:`ColumnarStore` owns one *global* sorted dictionary mapping every
+value that appears in any registered relation to a dense ``int64`` code.
+Because the dictionary is sorted, code order equals value order, so (a)
+binary search over code columns is binary search over values, and (b)
+enumerating codes in ascending order enumerates values in exactly the
+order the pure-Python oracle's sorted tries produce — the property that
+makes cross-backend output order bit-identical.
+
+A :class:`ColumnarLayout` is one relation materialized under one column
+order (the per-atom variable order a WCOJ plan needs), encoded and sorted
+lexicographically: the trie node for a bound prefix is simply the
+half-open row range whose columns match the prefix, found by galloping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+#: SUM folds run in int64; values beyond this magnitude (or non-integers)
+#: force the oracle path so exactness can never silently degrade.
+_SUM_SAFE_MAGNITUDE = 2**31
+
+
+class ColumnarStore:
+    """Global sorted dictionary shared by every columnar layout.
+
+    Registration is transactional: the merged dictionary is computed (and
+    may raise ``TypeError`` for un-orderable mixed domains) *before* any
+    state changes, so a failed registration leaves the store untouched.
+    Every successful registration that actually adds values bumps
+    ``epoch``, invalidating all layouts encoded under older dictionaries.
+    """
+
+    def __init__(self) -> None:
+        self.values: list = []
+        self.codes: dict = {}
+        self.epoch: int = 0
+        self._int_domain: tuple[int, np.ndarray | None] | None = None
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def register(self, values: Iterable) -> None:
+        """Add ``values`` to the dictionary (one epoch bump at most)."""
+        codes = self.codes
+        fresh = {v for v in values if v not in codes}
+        if not fresh:
+            return
+        try:
+            merged = sorted(set(self.values) | fresh)
+        except TypeError as exc:
+            raise TypeError(
+                "columnar dictionary encoding requires a totally ordered "
+                f"value domain; cannot sort mixed values: {exc}"
+            ) from exc
+        self.values = merged
+        self.codes = {v: i for i, v in enumerate(merged)}
+        self.epoch += 1
+
+    def encode(self, value) -> int:
+        return self.codes[value]
+
+    def decode(self, code: int):
+        return self.values[code]
+
+    def decode_column(self, codes: np.ndarray) -> list:
+        """Decode a code column back to the exact registered objects."""
+        values = self.values
+        return [values[c] for c in codes.tolist()]
+
+    def int_domain(self) -> np.ndarray | None:
+        """The dictionary as an exact ``int64`` array, or ``None``.
+
+        ``None`` means the domain contains non-integers or integers too
+        large for exact int64 SUM folds; callers must degrade to the
+        python oracle for SUM.  Cached per epoch.
+        """
+        cached = self._int_domain
+        if cached is not None and cached[0] == self.epoch:
+            return cached[1]
+        domain: np.ndarray | None
+        if all(
+            isinstance(v, int) and abs(v) <= _SUM_SAFE_MAGNITUDE
+            for v in self.values
+        ):
+            domain = np.asarray(self.values, dtype=np.int64)
+        else:
+            domain = None
+        self._int_domain = (self.epoch, domain)
+        return domain
+
+
+@dataclass(frozen=True)
+class ColumnarLayout:
+    """One relation, one column order, sorted and dictionary-encoded."""
+
+    relation: str
+    attributes: tuple[str, ...]
+    columns: tuple = field(repr=False)  # tuple of int64 arrays, lex-sorted
+    epoch: int = 0
+    n: int = 0
+
+
+def build_layout(relation, attributes: Sequence[str],
+                 store: ColumnarStore) -> ColumnarLayout:
+    """Encode + lexicographically sort ``relation`` under ``attributes``.
+
+    Every value must already be registered in ``store`` (the registry
+    registers whole relations before building layouts, so one epoch covers
+    a whole batch of layouts).
+    """
+    attributes = tuple(attributes)
+    positions = [relation.attributes.index(a) for a in attributes]
+    rows = relation.tuples
+    n = len(rows)
+    codes = store.codes
+    columns = [
+        np.fromiter((codes[t[p]] for t in rows), dtype=np.int64, count=n)
+        for p in positions
+    ]
+    if n and len(columns) > 1:
+        order = np.lexsort(tuple(reversed(columns)))
+        columns = [column[order] for column in columns]
+    elif n and columns:
+        columns = [np.sort(columns[0], kind="stable")]
+    return ColumnarLayout(relation.name, attributes, tuple(columns),
+                          store.epoch, n)

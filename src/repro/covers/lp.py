@@ -13,9 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
-import numpy as np
-from scipy.optimize import linprog
-
 from repro.errors import LPError
 
 
@@ -130,6 +127,12 @@ class LinearProgram:
         LPError
             If the problem is infeasible, unbounded, or the solver fails.
         """
+        # Imported here, not at module top: building an LP *model* is pure
+        # Python, and the core planner layers must stay importable on
+        # installs without the numeric stack (tools/check_no_numpy_in_core).
+        import numpy as np
+        from scipy.optimize import linprog
+
         if not self._variables:
             raise LPError("no variables declared")
         index = {v: i for i, v in enumerate(self._variables)}

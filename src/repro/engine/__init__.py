@@ -23,6 +23,8 @@ multi-backend) plug into:
 
 from repro.engine.cost import (
     AGGREGATE_MODES,
+    BACKENDS,
+    COLUMNAR_CAPABLE,
     MODES,
     RANKED_MODES,
     STRATEGIES,
@@ -46,6 +48,8 @@ from repro.engine.session import Engine, EngineStats, Explanation
 
 __all__ = [
     "AGGREGATE_MODES",
+    "BACKENDS",
+    "COLUMNAR_CAPABLE",
     "MODES",
     "RANKED_MODES",
     "STRATEGIES",

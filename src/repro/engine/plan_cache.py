@@ -43,6 +43,11 @@ class CachedPlan:
     costs:
         The dispatcher's cost estimates per strategy (sorted tuple of
         ``(strategy, cost)`` pairs so the record stays hashable).
+    backend:
+        The resolved execution backend (``"python"`` / ``"columnar"``).
+    backend_fallback:
+        Why a requested non-default backend resolved to python (None when
+        honored or never requested).
     """
 
     strategy: str
@@ -50,6 +55,8 @@ class CachedPlan:
     acyclic: bool
     agm_log2: float
     costs: tuple[tuple[str, float], ...]
+    backend: str = "python"
+    backend_fallback: str | None = None
 
     def cost_dict(self) -> dict[str, float]:
         """The cost estimates as a plain dictionary."""

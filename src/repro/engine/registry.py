@@ -44,6 +44,15 @@ class IndexRegistry:
         self.builds = 0
         self.reuses = 0
         self.invalidations = 0
+        # Columnar backend state: one shared dictionary store plus sorted
+        # layouts keyed like tries but validated against *both* the
+        # relation version and the store's dictionary epoch.
+        self._columnar_store = None
+        self._columnar: dict[tuple[str, tuple[str, ...]],
+                             tuple[int, int, object]] = {}
+        self._columnar_registered: dict[str, int] = {}
+        self.layout_builds = 0
+        self.layout_reuses = 0
 
     @property
     def database(self) -> Database:
@@ -80,6 +89,79 @@ class IndexRegistry:
         self.builds += 1
         return index
 
+    @property
+    def columnar_store(self):
+        """The shared dictionary store (created lazily: needs NumPy)."""
+        if self._columnar_store is None:
+            from repro.columnar.layout import ColumnarStore
+            self._columnar_store = ColumnarStore()
+        return self._columnar_store
+
+    def columnar_layouts(self, requests: Sequence) -> dict:
+        """Resolve sorted columnar layouts for a batch of index requests.
+
+        ``requests`` are ``(edge_key, relation_name, attr_order)`` triples
+        (the same shape the trie path uses); returns ``{edge_key:
+        ColumnarLayout}``.  The whole batch is served under one dictionary
+        epoch: relations whose versions moved since their values were
+        registered are re-registered *first* (a single ``register`` call,
+        so at most one epoch bump), then every layout is built or reused
+        under the now-stable epoch — codes are comparable across every
+        layout in the batch.  Raises ``TypeError`` (store untouched) on
+        un-orderable mixed value domains.
+        """
+        from repro.columnar.layout import build_layout
+        store = self.columnar_store
+        stale_names = sorted({
+            name for _edge_key, name, _attrs in requests
+            if self._columnar_registered.get(name)
+            != self._database.version(name)
+        })
+        if stale_names:
+            store.register(
+                value
+                for name in stale_names
+                for row in self._database.get(name).tuples
+                for value in row)
+            for name in stale_names:
+                self._columnar_registered[name] = self._database.version(name)
+        resolved = {}
+        for edge_key, name, attrs in requests:
+            key = (name, tuple(attrs))
+            version = self._database.version(name)
+            cached = self._columnar.get(key)
+            if (cached is not None and cached[0] == version
+                    and cached[1] == store.epoch):
+                self.layout_reuses += 1
+                resolved[edge_key] = cached[2]
+                continue
+            layout = build_layout(self._database.get(name), key[1], store)
+            self._columnar[key] = (version, store.epoch, layout)
+            self.layout_builds += 1
+            resolved[edge_key] = layout
+        return resolved
+
+    def columnar_is_warm(self, relation_name: str,
+                         attr_order: Sequence[str]) -> bool:
+        """True if a current-version, current-epoch layout is built."""
+        store = self._columnar_store
+        if store is None:
+            return False
+        cached = self._columnar.get((relation_name, tuple(attr_order)))
+        return (cached is not None
+                and cached[0] == self._database.version(relation_name)
+                and cached[1] == store.epoch)
+
+    def columnar_warm_count(self) -> int:
+        """Valid columnar layouts (the layout-occupancy gauge's figure)."""
+        store = self._columnar_store
+        if store is None:
+            return 0
+        return sum(
+            1 for key, (version, epoch, _) in self._columnar.items()
+            if version == self._database.version(key[0])
+            and epoch == store.epoch)
+
     def is_warm(self, relation_name: str, attr_order: Sequence[str]) -> bool:
         """True if a current-version trie for this layout is already built."""
         cached = self._tries.get((relation_name, tuple(attr_order)))
@@ -96,10 +178,14 @@ class IndexRegistry:
             return relation_name is None or key[0] == relation_name
 
         dropped = 0
-        for store in (self._tries, self._hashes):
+        for store in (self._tries, self._hashes, self._columnar):
             for key in [k for k in store if stale(k)]:
                 del store[key]
                 dropped += 1
+        for name in [n for n in self._columnar_registered
+                     if relation_name is None or n == relation_name]:
+            # Re-register on next use so new values enter the dictionary.
+            del self._columnar_registered[name]
         self.invalidations += dropped
         return dropped
 

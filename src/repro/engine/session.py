@@ -50,7 +50,14 @@ import time
 from dataclasses import asdict, dataclass, replace
 from typing import Any, Iterable, Iterator, Sequence
 
-from repro.engine.cost import AGGREGATE_MODES, MODES, RANKED_MODES, dispatch
+from repro.engine.cost import (
+    AGGREGATE_MODES,
+    BACKENDS,
+    COLUMNAR_CAPABLE,
+    MODES,
+    RANKED_MODES,
+    dispatch,
+)
 from repro.engine.executors import (
     executor_for,
     payload_aggregate_mode,
@@ -169,6 +176,14 @@ class Explanation:                 # make a generated __hash__ crash
         ``"anyk"`` (rank-ordered enumeration out of the join itself,
         stopping after LIMIT results) or ``"drain"`` (enumerate the join,
         heap-select the top-k); None without ORDER BY.
+    backend:
+        The resolved execution backend — ``"python"`` (the reference
+        oracle) or ``"columnar"`` (sorted NumPy layouts + batched
+        galloping).  The ``backend[python]``/``backend[columnar]`` cost
+        entries record the priced envelopes behind the choice.
+    backend_fallback:
+        When a non-default backend was requested but the plan resolved
+        to python, the reason; None otherwise.
     session_stats:
         A snapshot of the engine's cache counters at explain time.
     analysis:
@@ -199,6 +214,8 @@ class Explanation:                 # make a generated __hash__ crash
     order_by: tuple[str, ...] = ()
     limit: int | None = None
     ranked_mode: str | None = None
+    backend: str = "python"
+    backend_fallback: str | None = None
     session_stats: dict[str, int] | None = None
     analysis: ProfileReport | None = None
 
@@ -214,9 +231,15 @@ class Explanation:                 # make a generated __hash__ crash
 
     def render(self) -> str:
         """A human-readable multi-line report (used by the CLI)."""
+        backend_line = f"backend:        {self.backend}"
+        if self.backend == "columnar":
+            backend_line += " (sorted NumPy layouts, galloping intersection)"
+        elif self.backend_fallback is not None:
+            backend_line += f" (fell back: {self.backend_fallback})"
         lines = [
             f"query:          {self.query}",
             f"strategy:       {self.strategy} (mode={self.mode})",
+            backend_line,
             f"acyclic:        {self.acyclic}",
             f"AGM bound:      {self.agm_bound:.6g} (log2 = {self.agm_log2:.4g})",
             "cost estimates: " + (", ".join(
@@ -373,6 +396,12 @@ class Engine:
         #: Standing queries (see :meth:`subscribe`): every catalog
         #: mutation is pushed into these after the caches are settled.
         self._subscriptions: list = []
+        # Delta-sync marks for the registry's columnar layout counter
+        # (mirrors the index build/reuse sync in _sync_index_stats).
+        self._layout_builds_seen = 0
+        # Per-strategy columnar executors, created on first columnar run
+        # (a dict once populated; None keeps NumPy unimported until then).
+        self._columnar_executor: dict[str, Any] | None = None
         if self._metrics is not None:
             self._declare_metrics()
 
@@ -394,6 +423,12 @@ class Engine:
         self._m_dispatch = m.counter(
             "repro_dispatch_total", "Executed plans by strategy",
             ("strategy",))
+        self._m_backend = m.counter(
+            "repro_backend_dispatch_total", "Executed plans by backend",
+            ("backend",))
+        self._m_layout_builds = m.counter(
+            "repro_columnar_layout_builds_total",
+            "Columnar layout materializations (layout-cache misses)")
         self._m_exec_seconds = m.histogram(
             "repro_execution_seconds",
             "Wall-clock seconds of materializing query runs")
@@ -432,6 +467,9 @@ class Engine:
         self._m_indexes = m.gauge(
             "repro_registry_indexes", "Registry indexes warm for the "
             "current data versions")
+        self._m_layouts = m.gauge(
+            "repro_columnar_layouts", "Columnar layouts warm for the "
+            "current data versions and dictionary epoch")
 
     # ------------------------------------------------------------------
     # Catalog management
@@ -455,6 +493,7 @@ class Engine:
         self._m_plan_entries.set(len(self._plans))
         self._m_result_entries.set(len(self._results))
         self._m_indexes.set(self._registry.warm_count())
+        self._m_layouts.set(self._registry.columnar_warm_count())
         self._m_subscriptions.set(
             sum(1 for sub in self._subscriptions if sub.active))
 
@@ -647,10 +686,15 @@ class Engine:
 
     def _prepare(self, query: QueryLike, mode: str,
                  aggregate_mode: str = "auto",
-                 ranked_mode: str = "auto") -> _Prepared:
+                 ranked_mode: str = "auto",
+                 backend: str = "python") -> _Prepared:
         if mode not in MODES:
             raise QueryError(
                 f"unknown engine mode {mode!r}; expected one of {MODES}"
+            )
+        if backend not in BACKENDS:
+            raise QueryError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
             )
         if aggregate_mode not in AGGREGATE_MODES:
             raise QueryError(
@@ -697,7 +741,8 @@ class Engine:
         # "anyk" request (the cached payload's mode tag would disagree).
         key = (canon.form, fingerprint, mode,
                aggregate_mode if query.aggregates else "auto",
-               ranked_mode if query.order_by else "auto")
+               ranked_mode if query.order_by else "auto",
+               backend)
         if tracer.enabled:
             with tracer.span("plan_cache.lookup") as span:
                 cached = self._plans.get(key)
@@ -725,8 +770,10 @@ class Engine:
                                     aggregate_mode=aggregate_mode,
                                     order_by=query.order_by,
                                     limit=query.limit,
-                                    ranked_mode=ranked_mode)
+                                    ranked_mode=ranked_mode,
+                                    backend=backend)
                 span.set(strategy=decision.strategy,
+                         backend=decision.backend,
                          costs={name: cost for name, cost
                                 in decision.costs.items()
                                 if cost != float("inf")})
@@ -738,7 +785,8 @@ class Engine:
                                 aggregate_mode=aggregate_mode,
                                 order_by=query.order_by,
                                 limit=query.limit,
-                                ranked_mode=ranked_mode)
+                                ranked_mode=ranked_mode,
+                                backend=backend)
         executor = executor_for(decision.strategy)
         # The dispatcher already computed the greedy order while pricing the
         # binary strategy (and the aggregate-aware order while resolving the
@@ -755,6 +803,8 @@ class Engine:
             acyclic=decision.acyclic,
             agm_log2=decision.agm.log2_bound,
             costs=tuple(sorted(decision.costs.items())),
+            backend=decision.backend,
+            backend_fallback=decision.backend_fallback,
         )
         self._plans.put(key, plan)
         return _Prepared(query, mode, canon, plan, payload, "miss")
@@ -807,7 +857,8 @@ class Engine:
                 limit: int | None = None,
                 counter: OperationCounter | None = None,
                 aggregate_mode: str = "auto",
-                ranked_mode: str = "auto") -> Relation:
+                ranked_mode: str = "auto",
+                backend: str = "python") -> Relation:
         """Evaluate a query and return its result relation.
 
         Parameters
@@ -852,16 +903,26 @@ class Engine:
             Passing a counter bypasses the result cache: a cached answer
             costs no operations, which would make instrumented runs record
             zero work and verify bounds vacuously.
+        backend:
+            Physical execution backend: ``"python"`` (the reference
+            tuple-at-a-time path, the default), ``"columnar"`` (sorted
+            NumPy layouts with galloping intersection; transparently
+            falls back to python when a feature or value domain is
+            unsupported), or ``"auto"`` (the dispatcher prices both and
+            picks the cheaper).  The backend never changes results —
+            only how fast they are produced.
         """
         self._check_limit(limit)
         tracer = self.tracer
         if not tracer.enabled:
-            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode,
+                                     backend)
             effective = self._effective_limit(prepared.query, limit)
             return self._execute_prepared(prepared, effective, counter,
                                           cacheable=limit is None)
         with tracer.span("query", mode=mode) as span:
-            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+            prepared = self._prepare(query, mode, aggregate_mode, ranked_mode,
+                                     backend)
             effective = self._effective_limit(prepared.query, limit)
             result = self._execute_prepared(prepared, effective, counter,
                                             cacheable=limit is None)
@@ -949,7 +1010,8 @@ class Engine:
                limit: int | None = None,
                counter: OperationCounter | None = None,
                aggregate_mode: str = "auto",
-               ranked_mode: str = "auto") -> Iterator[tuple]:
+               ranked_mode: str = "auto",
+               backend: str = "python") -> Iterator[tuple]:
         """Lazily enumerate result tuples (over the output columns).
 
         For the WCOJ and naive strategies, abandoning the iterator abandons
@@ -967,9 +1029,16 @@ class Engine:
         With ``collect_operations`` (or an explicit ``counter``),
         :attr:`last_operations` is the *live* counter of the returned
         stream: its tallies grow as the iterator is consumed.
+
+        Under ``backend="columnar"`` the join is evaluated batch-at-a-time
+        (the columnar kernels are vectorized, not tuple-at-a-time), so the
+        returned iterator is over an already-computed buffer: identical
+        tuples in identical order, but abandoning it early does not save
+        join work.
         """
         self._check_limit(limit)
-        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode,
+                                 backend)
         limit = self._effective_limit(prepared.query, limit)
         self.stats.queries += 1
         if self._metrics is not None:
@@ -983,32 +1052,38 @@ class Engine:
     def execute_many(self, queries: Sequence[QueryLike],
                      mode: str = "auto", limit: int | None = None,
                      aggregate_mode: str = "auto",
-                     ranked_mode: str = "auto") -> list[Relation]:
+                     ranked_mode: str = "auto",
+                     backend: str = "python") -> list[Relation]:
         """Evaluate a batch, sharing planning and index builds across it.
 
         All queries are planned first; the union of their index requests is
-        built once (deduplicated by the registry); then each query runs.
+        built once (deduplicated by the registry — columnar plans prewarm
+        sorted layouts, python plans prewarm tries); then each query runs.
         A non-default ``aggregate_mode`` (or ``ranked_mode``) applies to
         every query in the batch (so the batch must be all-aggregate, or
         all-ordered, to force one).
         """
         self._check_limit(limit)
-        prepared = [self._prepare(q, mode, aggregate_mode, ranked_mode)
+        prepared = [self._prepare(q, mode, aggregate_mode, ranked_mode,
+                                  backend)
                     for q in queries]
         requested: set[tuple[str, tuple[str, ...]]] = set()
+        columnar_requested: set[tuple[str, tuple[str, ...]]] = set()
         for prep in prepared:
             executor = executor_for(prep.plan.strategy)
-            requested.update(unique_index_layouts(
-                executor, prep.query, self._db, prep.payload))
+            layouts = unique_index_layouts(
+                executor, prep.query, self._db, prep.payload)
+            if self._runs_columnar(prep):
+                columnar_requested.update(layouts)
+            else:
+                requested.update(layouts)
         tracer = self.tracer
         if tracer.enabled:
             with tracer.span("index.resolve", batch=len(prepared)) as span:
-                for relation_name, layout in sorted(requested):
-                    self._registry.trie(relation_name, layout)
-                span.set(indexes=len(requested))
+                self._prebuild_indexes(requested, columnar_requested)
+                span.set(indexes=len(requested) + len(columnar_requested))
         else:
-            for relation_name, layout in sorted(requested):
-                self._registry.trie(relation_name, layout)
+            self._prebuild_indexes(requested, columnar_requested)
         self._sync_index_stats()
         return [
             self._execute_prepared(prep,
@@ -1020,6 +1095,7 @@ class Engine:
     def explain(self, query: QueryLike, mode: str = "auto",
                 aggregate_mode: str = "auto",
                 ranked_mode: str = "auto",
+                backend: str = "python",
                 analyze: bool = False) -> Explanation:
         """Plan the query (without executing) and report the evidence.
 
@@ -1030,16 +1106,24 @@ class Engine:
         predicted envelope against actual operation counts per strategy —
         is attached as :attr:`Explanation.analysis`.
         """
-        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode)
+        prepared = self._prepare(query, mode, aggregate_mode, ranked_mode,
+                                 backend)
         executor = executor_for(prepared.plan.strategy)
+        runs_columnar = self._runs_columnar(prepared)
         warm: list[str] = []
         cold: list[str] = []
         # Self-join atoms can request the same physical index; report
-        # each (relation, layout) once — it is built once.
+        # each (relation, layout) once — it is built once.  Columnar
+        # plans report their sorted-layout cache, not the trie cache.
         for relation_name, layout in unique_index_layouts(
                 executor, prepared.query, self._db, prepared.payload):
             label = f"{relation_name}[{','.join(layout)}]"
-            if self._registry.is_warm(relation_name, layout):
+            if runs_columnar:
+                is_warm = self._registry.columnar_is_warm(relation_name,
+                                                          layout)
+            else:
+                is_warm = self._registry.is_warm(relation_name, layout)
+            if is_warm:
                 warm.append(label)
             else:
                 cold.append(label)
@@ -1077,6 +1161,8 @@ class Engine:
             order_by=tuple(f"{c} DESC" if d else c for c, d in spec.order_by),
             limit=spec.limit,
             ranked_mode=resolved_ranked,
+            backend=prepared.plan.backend,
+            backend_fallback=prepared.plan.backend_fallback,
             session_stats=self.stats.as_dict(),
         )
         if analyze:
@@ -1224,6 +1310,8 @@ class Engine:
         """
         spec = prepared.query
         executor = executor_for(prepared.plan.strategy)
+        if self._runs_columnar(prepared):
+            executor = self._columnar(prepared.plan.strategy)
         tracer = self.tracer
         if tracer.enabled:
             # Resolve the plan's indexes up front, inside their own span
@@ -1231,14 +1319,20 @@ class Engine:
             with tracer.span("index.resolve") as span:
                 layouts = unique_index_layouts(executor, spec, self._db,
                                                prepared.payload)
-                already_warm = sum(
-                    1 for name, layout in layouts
-                    if self._registry.is_warm(name, layout))
-                for relation_name, layout in layouts:
-                    self._registry.trie(relation_name, layout)
+                if self._runs_columnar(prepared):
+                    already_warm = sum(
+                        1 for name, layout in layouts
+                        if self._registry.columnar_is_warm(name, layout))
+                    self._prebuild_indexes((), layouts)
+                else:
+                    already_warm = sum(
+                        1 for name, layout in layouts
+                        if self._registry.is_warm(name, layout))
+                    self._prebuild_indexes(layouts, ())
                 span.set(indexes=len(layouts), warm=already_warm)
         if self._metrics is not None:
             self._m_dispatch.inc(strategy=prepared.plan.strategy)
+            self._m_backend.inc(backend=prepared.plan.backend)
         rows = executor.stream(spec, self._db, prepared.payload,
                                registry=self._registry, counter=counter)
         self._sync_index_stats()
@@ -1273,6 +1367,46 @@ class Engine:
             previous = now
             yield row
 
+    @staticmethod
+    def _runs_columnar(prepared: _Prepared) -> bool:
+        """True when this plan executes on the columnar backend."""
+        return (prepared.plan.backend == "columnar"
+                and prepared.plan.strategy in COLUMNAR_CAPABLE)
+
+    def _columnar(self, strategy: str):
+        """The session's columnar executor for one strategy (lazy).
+
+        One instance per strategy: each carries that strategy's python
+        executor as its fallback oracle, so a run-time fallback is the
+        exact run the python backend would have produced.
+        """
+        if self._columnar_executor is None:
+            self._columnar_executor = {}
+        executor = self._columnar_executor.get(strategy)
+        if executor is None:
+            from repro.columnar.executor import ColumnarExecutor
+            executor = ColumnarExecutor(oracle=executor_for(strategy))
+            self._columnar_executor[strategy] = executor
+        return executor
+
+    def _prebuild_indexes(self, trie_layouts, columnar_layouts) -> None:
+        """Warm registry indexes ahead of execution.
+
+        ``trie_layouts`` / ``columnar_layouts`` are ``(relation, layout)``
+        pairs.  Columnar layout failures (un-orderable mixed value
+        domains) are swallowed here: the run itself falls back to the
+        python oracle transparently, so prewarming must not fail first.
+        """
+        for relation_name, layout in sorted(trie_layouts):
+            self._registry.trie(relation_name, layout)
+        pairs = sorted(columnar_layouts)
+        if pairs:
+            try:
+                self._registry.columnar_layouts(
+                    [(pair, pair[0], pair[1]) for pair in pairs])
+            except TypeError:
+                pass
+
     def _sync_index_stats(self) -> None:
         if self._metrics is not None:
             built = self._registry.builds - self.stats.index_builds
@@ -1281,8 +1415,13 @@ class Engine:
                 self._m_index_events.inc(built, event="build")
             if reused:
                 self._m_index_events.inc(reused, event="reuse")
+            layout_built = (self._registry.layout_builds
+                            - self._layout_builds_seen)
+            if layout_built:
+                self._m_layout_builds.inc(layout_built)
         self.stats.index_builds = self._registry.builds
         self.stats.index_reuses = self._registry.reuses
+        self._layout_builds_seen = self._registry.layout_builds
 
     def clear_caches(self) -> None:
         """Drop plan and result caches and all registry indexes."""

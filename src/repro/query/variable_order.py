@@ -22,6 +22,31 @@ def natural_order(query: ConjunctiveQuery) -> tuple[str, ...]:
     return query.variables
 
 
+#: Bounded memo tables for the pure order functions.  Both
+#: :func:`min_degree_order` and :func:`_best_tail_order` are pure
+#: functions of hashable inputs, yet were re-run on every call — the
+#: tail scorer re-enumerating up to ``max_exact_tail!`` permutations
+#: (each scored through a tree decomposition) every time the dispatcher
+#: priced the same query: repeated one-shot calls, profile/analyze runs
+#: pricing all strategies, and re-plans of queries the plan cache had
+#: already seen.  FIFO eviction (dicts preserve insertion order) keeps
+#: the tables bounded without LRU bookkeeping.
+_ORDER_MEMO_MAX = 1024
+_min_degree_memo: dict = {}
+_tail_order_memo: dict = {}
+
+
+def _memoize(cache: dict, key, compute):
+    """Serve ``compute()`` through ``cache`` under FIFO eviction."""
+    if key in cache:
+        return cache[key]
+    value = compute()
+    if len(cache) >= _ORDER_MEMO_MAX:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+    return value
+
+
 def min_degree_order(query: ConjunctiveQuery) -> tuple[str, ...]:
     """Order variables by decreasing atom-degree (number of atoms containing
     them), breaking ties by variable name.
@@ -32,14 +57,20 @@ def min_degree_order(query: ConjunctiveQuery) -> tuple[str, ...]:
     of the order atoms happen to be listed in — two syntactic permutations of
     the same query always evaluate with the same variable order, which is
     what the engine's plan cache relies on when it reuses orders across
-    isomorphic queries.
+    isomorphic queries.  Being pure, the result is memoized per query.
     """
-    return tuple(
-        sorted(
-            query.variables,
-            key=lambda v: (-len(query.atoms_containing(v)), v),
+    def compute() -> tuple[str, ...]:
+        return tuple(
+            sorted(
+                query.variables,
+                key=lambda v: (-len(query.atoms_containing(v)), v),
+            )
         )
-    )
+
+    try:
+        return _memoize(_min_degree_memo, query, compute)
+    except TypeError:  # unhashable constants in atoms
+        return compute()
 
 
 def pushdown_order(query: ConjunctiveQuery,
@@ -101,7 +132,31 @@ def _best_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
     exponent a *monolithic* fold pays, which is what callers must price
     when an aggregate's semiring has no product and the executor cannot
     factorize.
+
+    The scored result is memoized: the function is pure, and its inputs
+    affect the answer only through the hypergraph, the prefix/tail split
+    and the selections' variable sets (couplings), so repeated pricing of
+    the same query — every ``profile``/``analyze`` run re-dispatches it,
+    and isomorphic re-plans recompute it — skips the permutation sweep.
     """
+    def compute() -> tuple[tuple[str, ...], float]:
+        return _score_tail_order(query, prefix, tail, max_exact_tail,
+                                 selections, factorize)
+
+    try:
+        key = (query, prefix, tail, max_exact_tail,
+               tuple(frozenset(sel.variables) for sel in selections),
+               bool(factorize))
+        return _memoize(_tail_order_memo, key, compute)
+    except TypeError:  # unhashable constants in atoms or selections
+        return compute()
+
+
+def _score_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
+                      tail: tuple[str, ...], max_exact_tail: int,
+                      selections=(), factorize: bool = True,
+                      ) -> tuple[tuple[str, ...], float]:
+    """The uncached permutation sweep behind :func:`_best_tail_order`."""
     from repro.query.widths import decomposition_from_elimination_order
 
     hypergraph = query.hypergraph()

@@ -117,3 +117,78 @@ class TestComponentwiseTailScoring:
                               Atom("T", ("A", "C"))])
         _order, width = aggregate_elimination_order(q, group=("A",))
         assert width == 1.5
+
+
+class TestOrderMemoization:
+    """The order heuristics are pure — repeated planning must not
+    re-enumerate tail permutations (each scored via a tree
+    decomposition), especially not when the engine's plan cache already
+    holds the plan."""
+
+    def _count_decompositions(self, monkeypatch):
+        import repro.query.widths as widths
+        calls = {"n": 0}
+        original = widths.decomposition_from_elimination_order
+
+        def counting(*args, **kwargs):
+            calls["n"] += 1
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(widths, "decomposition_from_elimination_order",
+                            counting)
+        return calls
+
+    def test_best_tail_order_memoizes_permutation_sweep(self, monkeypatch):
+        import repro.query.variable_order as vo
+        from repro.query.variable_order import aggregate_elimination_order
+        vo._tail_order_memo.clear()
+        calls = self._count_decompositions(monkeypatch)
+        q = ConjunctiveQuery([Atom("R", ("A", "B", "C")),
+                              Atom("S", ("C", "D")), Atom("T", ("A", "D"))])
+        first = aggregate_elimination_order(q, group=("A",))
+        assert calls["n"] > 0
+        after_first = calls["n"]
+        second = aggregate_elimination_order(q, group=("A",))
+        assert second == first
+        assert calls["n"] == after_first, "warm call re-enumerated the tail"
+
+    def test_no_reenumeration_on_plan_cache_hits(self, monkeypatch):
+        import repro.query.variable_order as vo
+        from repro.engine.session import Engine
+        vo._tail_order_memo.clear()
+        calls = self._count_decompositions(monkeypatch)
+        eng = Engine(relations=[
+            Relation("R", ("X", "Y"), [(1, 2), (2, 3)]),
+            Relation("S", ("X", "Y"), [(1, 2), (2, 3)]),
+        ])
+        q = "Q(A, COUNT(*) AS n) :- R(A,B), S(B,C)"
+        expected = eng.execute(q)
+        cold = calls["n"]
+        assert cold > 0
+        # Warm plan-cache lookup: no planning at all.
+        assert list(eng.execute(q).tuples) == list(expected.tuples)
+        assert calls["n"] == cold
+        # Re-plan after cache invalidation: the memo serves the scored
+        # order without re-running the permutation sweep.
+        eng.clear_caches()
+        assert list(eng.execute(q).tuples) == list(expected.tuples)
+        assert calls["n"] == cold
+
+    def test_memo_distinguishes_couplings_and_factorization(self):
+        import repro.query.variable_order as vo
+        from repro.query.variable_order import aggregate_elimination_order
+        vo._tail_order_memo.clear()
+        q = ConjunctiveQuery([Atom("R", ("A", "B")), Atom("S", ("A", "C"))])
+        factored = aggregate_elimination_order(q, group=("A",))
+        monolithic = aggregate_elimination_order(q, group=("A",),
+                                                 factorize=False)
+        assert len(vo._tail_order_memo) == 2
+        assert factored[0][0] == monolithic[0][0] == "A"
+
+    def test_min_degree_order_memoizes(self):
+        import repro.query.variable_order as vo
+        vo._min_degree_memo.clear()
+        q = path_query(4)
+        order = min_degree_order(q)
+        assert vo._min_degree_memo[q] == order
+        assert min_degree_order(q) == order
