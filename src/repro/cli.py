@@ -128,8 +128,8 @@ def build_engine_parser() -> argparse.ArgumentParser:
     )
     data = parser.add_argument_group("data sources")
     data.add_argument("--demo",
-                      choices=("triangle-skew", "triangle-tight", "lw4",
-                               "clique4"),
+                      choices=("triangle-skew", "triangle-tight", "triangle-zipf",
+                               "lw4", "clique4"),
                       help="load a built-in instance family instead of files")
     data.add_argument("--size", type=int, default=200,
                       help="scale parameter for --demo instances")
@@ -312,6 +312,10 @@ def _demo_instance(demo: str, size: int):
         query, database = triangle_skew_instance(size)
     elif demo == "triangle-tight":
         query, database = triangle_agm_tight_instance(size)
+    elif demo == "triangle-zipf":
+        from repro.datagen.graphs import zipf_triangle_instance
+
+        query, database = zipf_triangle_instance(size, skew=1.5, seed=0)
     elif demo == "lw4":
         query, database = loomis_whitney_random_instance(4, size, seed=0)
     elif demo == "clique4":

@@ -10,6 +10,8 @@ from __future__ import annotations
 import random
 from typing import Sequence
 
+from repro.query.atoms import triangle_query
+from repro.relational.database import Database
 from repro.relational.relation import Relation
 
 
@@ -56,6 +58,53 @@ def zipf_graph(num_vertices: int, num_edges: int, skew: float = 1.0, seed: int =
             continue
         edges.add((u, v))
     return Relation(name, attributes, edges)
+
+
+def zipf_outdegree_graph(num_sources: int, num_targets: int, num_edges: int,
+                         skew: float = 1.0, seed: int = 0, name: str = "E",
+                         attributes: Sequence[str] = ("A", "B")) -> Relation:
+    """A directed graph with an *exact* Zipf out-degree sequence.
+
+    The source of rank i gets out-degree proportional to 1 / (i + 1)^skew
+    (scaled so the total is ~``num_edges``, every source keeping at least
+    one edge, capped at ``num_targets``); its targets are sampled
+    uniformly without replacement.  Unlike :func:`zipf_graph`'s rejection
+    sampling, the degree sequence here is deterministic given the
+    parameters — rank 0 *is* the heavy hitter the heavy/light machinery
+    partitions out — which is what the skew-workload harness needs to
+    sweep exponents reproducibly.
+    """
+    rng = random.Random(seed)
+    weights = [(i + 1) ** -skew for i in range(num_sources)]
+    scale = num_edges / sum(weights)
+    edges = []
+    for i in range(num_sources):
+        degree = min(num_targets, max(1, round(scale * weights[i])))
+        for target in rng.sample(range(num_targets), degree):
+            edges.append((i, target))
+    return Relation(name, attributes, edges)
+
+
+def zipf_triangle_instance(n: int, skew: float = 1.5, seed: int = 0):
+    """A triangle query over three Zipf-skewed edge relations of ~n tuples.
+
+    Each relation draws its own out-degree sequence (independent seeds
+    derived from ``seed``) over a shared vertex domain of ``max(8, n // 4)``
+    ids, so low ranks are heavy in *several* relations at once — the
+    workload where the heavy/light hybrid beats both pure strategies.
+    Returns ``(query, database)`` like the worst-case instance builders.
+    """
+    vertices = max(8, n // 4)
+    r = zipf_outdegree_graph(vertices, vertices, n, skew=skew,
+                             seed=3 * seed + 1, name="R",
+                             attributes=("A", "B"))
+    s = zipf_outdegree_graph(vertices, vertices, n, skew=skew,
+                             seed=3 * seed + 2, name="S",
+                             attributes=("B", "C"))
+    t = zipf_outdegree_graph(vertices, vertices, n, skew=skew,
+                             seed=3 * seed + 3, name="T",
+                             attributes=("A", "C"))
+    return triangle_query(), Database([r, s, t])
 
 
 def complete_bipartite_graph(left_size: int, right_size: int, name: str = "E",

@@ -20,7 +20,14 @@ distinct-count estimates for pairwise intermediates — into one comparable
   constants separating the two reflect hashing vs galloping in this
   pure-Python setting);
 * ``yannakakis`` — input-linear semijoin passes plus a discounted output
-  term; only *feasible* for alpha-acyclic queries.
+  term; only *feasible* for alpha-acyclic queries;
+* ``hybrid``    — heavy/light partition on the most skewed variable
+  (threshold = sqrt of the largest touched relation): two partition
+  passes, a semijoin-priced heavy side (few distinct keys amortize), and
+  a generic-join light side whose envelope the partition's own degree
+  bound sharpens.  Only *feasible* when some value actually exceeds the
+  threshold — on uniform-degree data the split degenerates and a pure
+  strategy is strictly better.
 
 Two refinements sharpen the envelope beyond the raw AGM bound:
 
@@ -64,17 +71,22 @@ from repro.constraints.degree import constraints_from_database
 from repro.engine.executors import filtered_instance
 from repro.errors import QueryError
 from repro.joins.binary_plans import greedy_atom_order
+from repro.joins.hybrid import partition_instance, residual_query
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import is_alpha_acyclic
 from repro.query.variable_order import (
     aggregate_elimination_order,
     ranked_order,
+    skew_split,
 )
 from repro.relational.database import Database
 from repro.relational.statistics import degree
 
 #: All executor strategies, in dispatch tie-break preference order.
-STRATEGIES = ("generic", "leapfrog", "yannakakis", "binary", "naive")
+#: ``hybrid`` (heavy/light partitioned sub-plans) is last: on a cost tie
+#: a pure strategy wins, since the hybrid only exists to undercut both.
+STRATEGIES = ("generic", "leapfrog", "yannakakis", "binary", "naive",
+              "hybrid")
 
 #: Accepted values for ``Engine.execute(..., mode=...)``.
 MODES = ("auto",) + STRATEGIES
@@ -335,6 +347,92 @@ def plan_ranked(query: ConjunctiveQuery, selections, order_by, head) -> dict:
     return {"order": order, "width": width, "keys": keys}
 
 
+def plan_hybrid(query: ConjunctiveQuery, database: Database) -> dict:
+    """The skew facts behind a hybrid heavy/light plan.
+
+    Returns a dict with the chosen skew ``variable``, the
+    |R|^(1/2)-style degree ``threshold``, the observed ``max_degree``,
+    whether the instance is ``skewed`` at all (some value exceeds the
+    threshold — the feasibility gate: on uniform-degree data both sides
+    of the split collapse and a pure strategy is strictly better), and
+    the per-side strategies.  The heavy side runs *per-key residual*
+    Yannakakis sub-plans whenever binding the skew variable leaves an
+    acyclic residual (a triangle's residual is a 2-path, a 4-cycle's a
+    3-path — this is where binding the few heavy keys buys structure,
+    not just cardinality); only a cyclic residual falls back to one
+    whole-side binary sub-plan.  The bounded-degree light residual
+    always runs generic join.
+    """
+    variable, threshold, max_degree = skew_split(query, database)
+    residual = residual_query(query, variable)
+    residual_acyclic = (residual is None
+                        or is_alpha_acyclic(residual.hypergraph()))
+    return {
+        "variable": variable,
+        "threshold": threshold,
+        "max_degree": max_degree,
+        "skewed": max_degree > threshold,
+        "heavy_strategy": "yannakakis" if residual_acyclic else "binary",
+        "light_strategy": "generic",
+    }
+
+
+def _hybrid_costs(query: ConjunctiveQuery, database: Database,
+                  hybrid_plan: dict) -> tuple[float, float, float] | None:
+    """(partition, heavy-side, light-side) cost terms, or None.
+
+    The partition term is the two heavy/light scan passes over every
+    touched relation.  The heavy side binds one of at most
+    ``sum |R_i| / t`` distinct skew keys.  Under per-key residual
+    Yannakakis sub-plans its cost is honest arithmetic, not an envelope:
+    the touched restrictions are scanned once *in total* across keys
+    (they partition the heavy tuples), while each relation the skew
+    variable does not touch is scanned once per key — so the price is
+    the semijoin passes over ``heavy_total + n_keys * untouched``
+    (output is charged by the engine's stream itself).  A cyclic
+    residual instead prices the one whole-side binary sub-plan with the
+    same pessimistic greedy simulation pure binary gets.  The light
+    side is priced like generic join, but its envelope is sharpened by
+    the degree constraints the partition just *created* — every touched
+    relation's per-key degree is <= t — via the degree-aware output
+    bound; on skewed data heavy + light undercut the full instance's
+    AGM term, which is the whole case for the hybrid.  None when either
+    side is empty: a degenerate split means a pure strategy already
+    does the same work without the partition passes.
+    """
+    part = partition_instance(query, database, hybrid_plan["variable"],
+                              hybrid_plan["threshold"])
+    if part.heavy_total == 0 or part.light_total == 0:
+        return None
+    partition_cost = 2.0 * float(part.heavy_total + part.light_total)
+    if hybrid_plan["heavy_strategy"] == "yannakakis":
+        untouched = float(sum(
+            len(part.heavy_db.get(atom.relation))
+            for i, atom in enumerate(part.heavy_query.atoms)
+            if i not in part.touched))
+        heavy_cost = _capped(_YANNAKAKIS_PASSES * (
+            float(part.heavy_total)
+            + len(part.heavy_keys) * untouched))
+    else:
+        heavy_sizes = {i: len(part.heavy_db.get(atom.relation))
+                       for i, atom in enumerate(part.heavy_query.atoms)}
+        heavy_cost = _capped(_binary_cost(
+            part.heavy_query, part.heavy_db, heavy_sizes,
+            greedy_atom_order(part.heavy_query, part.heavy_db)))
+    light_input = float(sum(
+        len(part.light_db.get(atom.relation))
+        for atom in part.light_query.atoms))
+    light_env = agm_bound(part.light_query, part.light_db).bound
+    dc = constraints_from_database(part.light_query, part.light_db,
+                                   max_key_size=1)
+    if dc.is_acyclic():
+        light_env = min(light_env,
+                        output_size_bound(part.light_query, part.light_db,
+                                          dc=dc).bound)
+    light_cost = _capped(light_input + _GENERIC_FACTOR * light_env)
+    return partition_cost, heavy_cost, light_cost
+
+
 def _resolve_mode(forced: str, recursion_cost: float, fold_cost: float,
                   recursion_ok: bool, prefer_recursion: bool
                   ) -> tuple[str | None, float]:
@@ -391,10 +489,11 @@ def estimate_costs(query: ConjunctiveQuery, database: Database,
                 if aggregates else None)
     ranked_plan = (plan_ranked(query, selections, order_by, group)
                    if order_by and not aggregates else None)
+    hybrid_plan = plan_hybrid(query, database)
     costs, _modes, _ranked = _estimate(query, database, sizes, envelope,
                                        acyclic, binary_order, agg_plan,
                                        aggregate_mode, ranked_plan,
-                                       ranked_mode, limit)
+                                       ranked_mode, limit, hybrid_plan)
     return costs
 
 
@@ -421,6 +520,7 @@ def _estimate(query: ConjunctiveQuery, database: Database,
               ranked_plan: dict | None = None,
               ranked_mode: str = "auto",
               limit: int | None = None,
+              hybrid_plan: dict | None = None,
               ) -> tuple[dict[str, float], dict[str, str | None],
                          dict[str, str | None]]:
     """Per-strategy costs plus each strategy's resolved aggregate and
@@ -436,6 +536,19 @@ def _estimate(query: ConjunctiveQuery, database: Database,
     modes: dict[str, str | None] = {s: None for s in STRATEGIES}
     ranked: dict[str, str | None] = {s: None for s in STRATEGIES}
     costs: dict[str, float] = {}
+
+    # The hybrid envelope: partition passes + heavy side + light side.
+    # Only skewed instances are partitioned (and priced) at all.
+    hybrid_terms = (_hybrid_costs(query, database, hybrid_plan)
+                    if hybrid_plan is not None and hybrid_plan["skewed"]
+                    else None)
+    if hybrid_terms is None:
+        hybrid_total = math.inf
+    else:
+        partition_cost, heavy_cost, light_cost = hybrid_terms
+        hybrid_total = _capped(partition_cost + heavy_cost + light_cost)
+        costs["hybrid[heavy]"] = heavy_cost
+        costs["hybrid[light]"] = light_cost
 
     if ranked_plan is not None:
         # Ordered, non-aggregate query: price any-k (stop after k) against
@@ -466,15 +579,19 @@ def _estimate(query: ConjunctiveQuery, database: Database,
             costs["yannakakis"] = cost
         else:
             costs["yannakakis"] = math.inf
-        # The materializing and naive strategies can only drain.
+        # The materializing, naive, and hybrid strategies can only drain.
         if ranked_mode == "anyk":
             costs["binary"] = math.inf
             costs["naive"] = math.inf
+            costs["hybrid"] = math.inf
         else:
             costs["binary"] = _binary_cost(query, database, sizes,
                                            binary_order)
             costs["naive"] = naive
             ranked["binary"] = ranked["naive"] = "drain"
+            costs["hybrid"] = hybrid_total
+            if hybrid_total != math.inf:
+                ranked["hybrid"] = "drain"
         return costs, modes, ranked
 
     if agg_plan is None:
@@ -487,6 +604,7 @@ def _estimate(query: ConjunctiveQuery, database: Database,
         )
         costs["binary"] = _binary_cost(query, database, sizes, binary_order)
         costs["naive"] = naive
+        costs["hybrid"] = hybrid_total
         return costs, modes, ranked
 
     # Aggregate pricing: the in-recursion envelope is the FAQ-width term
@@ -527,14 +645,20 @@ def _estimate(query: ConjunctiveQuery, database: Database,
         costs["yannakakis"] = env
     else:
         costs["yannakakis"] = math.inf
-    # The materializing and naive strategies can only fold the stream.
+    # The materializing, naive, and hybrid strategies can only fold the
+    # stream (the hybrid's sides stream full core tuples, disjoint on the
+    # skew variable, so the engine's fold *is* the ⊕-stitch).
     if aggregate_mode == "recursion":
         costs["binary"] = math.inf
         costs["naive"] = math.inf
+        costs["hybrid"] = math.inf
     else:
         costs["binary"] = _binary_cost(query, database, sizes, binary_order)
         costs["naive"] = naive
         modes["binary"] = modes["naive"] = "fold"
+        costs["hybrid"] = hybrid_total
+        if hybrid_total != math.inf:
+            modes["hybrid"] = "fold"
     return costs, modes, ranked
 
 
@@ -660,13 +784,16 @@ def dispatch(query: ConjunctiveQuery, database: Database,
 
     backend_resolved = "python"
     backend_fallback: str | None = None
+    hybrid_plan: dict | None = None
     if mode == "auto":
         binary_order = greedy_atom_order(query, database)
         sizes, envelope = selection_envelope(query, database, selections,
                                              bound)
+        hybrid_plan = plan_hybrid(query, database)
         costs, modes, ranked_modes = _estimate(
             query, database, sizes, envelope, acyclic, binary_order,
-            agg_plan, aggregate_mode, ranked_plan, ranked_mode, limit)
+            agg_plan, aggregate_mode, ranked_plan, ranked_mode, limit,
+            hybrid_plan)
         strategy = min(STRATEGIES,
                        key=lambda s: (costs[s], STRATEGIES.index(s)))
         if costs[strategy] == math.inf:
@@ -769,13 +896,22 @@ def dispatch(query: ConjunctiveQuery, database: Database,
                     ranked_mode=ranked_resolved)
             if backend_fallback is None:
                 backend_resolved = "columnar"
+    if strategy == "hybrid":
+        if hybrid_plan is None:
+            hybrid_plan = plan_hybrid(query, database)
+        payload = ("hybrid", hybrid_plan["variable"],
+                   hybrid_plan["threshold"],
+                   hybrid_plan["heavy_strategy"],
+                   hybrid_plan["light_strategy"])
+    else:
+        payload = _payload_for(strategy, resolved, agg_plan,
+                               ranked_resolved, ranked_plan)
     return DispatchDecision(
         strategy=strategy, acyclic=acyclic, agm=bound, costs=costs,
         binary_order=binary_order,
         aggregate_mode=resolved,
         ranked_mode=ranked_resolved,
-        payload=_payload_for(strategy, resolved, agg_plan,
-                             ranked_resolved, ranked_plan),
+        payload=payload,
         faq_width=agg_plan["width"] if agg_plan is not None else None,
         backend=backend_resolved,
         backend_fallback=backend_fallback,

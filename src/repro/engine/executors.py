@@ -53,6 +53,8 @@ from repro.engine.registry import IndexRegistry
 from repro.errors import QueryError
 from repro.joins.binary_plans import greedy_atom_order
 from repro.joins.generic_join import generic_join_stream
+from repro.joins.hybrid import (HybridPartition, partition_instance,
+                                residual_query)
 from repro.joins.instrumentation import OperationCounter
 from repro.joins.leapfrog import leapfrog_stream
 from repro.joins.naive import nested_loop_stream
@@ -64,13 +66,17 @@ from repro.joins.yannakakis import (
 )
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.query.builder import Query
-from repro.query.terms import Comparison
+from repro.query.decomposition import is_alpha_acyclic
+from repro.query.terms import Comparison, Constant
 from repro.query.variable_order import (
     aggregate_elimination_order,
+    hybrid_light_order,
     pushdown_order,
+    skew_split,
 )
 from repro.relational.database import Database
 from repro.relational.index import TrieIndex
+from repro.relational.relation import Relation
 
 
 #: An index request: (edge key, stored relation name, attribute layout).
@@ -466,12 +472,284 @@ class YannakakisExecutor(_NoPayloadExecutor):
         return head_projected(spec.core, rows, head=spec.head_vars)
 
 
+#: Operator images under operand swap, for specializing ``v op X`` to a
+#: constant-on-the-right predicate when the hybrid binds v to a heavy key.
+_MIRRORED_OPS = {"==": "==", "!=": "!=", "<": ">", "<=": ">=",
+                 ">": "<", ">=": "<="}
+
+
+def _keyed_selections(selections: Sequence[Comparison], variable: str,
+                      key) -> list[Comparison] | None:
+    """``selections`` specialized to the binding ``variable = key``.
+
+    Predicates over the variable alone are decided now: a failing one
+    means no row with this key can qualify, signalled by returning None.
+    Predicates relating the variable to another variable keep the other
+    side, with the key as a constant (mirrored when the variable was on
+    the left, since :class:`Comparison` keeps variables on the left).
+    """
+    kept: list[Comparison] = []
+    for sel in selections:
+        if variable not in sel.variables:
+            kept.append(sel)
+        elif sel.variables == frozenset((variable,)):
+            if not sel.evaluate({variable: key}):
+                return None
+        elif sel.lhs == variable:
+            kept.append(Comparison(sel.rhs, _MIRRORED_OPS[sel.op],
+                                   Constant(key)))
+        else:
+            kept.append(Comparison(sel.lhs, sel.op, Constant(key)))
+    return kept
+
+
+class HybridExecutor(_NoPayloadExecutor):
+    """Heavy/light partitioned plans behind the common protocol.
+
+    The payload is ``("hybrid", variable, threshold, heavy_strategy,
+    light_strategy)``: the skew variable and degree threshold the
+    dispatcher derived from the instance statistics, plus the per-side
+    executor names.  ``stream`` partitions every relation touching the
+    skew variable by value heaviness
+    (:func:`repro.joins.hybrid.partition_instance`), runs each side
+    through its own sub-plans (selections pushed down by the
+    sub-executors, shared operation counter), and stitches the result
+    streams.  Heaviness is a property of the skew variable's *value*,
+    so the sides' full bindings are disjoint — the stitch is
+    concatenation, with a seen-set on the boundary only when the skew
+    variable is projected away (the one case where different sub-streams
+    can emit the same head tuple).
+
+    The heavy side is where binding buys structure: with
+    ``heavy_strategy == "yannakakis"`` each of the few heavy keys is
+    bound in turn, the skew variable *drops out* of every touched atom
+    (a triangle residual is a 2-path, a star residual a cross product of
+    unary scans), and the acyclic residual runs an output-linear
+    Yannakakis sub-plan — so a single hub never pays the hub-times-hub
+    pairwise blowup.  A cyclic residual falls back to one whole-side
+    binary sub-plan (``heavy_strategy == "binary"``).  The light side
+    has per-key degree <= threshold in every touched relation, exactly
+    the regime where generic join's intersections stay cheap; its
+    variable order binds the skew variable first to keep that bound in
+    force from the top of the search.
+
+    Aggregate queries stream full core-variable tuples from both sides
+    (disjoint on the skew binding, hence an exact multiset) and leave the
+    ⊕-fold to the engine; ordered queries drain and leave the sort to the
+    engine — so neither ``handles_aggregation`` nor ``handles_ordering``.
+    """
+
+    name = "hybrid"
+
+    def plan(self, spec: Query, database: Database) -> tuple:
+        # Standalone fallback mirroring the dispatcher's rule: per-key
+        # residual Yannakakis when binding the skew variable leaves an
+        # acyclic residual, one whole-side binary plan otherwise; the
+        # light residual always runs generic join.
+        variable, threshold, _degree = skew_split(spec.core, database)
+        residual = residual_query(spec.core, variable)
+        heavy = ("yannakakis" if residual is None
+                 or is_alpha_acyclic(residual.hypergraph()) else "binary")
+        return ("hybrid", variable, threshold, heavy, "generic")
+
+    def canonical_payload(self, payload: tuple,
+                          canon: CanonicalQuery) -> tuple:
+        tag, variable, threshold, heavy, light = payload
+        return (tag, canon.canonicalize_variables((variable,))[0],
+                threshold, heavy, light)
+
+    def payload_from_canonical(self, payload: tuple,
+                               canon: CanonicalQuery,
+                               spec: Query) -> tuple:
+        tag, variable, threshold, heavy, light = payload
+        return (tag, canon.translate_variables((variable,))[0],
+                threshold, heavy, light)
+
+    def stream(self, spec: Query, database: Database,
+               payload: tuple,
+               registry: IndexRegistry | None = None,
+               counter: OperationCounter | None = None) -> Iterator[tuple]:
+        _tag, variable, threshold, heavy_strategy, light_strategy = payload
+        part = partition_instance(spec.core, database, variable, threshold,
+                                  counter=counter)
+        streams = []
+        if part.heavy_total:
+            if heavy_strategy == "yannakakis":
+                streams.append(self._heavy_keyed_stream(
+                    part, spec, variable, counter))
+            else:
+                streams.append(self._side_stream(
+                    heavy_strategy, part.heavy_query, part.heavy_db, spec,
+                    variable, counter))
+        if part.light_total:
+            streams.append(self._side_stream(
+                light_strategy, part.light_query, part.light_db, spec,
+                variable, counter))
+        boundary_dedup = (not spec.aggregates
+                          and variable not in spec.head_vars)
+        return self._stitched(streams, boundary_dedup)
+
+    def _heavy_keyed_stream(self, part: HybridPartition, spec: Query,
+                            variable: str,
+                            counter: OperationCounter | None
+                            ) -> Iterator[tuple]:
+        """Per-heavy-key residual sub-plans, concatenated over the keys.
+
+        One grouping scan per touched relation buckets the heavy tuples
+        by skew value with the skew column projected away (the
+        restrictions partition the heavy side, so the total scan work is
+        ``heavy_total`` regardless of the key count).  Then, per key:
+        selections mentioning the skew variable are specialized to the
+        key (an unsatisfiable constant predicate skips the key), every
+        touched atom drops the variable — an atom *only* over it becomes
+        an existence gate — and the residual runs as an ordinary
+        Yannakakis sub-query, with the key re-inserted into each emitted
+        row at the position the stitched head expects.
+        """
+        head = (spec.core.variables if spec.aggregates
+                else tuple(spec.head_vars))
+        residual_head = tuple(h for h in head if h != variable)
+        insert_at = head.index(variable) if variable in head else None
+        grouped = self._heavy_by_key(part, spec, variable, counter)
+        try:
+            keys = sorted(part.heavy_keys)
+        except TypeError:  # mixed-type key column: any stable order works
+            keys = sorted(part.heavy_keys, key=repr)
+        executor = executor_for("yannakakis")
+        for key in keys:
+            instance = self._keyed_instance(part, spec, grouped, key)
+            if instance is None:
+                continue
+            atoms, keyed_db = instance
+            selections = _keyed_selections(spec.all_selections, variable,
+                                           key)
+            if selections is None:
+                continue
+            if not atoms:
+                # Every atom was a satisfied existence gate on the skew
+                # variable, so the head can only be the variable itself.
+                yield (key,) * len(head)
+                continue
+            if residual_head:
+                sub_head = residual_head
+            else:
+                # The head was just the skew variable: any witness from
+                # the residual proves (key,); probe one row.
+                sub_head = (atoms[0].variables[0],)
+            sub_spec = Query(atoms, selections=selections, head=sub_head,
+                             name=f"{spec.core.name}#key")
+            sub_payload = executor.plan(sub_spec, keyed_db)
+            rows = executor.stream(sub_spec, keyed_db, sub_payload,
+                                   registry=None, counter=counter)
+            if not residual_head:
+                if next(iter(rows), None) is not None:
+                    yield (key,) * len(head)
+            elif insert_at is None:
+                yield from rows
+            else:
+                for row in rows:
+                    yield row[:insert_at] + (key,) + row[insert_at:]
+
+    @staticmethod
+    def _heavy_by_key(part: HybridPartition, spec: Query, variable: str,
+                      counter: OperationCounter | None) -> dict:
+        """Per touched atom: the heavy tuples bucketed by skew value,
+        skew column(s) projected away.  A tuple binding the variable to
+        two different values in one atom (a repeated-variable atom) can
+        never satisfy it and is dropped."""
+        grouped: dict[int, dict] = {}
+        for i in part.touched:
+            atom = spec.core.atoms[i]
+            relation = part.heavy_db.get(part.heavy_query.atoms[i].relation)
+            if counter is not None:
+                counter.charge(tuples_scanned=len(relation))
+            key_positions = [j for j, v in enumerate(atom.variables)
+                             if v == variable]
+            keep = [j for j, v in enumerate(atom.variables)
+                    if v != variable]
+            buckets: dict = {}
+            first = key_positions[0]
+            for t in relation.tuples:
+                key = t[first]
+                if any(t[j] != key for j in key_positions[1:]):
+                    continue
+                buckets.setdefault(key, set()).add(
+                    tuple(t[j] for j in keep))
+            grouped[i] = (keep, buckets)
+        return grouped
+
+    @staticmethod
+    def _keyed_instance(part: HybridPartition, spec: Query, grouped: dict,
+                        key) -> tuple[list[Atom], Database] | None:
+        """The residual (atoms, database) for one heavy key, or None when
+        some touched atom has no tuple for the key (the conjunction is
+        empty there and the key contributes nothing)."""
+        atoms: list[Atom] = []
+        relations: dict[str, Relation] = {}
+        for i, atom in enumerate(spec.core.atoms):
+            heavy_atom = part.heavy_query.atoms[i]
+            if i not in grouped:
+                atoms.append(heavy_atom)
+                relations.setdefault(
+                    heavy_atom.relation,
+                    part.heavy_db.get(heavy_atom.relation))
+                continue
+            keep, buckets = grouped[i]
+            restricted = buckets.get(key)
+            if not restricted:
+                return None
+            if not keep:
+                continue  # unary skew atom: a satisfied existence gate
+            source = part.heavy_db.get(heavy_atom.relation)
+            name = f"{heavy_atom.relation}@key"
+            relations[name] = Relation(
+                name, tuple(source.attributes[j] for j in keep), restricted)
+            atoms.append(Atom(name, tuple(atom.variables[j] for j in keep)))
+        return atoms, Database(relations.values())
+
+    @staticmethod
+    def _side_stream(strategy: str, side_core: ConjunctiveQuery,
+                     side_db: Database, spec: Query, variable: str,
+                     counter: OperationCounter | None) -> Iterator[tuple]:
+        # Aggregate sides stream full core tuples so the engine's fold
+        # observes every binding; plain sides project to the head.
+        head = (spec.core.variables if spec.aggregates else spec.head_vars)
+        side_spec = Query(side_core.atoms, selections=spec.all_selections,
+                          head=head, name=side_core.name)
+        executor = executor_for(strategy)
+        if isinstance(executor, _WcojExecutor):
+            # Bind the skew variable first: on the light side that keeps
+            # every intersection under the degree threshold from the top
+            # of the search; on the heavy side it enumerates the few
+            # heavy keys outermost.
+            side_payload = hybrid_light_order(
+                side_spec.core, variable, fixed=side_spec.fixed_variables,
+                leading=side_spec.head_vars)
+        else:
+            side_payload = executor.plan(side_spec, side_db)
+        return executor.stream(side_spec, side_db, side_payload,
+                               registry=None, counter=counter)
+
+    @staticmethod
+    def _stitched(streams, boundary_dedup: bool) -> Iterator[tuple]:
+        if not boundary_dedup:
+            for stream in streams:
+                yield from stream
+            return
+        seen: set[tuple] = set()
+        for stream in streams:
+            for row in stream:
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+
+
 #: Executor instances, keyed by strategy name (executors are stateless).
 EXECUTORS = {
     executor.name: executor
     for executor in (GenericJoinExecutor(), LeapfrogExecutor(),
                      NaiveExecutor(), BinaryPlanExecutor(),
-                     YannakakisExecutor())
+                     YannakakisExecutor(), HybridExecutor())
 }
 
 

@@ -70,6 +70,7 @@ from repro.engine.fingerprint import CanonicalQuery, canonical_query
 from repro.engine.plan_cache import CachedPlan, LRUCache, PlanCache
 from repro.engine.registry import IndexRegistry
 from repro.errors import QueryError
+from repro.joins.hybrid import partition_instance
 from repro.joins.instrumentation import OperationCounter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ProfileReport, profile_query
@@ -176,6 +177,10 @@ class Explanation:                 # make a generated __hash__ crash
         ``"anyk"`` (rank-ordered enumeration out of the join itself,
         stopping after LIMIT results) or ``"drain"`` (enumerate the join,
         heap-select the top-k); None without ORDER BY.
+    hybrid_split:
+        For hybrid plans, the heavy/light split report: the skew
+        variable and threshold, then per-side key/tuple counts and the
+        sub-strategy each side runs.  Empty for every other strategy.
     backend:
         The resolved execution backend — ``"python"`` (the reference
         oracle) or ``"columnar"`` (sorted NumPy layouts + batched
@@ -214,6 +219,7 @@ class Explanation:                 # make a generated __hash__ crash
     order_by: tuple[str, ...] = ()
     limit: int | None = None
     ranked_mode: str | None = None
+    hybrid_split: tuple[str, ...] = ()
     backend: str = "python"
     backend_fallback: str | None = None
     session_stats: dict[str, int] | None = None
@@ -277,6 +283,9 @@ class Explanation:                 # make a generated __hash__ crash
                       else "drain-and-heap: enumerate the join, "
                            "heap-select the top-k")
             lines.append(f"ranked mode:    {self.ranked_mode} ({detail})")
+        if self.hybrid_split:
+            lines.append("hybrid split:")
+            lines.extend(f"    {entry}" for entry in self.hybrid_split)
         lines.append(f"plan cache:     {self.plan_cache} "
                      f"[{self.canonical_form}]")
         lines.append(f"result cache:   "
@@ -1139,6 +1148,20 @@ class Engine:
                          or ("fold" if spec.aggregates else None))
         resolved_ranked = (payload_ranked_mode(prepared.payload)
                            or ("drain" if spec.order_by else None))
+        hybrid_split: tuple[str, ...] = ()
+        if prepared.plan.strategy == "hybrid" and prepared.payload:
+            _tag, skew_var, threshold, heavy_strat, light_strat = (
+                prepared.payload)
+            part = partition_instance(spec.core, self._db, skew_var,
+                                      threshold)
+            hybrid_split = (
+                f"skew variable {skew_var}, degree threshold "
+                f"{threshold:.4g} (sqrt of largest touched relation)",
+                f"heavy side: {len(part.heavy_keys)} keys, "
+                f"{part.heavy_total} tuples -> {heavy_strat}",
+                f"light side: {part.light_total} tuples "
+                f"(per-key degree <= {threshold:.4g}) -> {light_strat}",
+            )
         explanation = Explanation(
             query=str(spec),
             mode=mode,
@@ -1161,6 +1184,7 @@ class Engine:
             order_by=tuple(f"{c} DESC" if d else c for c, d in spec.order_by),
             limit=spec.limit,
             ranked_mode=resolved_ranked,
+            hybrid_split=hybrid_split,
             backend=prepared.plan.backend,
             backend_fallback=prepared.plan.backend_fallback,
             session_stats=self.stats.as_dict(),

@@ -198,6 +198,11 @@ class Subscription:
                 self._fallback_reason = (
                     "any-k ranked plan: output is a lazy enumeration, "
                     "not maintainable state")
+            elif prepared.plan.strategy == "hybrid":
+                self._fallback_reason = (
+                    "hybrid heavy/light plan: a delta can move keys "
+                    "across the partition boundary, so sub-plans are "
+                    "not independently maintainable; tracked refresh")
         self.refresh(reason)
 
     def _on_delta(self, applied) -> None:

@@ -19,6 +19,8 @@ from repro.joins.binary_plans import (
     best_left_deep_execution,
 )
 from repro.joins.heavy_light import heavy_light_partition
+from repro.joins.hybrid import (HybridPartition, partition_instance,
+                                residual_query)
 from repro.joins.optimizer import choose_strategy, evaluate
 from repro.joins.yannakakis import yannakakis, semijoin_reduce
 from repro.joins.counting import count_join, group_count, sum_product
@@ -44,6 +46,9 @@ __all__ = [
     "all_left_deep_plans",
     "best_left_deep_execution",
     "heavy_light_partition",
+    "HybridPartition",
+    "partition_instance",
+    "residual_query",
     "choose_strategy",
     "evaluate",
     "yannakakis",

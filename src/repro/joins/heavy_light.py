@@ -63,11 +63,28 @@ def heavy_light_partition(relation: Relation, key: Sequence[str], threshold: flo
     """Split ``relation`` into heavy and light parts on the degree of ``key``.
 
     A tuple is *heavy* when its key value appears in more than ``threshold``
-    tuples of the relation, *light* otherwise.  The scan is a single pass
-    plus a counting pass and is charged to the counter as tuples scanned.
+    tuples of the relation, *light* otherwise.  The general case is a
+    counting pass plus a splitting pass, charged as two scans.  Two cases
+    are decidable cheaper and charged honestly: an empty relation needs no
+    scan at all, and ``threshold < 1`` makes every key heavy (all counts
+    are integers >= 1), so the counting pass is skipped and only one scan
+    is charged.
     """
     key = tuple(key)
     positions = relation.schema.positions(key)
+    if len(relation) == 0:
+        heavy = Relation(f"{relation.name}_heavy", relation.schema, [])
+        light = Relation(f"{relation.name}_light", relation.schema, [])
+        return HeavyLightSplit(heavy=heavy, light=light, threshold=threshold,
+                               key=key)
+    if threshold < 1:
+        if counter is not None:
+            counter.charge(tuples_scanned=len(relation))
+        heavy = Relation(f"{relation.name}_heavy", relation.schema,
+                         relation.tuples)
+        light = Relation(f"{relation.name}_light", relation.schema, [])
+        return HeavyLightSplit(heavy=heavy, light=light, threshold=threshold,
+                               key=key)
     counts: dict[tuple, int] = {}
     for tup in relation:
         k = tuple(tup[p] for p in positions)

@@ -1,0 +1,193 @@
+"""Heavy/light hybrid join plans — partitioning a whole *instance* on the
+degree of one skew variable.
+
+``heavy_light_partition`` splits a single relation; the hybrid strategy
+(Ngo/Ré/Rudra, "Skew Strikes Back", arXiv:1310.3314) needs the instance-level
+counterpart: pick a skew variable v, call every v-value *heavy* when it
+exceeds the degree threshold in **any** relation touching v, and split each
+touched relation into the tuples whose v-value is heavy and the rest.
+Because heaviness is a property of the *value* (not of the tuple within one
+relation), every output tuple of the join lands on exactly one side:
+
+* the **heavy** sub-instance binds v to one of the few (<= sum |R_i| / t)
+  heavy values — high fanout, but so few keys that materializing binary or
+  Yannakakis sub-plans amortizes;
+* the **light** sub-instance has per-value degree <= t in every touched
+  relation — exactly the bounded-degree setting where generic join's
+  intersections stay cheap.
+
+Result streams of the two sides are disjoint on v's binding, so the ⊕-stitch
+is concatenation (plus a projection-boundary dedup only when v is projected
+away).  Relations not touching v are shared by both sides unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.joins.heavy_light import HeavyLightSplit, heavy_light_partition
+from repro.joins.instrumentation import OperationCounter
+from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+@dataclass(frozen=True)
+class HybridPartition:
+    """One instance-level heavy/light partition on a skew variable.
+
+    ``heavy_query``/``heavy_db`` and ``light_query``/``light_db`` are
+    ready-to-run sub-instances: touched atoms point at derived relations
+    (named ``R#hyb<i>h`` / ``R#hyb<i>l``), untouched atoms at the original
+    relations shared by both sides.
+    """
+
+    variable: str
+    threshold: float
+    heavy_keys: frozenset
+    heavy_query: ConjunctiveQuery
+    heavy_db: Database
+    light_query: ConjunctiveQuery
+    light_db: Database
+    heavy_total: int
+    light_total: int
+    touched: tuple[int, ...]
+    splits: tuple[HeavyLightSplit, ...]
+
+    def verify(self, query: ConjunctiveQuery, database: Database) -> bool:
+        """Check the partition invariants against the original instance:
+
+        * per touched atom, heavy + light is a disjoint cover of the
+          original relation;
+        * every light tuple's key has degree <= threshold in its relation
+          (the per-relation ``HeavyLightSplit`` invariant);
+        * the heavy side binds at most sum(|R_i|) / threshold distinct
+          key values (the global distinct-key bound — a key promoted by
+          one relation may ride along in another, so the bound is on the
+          union, not per relation).
+        """
+        total = 0
+        for index, split in zip(self.touched, self.splits):
+            atom = query.atoms[index]
+            original = database.get(atom.relation)
+            total += len(original)
+            if split.heavy.tuples & split.light.tuples:
+                return False
+            if split.heavy.tuples | split.light.tuples != original.tuples:
+                return False
+            if not split.verify():
+                return False
+            pos = atom.variables.index(self.variable)
+            if any(tup[pos] not in self.heavy_keys for tup in split.heavy):
+                return False
+            if any(tup[pos] in self.heavy_keys for tup in split.light):
+                return False
+        if self.threshold > 0:
+            if len(self.heavy_keys) > total / self.threshold + 1e-9:
+                return False
+        return True
+
+
+def residual_query(query: ConjunctiveQuery, variable: str
+                   ) -> ConjunctiveQuery | None:
+    """The query's structure once ``variable`` is bound and dropped.
+
+    Binding the skew variable is what simplifies the heavy side: each
+    atom loses the variable (atoms over *only* the variable disappear —
+    they become per-key existence gates), so e.g. a triangle's residual
+    is a 2-path and a 4-cycle's is a 3-path — acyclic, which licenses
+    per-key Yannakakis sub-plans.  Returns None when no atoms survive
+    (every atom was unary on the variable).
+    """
+    atoms = []
+    for atom in query.atoms:
+        rest = tuple(v for v in atom.variables if v != variable)
+        if rest:
+            atoms.append(Atom(atom.relation, rest))
+    if not atoms:
+        return None
+    return ConjunctiveQuery(atoms, name=f"{query.name}#residual")
+
+
+def partition_instance(query: ConjunctiveQuery, database: Database,
+                       variable: str, threshold: float,
+                       counter: OperationCounter | None = None) -> HybridPartition:
+    """Partition every relation touching ``variable`` by value heaviness.
+
+    A value is heavy when its degree exceeds ``threshold`` in *any* touched
+    relation; light tuples whose value turns out heavy elsewhere are then
+    promoted so both sides agree on the key set (the promotion pass is
+    charged per re-scanned light part, and skipped when only one relation
+    touches the variable).
+    """
+    touched = tuple(i for i, atom in enumerate(query.atoms)
+                    if variable in atom.variable_set)
+    splits: list[HeavyLightSplit] = []
+    positions: list[int] = []
+    heavy_keys: set = set()
+    for index in touched:
+        atom = query.atoms[index]
+        relation = database.get(atom.relation)
+        attr = relation.attributes[atom.variables.index(variable)]
+        split = heavy_light_partition(relation, (attr,), threshold, counter)
+        pos = atom.variables.index(variable)
+        heavy_keys.update(tup[pos] for tup in split.heavy)
+        splits.append(split)
+        positions.append(pos)
+    if len(touched) > 1:
+        for i, split in enumerate(splits):
+            pos = positions[i]
+            moved = [tup for tup in split.light if tup[pos] in heavy_keys]
+            if not moved:
+                continue
+            if counter is not None:
+                counter.charge(tuples_scanned=len(split.light))
+            moved_set = set(moved)
+            splits[i] = HeavyLightSplit(
+                heavy=Relation(split.heavy.name, split.heavy.schema,
+                               split.heavy.tuples | moved_set),
+                light=Relation(split.light.name, split.light.schema,
+                               split.light.tuples - moved_set),
+                threshold=split.threshold,
+                key=split.key,
+            )
+
+    heavy_atoms: list[Atom] = []
+    light_atoms: list[Atom] = []
+    heavy_rels: dict[str, Relation] = {}
+    light_rels: dict[str, Relation] = {}
+    heavy_total = 0
+    light_total = 0
+    by_index = dict(zip(touched, splits))
+    for i, atom in enumerate(query.atoms):
+        if i in by_index:
+            split = by_index[i]
+            heavy_name = f"{atom.relation}#hyb{i}h"
+            light_name = f"{atom.relation}#hyb{i}l"
+            heavy_rels[heavy_name] = Relation(
+                heavy_name, split.heavy.schema, split.heavy.tuples)
+            light_rels[light_name] = Relation(
+                light_name, split.light.schema, split.light.tuples)
+            heavy_atoms.append(Atom(heavy_name, atom.variables))
+            light_atoms.append(Atom(light_name, atom.variables))
+            heavy_total += len(split.heavy)
+            light_total += len(split.light)
+        else:
+            shared = database.get(atom.relation)
+            heavy_rels.setdefault(atom.relation, shared)
+            light_rels.setdefault(atom.relation, shared)
+            heavy_atoms.append(atom)
+            light_atoms.append(atom)
+    return HybridPartition(
+        variable=variable,
+        threshold=threshold,
+        heavy_keys=frozenset(heavy_keys),
+        heavy_query=ConjunctiveQuery(heavy_atoms, name=f"{query.name}#heavy"),
+        heavy_db=Database(heavy_rels.values()),
+        light_query=ConjunctiveQuery(light_atoms, name=f"{query.name}#light"),
+        light_db=Database(light_rels.values()),
+        heavy_total=heavy_total,
+        light_total=light_total,
+        touched=touched,
+        splits=tuple(splits),
+    )

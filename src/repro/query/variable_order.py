@@ -10,11 +10,13 @@ are the standard ones used by engines built on these algorithms.
 from __future__ import annotations
 
 import itertools
+import math
 
 from typing import Collection, Sequence
 
 from repro.query.atoms import ConjunctiveQuery
 from repro.relational.database import Database
+from repro.relational.statistics import max_degree
 
 
 def natural_order(query: ConjunctiveQuery) -> tuple[str, ...]:
@@ -97,6 +99,62 @@ def pushdown_order(query: ConjunctiveQuery,
         sorted(
             query.variables,
             key=lambda v: (blocks.get(v, 2),
+                           -len(query.atoms_containing(v)), v),
+        )
+    )
+
+
+def skew_split(query: ConjunctiveQuery, database: Database
+               ) -> tuple[str, float, int]:
+    """Pick the hybrid strategy's skew variable and degree threshold.
+
+    For each variable v the candidate threshold is the paper's
+    |R|^(1/2)-style balancing point — sqrt of the largest relation
+    touching v (heavy side gets <= sqrt|R| distinct keys, light side
+    degree <= sqrt|R|) — and the skew evidence is the maximum per-value
+    degree of v over its touching relations.  The variable with the
+    largest degree/threshold ratio wins (name tie-break), so the returned
+    triple ``(variable, threshold, max_degree)`` is a pure function of
+    the instance statistics.  ``max_degree <= threshold`` means the
+    instance shows no skew worth partitioning on.
+    """
+    best: tuple[float, str, float, int] | None = None
+    for v in query.variables:
+        deg = 0
+        size = 0
+        for atom in query.atoms_containing(v):
+            relation = database.get(atom.relation)
+            attr = relation.attributes[atom.variables.index(v)]
+            deg = max(deg, max_degree(relation, attr))
+            size = max(size, len(relation))
+        threshold = math.sqrt(size)
+        score = deg / threshold if threshold > 0 else 0.0
+        if best is None or score > best[0] or (score == best[0] and v < best[1]):
+            best = (score, v, threshold, deg)
+    if best is None:  # pragma: no cover - atoms always carry variables
+        raise ValueError("query has no variables to split on")
+    return best[1], best[2], best[3]
+
+
+def hybrid_light_order(query: ConjunctiveQuery, skew: str,
+                       fixed: Collection[str] = (),
+                       leading: Collection[str] = ()) -> tuple[str, ...]:
+    """The light-side variable order for a hybrid plan.
+
+    Like :func:`pushdown_order` but with the skew variable promoted to
+    its own block right after the constant-fixed variables: binding the
+    partition variable first keeps every light-side intersection below
+    the degree threshold from the very top of the search, which is the
+    whole point of the light residual.
+    """
+    blocks = {v: 0 for v in fixed}
+    blocks.setdefault(skew, 1)
+    for v in leading:
+        blocks.setdefault(v, 2)
+    return tuple(
+        sorted(
+            query.variables,
+            key=lambda v: (blocks.get(v, 3),
                            -len(query.atoms_containing(v)), v),
         )
     )

@@ -293,9 +293,13 @@ class TestExplain:
         assert engine.explain(query).result_cached
 
     def test_skew_dispatch_prefers_wcoj_over_binary(self):
+        # The point of this instance is that pairwise plans pay the
+        # hub-times-hub blowup: any skew-safe strategy (a WCOJ engine,
+        # or the heavy/light hybrid whose per-key residual sub-plans
+        # bind the hub before any pairwise work) may win, binary never.
         query, database = triangle_skew_instance(300)
         decision = dispatch(query, database)
-        assert decision.strategy in ("generic", "leapfrog")
+        assert decision.strategy in ("generic", "leapfrog", "hybrid")
         assert decision.costs["binary"] > decision.costs["generic"]
 
     def test_acyclic_dispatch_is_feasible_for_yannakakis(self):

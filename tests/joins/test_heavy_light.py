@@ -49,6 +49,31 @@ class TestHeavyLightPartition:
         heavy_light_partition(r, ("A",), threshold=1, counter=counter)
         assert counter.tuples_scanned == 2
 
+    def test_counter_empty_relation_charges_nothing(self):
+        # Regression: the empty relation used to be charged for scan
+        # passes it never performs.
+        counter = OperationCounter()
+        r = Relation("R", ("A", "B"), [])
+        heavy_light_partition(r, ("A",), threshold=3, counter=counter)
+        assert counter.tuples_scanned == 0
+
+    def test_counter_sub_unit_threshold_charges_one_pass(self):
+        # Regression: threshold < 1 means every key is heavy without
+        # counting (integer degrees are >= 1), so only the single
+        # splitting scan is charged — not the counting pass too.
+        counter = OperationCounter()
+        r = Relation("R", ("A", "B"), [(i, i) for i in range(7)])
+        heavy_light_partition(r, ("A",), threshold=0, counter=counter)
+        assert counter.tuples_scanned == len(r)
+
+    def test_counter_general_case_charges_two_passes(self):
+        # threshold >= 1 needs the counting pass plus the splitting
+        # pass: exactly 2|R| tuples scanned, regardless of the outcome.
+        counter = OperationCounter()
+        r = Relation("R", ("A", "B"), [(i % 2, i) for i in range(9)])
+        heavy_light_partition(r, ("A",), threshold=1, counter=counter)
+        assert counter.tuples_scanned == 2 * len(r)
+
     @given(st.sets(st.tuples(st.integers(0, 5), st.integers(0, 20)), max_size=40),
            st.integers(1, 6))
     @settings(max_examples=60, deadline=None)

@@ -1,0 +1,129 @@
+"""Property tests for the ``HeavyLightSplit.verify`` invariants.
+
+``verify`` certifies the two facts the whole heavy/light argument rests
+on — the heavy part has at most |R|/t distinct key values and every
+light key has degree at most t — so these tests pin it from both sides:
+every honest partition must pass, and partitions corrupted in either
+direction (a light tuple whose key is over-degree, a heavy part stuffed
+with too many distinct keys) must fail.  Threshold edge cases (0, huge,
+and an exact degree tie) get explicit treatment.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.joins.heavy_light import HeavyLightSplit, heavy_light_partition
+from repro.relational.relation import Relation
+
+edge_sets = st.sets(st.tuples(st.integers(0, 6), st.integers(0, 25)),
+                    max_size=50)
+thresholds = st.one_of(st.integers(0, 8), st.floats(0.5, 8.0))
+
+
+def counts_by_key(tuples):
+    counts = {}
+    for a, _ in tuples:
+        counts[a] = counts.get(a, 0) + 1
+    return counts
+
+
+class TestHonestPartitionsVerify:
+    @given(edge_sets, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_partition_always_verifies(self, tuples, threshold):
+        split = heavy_light_partition(
+            Relation("R", ("A", "B"), tuples), ("A",), threshold)
+        assert split.verify()
+
+    @given(edge_sets, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_heavy_distinct_key_bound(self, tuples, threshold):
+        split = heavy_light_partition(
+            Relation("R", ("A", "B"), tuples), ("A",), threshold)
+        if threshold > 0:
+            heavy_keys = {a for a, _ in split.heavy.tuples}
+            assert len(heavy_keys) <= len(tuples) / threshold + 1e-9
+
+    @given(edge_sets, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_light_degree_bound(self, tuples, threshold):
+        split = heavy_light_partition(
+            Relation("R", ("A", "B"), tuples), ("A",), threshold)
+        for key, count in counts_by_key(split.light.tuples).items():
+            assert count <= threshold
+
+    @given(edge_sets, thresholds)
+    @settings(max_examples=120, deadline=None)
+    def test_disjoint_cover(self, tuples, threshold):
+        relation = Relation("R", ("A", "B"), tuples)
+        split = heavy_light_partition(relation, ("A",), threshold)
+        assert split.heavy.tuples | split.light.tuples == relation.tuples
+        assert not (split.heavy.tuples & split.light.tuples)
+
+
+class TestCorruptedPartitionsFail:
+    @given(edge_sets.filter(lambda s: len(s) >= 2), st.integers(1, 4))
+    @settings(max_examples=120, deadline=None)
+    def test_overloaded_light_key_fails(self, tuples, threshold):
+        # Declare everything light at a threshold some key exceeds:
+        # the light degree bound must catch it.
+        counts = counts_by_key(tuples)
+        if max(counts.values()) <= threshold:
+            return  # nothing exceeds the threshold: the split is honest
+        split = HeavyLightSplit(
+            heavy=Relation("R_heavy", ("A", "B"), []),
+            light=Relation("R_light", ("A", "B"), tuples),
+            threshold=float(threshold), key=("A",))
+        assert not split.verify()
+
+    @given(st.integers(2, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_too_many_distinct_heavy_keys_fails(self, n_keys):
+        # n distinct singleton keys declared heavy at threshold n: the
+        # bound allows at most n/n = 1 distinct heavy key.
+        tuples = [(i, 0) for i in range(n_keys)]
+        split = HeavyLightSplit(
+            heavy=Relation("R_heavy", ("A", "B"), tuples),
+            light=Relation("R_light", ("A", "B"), []),
+            threshold=float(n_keys), key=("A",))
+        assert not split.verify()
+
+
+class TestThresholdEdgeCases:
+    def test_threshold_zero_everything_heavy_and_verifies(self):
+        # Any integer degree exceeds 0, so heavy = R; verify skips the
+        # |R|/t bound (it is vacuous at t = 0) and must still pass.
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        split = heavy_light_partition(r, ("A",), threshold=0)
+        assert split.light.tuples == frozenset()
+        assert split.heavy.tuples == r.tuples
+        assert split.verify()
+
+    def test_huge_threshold_everything_light_and_verifies(self):
+        r = Relation("R", ("A", "B"), [(1, i) for i in range(6)])
+        split = heavy_light_partition(r, ("A",), threshold=float("inf"))
+        assert split.heavy.tuples == frozenset()
+        assert split.light.tuples == r.tuples
+        assert split.verify()
+
+    def test_exact_tie_goes_light(self):
+        # Degree exactly equal to the threshold is light — heavy means
+        # *strictly more than* threshold extensions.
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        split = heavy_light_partition(r, ("A",), threshold=2)
+        assert (1, 1) in split.light.tuples and (1, 2) in split.light.tuples
+        assert split.heavy.tuples == frozenset()
+        assert split.verify()
+
+    def test_just_below_tie_goes_heavy(self):
+        r = Relation("R", ("A", "B"), [(1, 1), (1, 2), (2, 1)])
+        split = heavy_light_partition(r, ("A",), threshold=1.999)
+        assert split.heavy.tuples == {(1, 1), (1, 2)}
+        assert split.light.tuples == {(2, 1)}
+        assert split.verify()
+
+    def test_empty_relation_verifies_at_any_threshold(self):
+        for threshold in (0, 1, 2.5, float("inf")):
+            split = heavy_light_partition(
+                Relation("R", ("A", "B"), []), ("A",), threshold)
+            assert split.verify()
