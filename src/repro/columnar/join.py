@@ -366,6 +366,9 @@ def _existential_alive(descent: _Descent, core, state: dict, depth: int,
             if sub["size"] == 0:
                 return np.zeros(size, dtype=bool)
         witnessed = np.zeros(size, dtype=bool)
+        # Witness scatter: one pass over the component's surviving rows.
+        if descent.counter is not None:
+            descent.counter.charge(intersection_steps=len(sub["origins"]))
         witnessed[sub["origins"]] = True
         alive &= witnessed
     return alive
@@ -427,6 +430,10 @@ def _aggregate_rows(descent: _Descent, core, store, selections, group,
         for d in sorted(position[v] for v in component):
             sub = descent.step(sub, d, track_value=order[d] in track)
         origins = sub["origins"]
+        # The COUNT fold: one pass over the component's frontier rows —
+        # the vectorized face of the python eliminator's per-tuple ⊕.
+        if counter is not None:
+            counter.charge(intersection_steps=len(origins))
         counts = np.bincount(origins, minlength=size)
         counts_by_component.append(counts)
         alive &= counts > 0
@@ -443,6 +450,9 @@ def _aggregate_rows(descent: _Descent, core, store, selections, group,
             if agg.var not in component or agg.kind == "count":
                 continue
             codes = sub["values"][agg.var]
+            # Each segment reduction below re-walks the component's rows.
+            if counter is not None:
+                counter.charge(intersection_steps=len(codes))
             fold = np.zeros(size, dtype=np.int64)
             if agg.kind == "sum":
                 if len(codes) > _SUM_SAFE_ROWS:

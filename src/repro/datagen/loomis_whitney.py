@@ -9,7 +9,6 @@ algorithm by a factor of Omega(N^{1 - 1/k}) (Section 1.2).
 
 from __future__ import annotations
 
-import math
 import random
 from typing import Iterable
 

@@ -63,6 +63,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bounds.agm import AGMBound, agm_bound
 from repro.bounds.degree_aware import output_size_bound
@@ -74,6 +75,8 @@ from repro.joins.binary_plans import greedy_atom_order
 from repro.joins.hybrid import partition_instance, residual_query
 from repro.query.atoms import ConjunctiveQuery
 from repro.query.decomposition import is_alpha_acyclic
+from repro.query.semiring import Aggregate
+from repro.query.terms import Comparison
 from repro.query.variable_order import (
     aggregate_elimination_order,
     ranked_order,
@@ -256,7 +259,7 @@ def _binary_cost(query: ConjunctiveQuery, database: Database,
 
 
 def selection_envelope(query: ConjunctiveQuery, database: Database,
-                       selections, agm: AGMBound
+                       selections: Sequence[Comparison], agm: AGMBound
                        ) -> tuple[dict[int, int], float]:
     """Filtered per-atom scan sizes and the sharpened WCOJ envelope.
 
@@ -294,8 +297,10 @@ def selection_envelope(query: ConjunctiveQuery, database: Database,
     return sizes, _capped(min(agm.bound, sharpened))
 
 
-def plan_aggregation(query: ConjunctiveQuery, selections, aggregates,
-                     group) -> dict:
+def plan_aggregation(query: ConjunctiveQuery,
+                     selections: Sequence[Comparison],
+                     aggregates: Sequence[Aggregate],
+                     group: Sequence[str]) -> dict:
     """The aggregate-aware order and the facts mode resolution needs.
 
     Returns a dict with the binding ``order`` (constant-pinned variables,
@@ -326,7 +331,9 @@ def plan_aggregation(query: ConjunctiveQuery, selections, aggregates,
     }
 
 
-def plan_ranked(query: ConjunctiveQuery, selections, order_by, head) -> dict:
+def plan_ranked(query: ConjunctiveQuery, selections: Sequence[Comparison],
+                order_by: Sequence[tuple[str, bool]],
+                head: Sequence[str]) -> dict:
     """The any-k binding order and the facts ranked-mode resolution needs.
 
     ``order_by`` holds the query's ``(variable, descending)`` sort keys
@@ -468,9 +475,12 @@ def _resolve_ranked(forced: str, anyk_cost: float, drain_cost: float,
 def estimate_costs(query: ConjunctiveQuery, database: Database,
                    agm: AGMBound, acyclic: bool,
                    binary_order: tuple[int, ...] | None = None,
-                   selections=(), aggregates=(), group=(),
+                   selections: Sequence[Comparison] = (),
+                   aggregates: Sequence[Aggregate] = (),
+                   group: Sequence[str] = (),
                    aggregate_mode: str = "auto",
-                   order_by=(), limit: int | None = None,
+                   order_by: Sequence[tuple[str, bool]] = (),
+                   limit: int | None = None,
                    ranked_mode: str = "auto",
                    ) -> dict[str, float]:
     """Estimated operation counts for every strategy on this instance.
@@ -688,9 +698,13 @@ def _payload_for(strategy: str, mode: str | None,
 
 
 def dispatch(query: ConjunctiveQuery, database: Database,
-             mode: str = "auto", selections=(), aggregates=(), group=(),
+             mode: str = "auto",
+             selections: Sequence[Comparison] = (),
+             aggregates: Sequence[Aggregate] = (),
+             group: Sequence[str] = (),
              aggregate_mode: str = "auto",
-             order_by=(), limit: int | None = None,
+             order_by: Sequence[tuple[str, bool]] = (),
+             limit: int | None = None,
              ranked_mode: str = "auto",
              backend: str = "python") -> DispatchDecision:
     """Choose an executor for the query (or validate a forced choice).

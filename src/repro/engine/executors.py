@@ -39,7 +39,7 @@ joins, at the first join that binds both sides.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.engine.fingerprint import (
     CanonicalQuery,
@@ -164,7 +164,8 @@ def filtered_instance(core: ConjunctiveQuery,
         attr_to_var = dict(zip(relation.attributes, atom.variables))
         atom_selections = per_atom[i]
 
-        def keep(row: dict, _map=attr_to_var, _sels=atom_selections) -> bool:
+        def keep(row: dict, _map: dict = attr_to_var,
+                 _sels: Sequence[Comparison] = atom_selections) -> bool:
             binding = {_map[a]: v for a, v in row.items()}
             return all(s.evaluate(binding) for s in _sels)
 
@@ -200,8 +201,8 @@ def _trie_requests(query: ConjunctiveQuery, database: Database,
     return requests
 
 
-def unique_index_layouts(executor, spec: Query, database: Database,
-                         payload) -> list[tuple[str, tuple[str, ...]]]:
+def unique_index_layouts(executor: Any, spec: Query, database: Database,
+                         payload: Any) -> list[tuple[str, tuple[str, ...]]]:
     """Deduplicated ``(relation, layout)`` pairs a plan's run would use.
 
     Self-join atoms request the same physical index under distinct edge
@@ -273,10 +274,10 @@ class _WcojExecutor:
                        payload: tuple) -> list[IndexRequest]:
         return _trie_requests(spec.core, database, payload_order(payload))
 
-    def handles_aggregation(self, spec: Query, payload) -> bool:
+    def handles_aggregation(self, spec: Query, payload: Any) -> bool:
         return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
 
-    def handles_ordering(self, spec: Query, payload) -> bool:
+    def handles_ordering(self, spec: Query, payload: Any) -> bool:
         return bool(spec.order_by) and payload_ranked_mode(payload) == "anyk"
 
     def _stream_fn(self):
@@ -341,24 +342,24 @@ class _NoPayloadExecutor:
     trio when (like the binary executor) they do carry a plan.
     """
 
-    def plan(self, spec: Query, database: Database):
+    def plan(self, spec: Query, database: Database) -> Any:
         return None
 
-    def canonical_payload(self, payload, canon: CanonicalQuery):
+    def canonical_payload(self, payload: Any, canon: CanonicalQuery) -> Any:
         return payload
 
-    def payload_from_canonical(self, payload, canon: CanonicalQuery,
-                               spec: Query):
+    def payload_from_canonical(self, payload: Any, canon: CanonicalQuery,
+                               spec: Query) -> Any:
         return payload
 
     def index_requests(self, spec: Query, database: Database,
-                       payload) -> list[IndexRequest]:
+                       payload: Any) -> list[IndexRequest]:
         return []
 
-    def handles_aggregation(self, spec: Query, payload) -> bool:
+    def handles_aggregation(self, spec: Query, payload: Any) -> bool:
         return False
 
-    def handles_ordering(self, spec: Query, payload) -> bool:
+    def handles_ordering(self, spec: Query, payload: Any) -> bool:
         return False
 
 
@@ -433,7 +434,7 @@ class YannakakisExecutor(_NoPayloadExecutor):
 
     name = "yannakakis"
 
-    def plan(self, spec: Query, database: Database):
+    def plan(self, spec: Query, database: Database) -> tuple | None:
         # Standalone fallback mirroring the dispatcher's auto rule:
         # in-pass aggregation needs product semirings AND something to
         # eliminate (a full group-by gains nothing over the fold).
@@ -446,14 +447,14 @@ class YannakakisExecutor(_NoPayloadExecutor):
             return ("recursion" if product_ok and eliminated else "fold", ())
         return None
 
-    def handles_aggregation(self, spec: Query, payload) -> bool:
+    def handles_aggregation(self, spec: Query, payload: Any) -> bool:
         return bool(spec.aggregates) and payload_aggregate_mode(payload) == "recursion"
 
-    def handles_ordering(self, spec: Query, payload) -> bool:
+    def handles_ordering(self, spec: Query, payload: Any) -> bool:
         return bool(spec.order_by) and payload_ranked_mode(payload) == "anyk"
 
     def stream(self, spec: Query, database: Database,
-               payload, registry: IndexRegistry | None = None,
+               payload: Any, registry: IndexRegistry | None = None,
                counter: OperationCounter | None = None) -> Iterator[tuple]:
         derived, derived_db, residual = pushed_instance(spec, database)
         if self.handles_ordering(spec, payload):
@@ -479,7 +480,7 @@ _MIRRORED_OPS = {"==": "==", "!=": "!=", "<": ">", "<=": ">=",
 
 
 def _keyed_selections(selections: Sequence[Comparison], variable: str,
-                      key) -> list[Comparison] | None:
+                      key: Any) -> list[Comparison] | None:
     """``selections`` specialized to the binding ``variable = key``.
 
     Predicates over the variable alone are decided now: a failing one
@@ -680,7 +681,7 @@ class HybridExecutor(_NoPayloadExecutor):
 
     @staticmethod
     def _keyed_instance(part: HybridPartition, spec: Query, grouped: dict,
-                        key) -> tuple[list[Atom], Database] | None:
+                        key: Any) -> tuple[list[Atom], Database] | None:
         """The residual (atoms, database) for one heavy key, or None when
         some touched atom has no tuple for the key (the conjunction is
         empty there and the key contributes nothing)."""
@@ -731,7 +732,8 @@ class HybridExecutor(_NoPayloadExecutor):
                                registry=None, counter=counter)
 
     @staticmethod
-    def _stitched(streams, boundary_dedup: bool) -> Iterator[tuple]:
+    def _stitched(streams: Iterable[Iterator[tuple]],
+                  boundary_dedup: bool) -> Iterator[tuple]:
         if not boundary_dedup:
             for stream in streams:
                 yield from stream
@@ -753,7 +755,7 @@ EXECUTORS = {
 }
 
 
-def executor_for(strategy: str):
+def executor_for(strategy: str) -> Any:
     """Look up an executor by strategy name."""
     try:
         return EXECUTORS[strategy]

@@ -48,7 +48,7 @@ from __future__ import annotations
 import itertools
 import time
 from dataclasses import asdict, dataclass, replace
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.engine.cost import (
     AGGREGATE_MODES,
@@ -74,7 +74,7 @@ from repro.joins.hybrid import partition_instance
 from repro.joins.instrumentation import OperationCounter
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import ProfileReport, profile_query
-from repro.obs.trace import NULL_TRACER
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
 from repro.query.builder import Query, sort_rows
 from repro.query.semiring import fold_aggregates
 from repro.relational.database import AppliedDelta, Database
@@ -373,7 +373,7 @@ class Engine:
                  plan_cache_size: int = 256,
                  result_cache_size: int = 128,
                  cache_results: bool = True,
-                 tracer=None,
+                 tracer: Tracer | NullTracer | None = None,
                  metrics: MetricsRegistry | bool | None = None,
                  collect_operations: bool = False):
         if database is not None and tuple(relations):
@@ -601,7 +601,8 @@ class Engine:
     # ------------------------------------------------------------------
     def subscribe(self, query: QueryLike, mode: str = "auto",
                   aggregate_mode: str = "auto", ranked_mode: str = "auto",
-                  on_change=None, replan_threshold: int = 1):
+                  on_change: Callable | None = None,
+                  replan_threshold: int = 1) -> Any:
         """Register a standing query; returns its live subscription.
 
         The query materializes once through the ordinary dispatch path,
@@ -619,7 +620,7 @@ class Engine:
         # Imported lazily: repro.ivm sits above the engine layer (it
         # re-enters execute/_prepare), so a module-level import would
         # be circular.
-        from repro.ivm.subscription import Subscription
+        from repro.ivm.subscription import Subscription  # lint: disable=import-layering -- ivm sits above the engine by design; subscribe() is the one upward seam and the import stays lazy to break the cycle
 
         sub = Subscription(self, query, mode=mode,
                            aggregate_mode=aggregate_mode,
@@ -1397,7 +1398,7 @@ class Engine:
         return (prepared.plan.backend == "columnar"
                 and prepared.plan.strategy in COLUMNAR_CAPABLE)
 
-    def _columnar(self, strategy: str):
+    def _columnar(self, strategy: str) -> Any:
         """The session's columnar executor for one strategy (lazy).
 
         One instance per strategy: each carries that strategy's python

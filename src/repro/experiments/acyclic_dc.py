@@ -25,7 +25,6 @@ from repro.joins.generic_join import generic_join
 from repro.joins.instrumentation import OperationCounter
 from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.relational.database import Database
-from repro.relational.relation import Relation
 
 
 def chain_query() -> ConjunctiveQuery:

@@ -27,7 +27,7 @@ from repro.datagen.worstcase import triangle_agm_tight_instance
 from repro.experiments.runner import ExperimentTable
 from repro.joins.generic_join import generic_join
 from repro.panda.example1 import example1_constraints, example1_database, example1_query
-from repro.query.atoms import Atom, ConjunctiveQuery
+from repro.query.atoms import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 

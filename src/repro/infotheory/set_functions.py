@@ -16,7 +16,7 @@ Definition 2 in the paper (Γ*_n, the entropic functions, is handled in
 from __future__ import annotations
 
 from itertools import chain, combinations
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import Iterable, Iterator, Mapping
 
 from repro.errors import NotEntropicError
 

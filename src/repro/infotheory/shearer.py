@@ -15,7 +15,7 @@ the property-based tests.
 from __future__ import annotations
 
 import math
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Mapping
 
 from repro.infotheory.set_functions import SetFunction
 from repro.infotheory.shannon import LinearEntropyExpression, is_shannon_valid
@@ -88,7 +88,7 @@ def verify_friedgut_inequality(query: ConjunctiveQuery, database: Database,
 
         holds within a small relative tolerance.
     """
-    from repro.joins.generic_join import generic_join  # local import to avoid cycle
+    from repro.joins.generic_join import generic_join  # lint: disable=import-layering -- witness construction drives the join layer above; lazy so the theory layer imports stand alone
 
     hypergraph = query.hypergraph()
     if not hypergraph.is_cover(cover):

@@ -45,7 +45,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Iterator, Mapping, Sequence
 
 from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter, phase
@@ -614,7 +614,7 @@ def yannakakis_ranked_stream(query: ConjunctiveQuery, database: Database,
 
     def complete_row(rows: tuple) -> tuple | None:
         binding = {}
-        for node, row in zip(sequence, rows):
+        for node, row in zip(sequence, rows):  # lint: disable=counter-honesty -- one row per join-tree node (query-sized), not relation tuples; each completion is charged as a frontier pop
             binding.update(zip(schemas[node], row))
         if residual and not all(sel.evaluate(binding) for sel in residual):
             return None

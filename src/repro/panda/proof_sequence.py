@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Iterable, Sequence
+from typing import Iterable
 
 from repro.errors import ProofError
 from repro.panda.shannon_flow import ShannonFlowInequality

@@ -23,7 +23,7 @@ from fractions import Fraction
 from typing import Mapping, Sequence
 
 from repro.bounds.polymatroid import PolymatroidBound, polymatroid_bound
-from repro.constraints.degree import DegreeConstraint, DegreeConstraintSet
+from repro.constraints.degree import DegreeConstraintSet
 from repro.errors import ProofError
 from repro.infotheory.set_functions import SetFunction
 from repro.infotheory.shannon import LinearEntropyExpression, is_shannon_valid

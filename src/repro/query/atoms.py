@@ -14,7 +14,7 @@ which is the setting all the bounds and algorithms in the paper address.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 from repro.errors import QueryError, SchemaError
 from repro.query.hypergraph import Hypergraph

@@ -12,7 +12,7 @@ from __future__ import annotations
 import itertools
 import math
 
-from typing import Collection, Sequence
+from typing import Any, Callable, Collection, Sequence
 
 from repro.query.atoms import ConjunctiveQuery
 from repro.relational.database import Database
@@ -38,7 +38,7 @@ _min_degree_memo: dict = {}
 _tail_order_memo: dict = {}
 
 
-def _memoize(cache: dict, key, compute):
+def _memoize(cache: dict, key: Any, compute: Callable[[], Any]) -> Any:
     """Serve ``compute()`` through ``cache`` under FIFO eviction."""
     if key in cache:
         return cache[key]
@@ -162,7 +162,7 @@ def hybrid_light_order(query: ConjunctiveQuery, skew: str,
 
 def _best_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
                      tail: tuple[str, ...], max_exact_tail: int,
-                     selections=(), factorize: bool = True,
+                     selections: Sequence = (), factorize: bool = True,
                      ) -> tuple[tuple[str, ...], float]:
     """The prefix + width-minimizing tail, scored *per residual component*.
 
@@ -212,7 +212,7 @@ def _best_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
 
 def _score_tail_order(query: ConjunctiveQuery, prefix: tuple[str, ...],
                       tail: tuple[str, ...], max_exact_tail: int,
-                      selections=(), factorize: bool = True,
+                      selections: Sequence = (), factorize: bool = True,
                       ) -> tuple[tuple[str, ...], float]:
     """The uncached permutation sweep behind :func:`_best_tail_order`."""
     from repro.query.widths import decomposition_from_elimination_order
@@ -262,7 +262,7 @@ def aggregate_elimination_order(query: ConjunctiveQuery,
                                 group: Collection[str] = (),
                                 fixed: Collection[str] = (),
                                 max_exact_tail: int = 5,
-                                selections=(),
+                                selections: Sequence = (),
                                 factorize: bool = True,
                                 ) -> tuple[tuple[str, ...], float]:
     """A binding order for in-recursion (FAQ-style) aggregation.
@@ -305,7 +305,7 @@ def ranked_order(query: ConjunctiveQuery,
                  fixed: Collection[str] = (),
                  head: Collection[str] = (),
                  max_exact_tail: int = 5,
-                 selections=(),
+                 selections: Sequence = (),
                  ) -> tuple[tuple[str, ...], float]:
     """A binding order for any-k ranked enumeration.
 

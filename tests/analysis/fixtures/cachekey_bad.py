@@ -1,0 +1,32 @@
+"""Seeded cache-key violations, scanned as repro.engine.session.
+
+Three distinct breaks: ``backend`` never reaches the key tuple,
+``stream`` forgets to forward ``ranked_mode`` to ``_prepare``, and
+``execute_many`` grows a ``fresh_axis`` that ``_prepare`` does not even
+accept.
+"""
+
+
+class Engine:
+    def _prepare(self, query, mode, aggregate_mode="auto",
+                 ranked_mode="auto", backend="python"):
+        key = (query, mode, aggregate_mode, ranked_mode)  # backend missing
+        return key
+
+    def execute(self, query, mode="auto", limit=None, counter=None,
+                aggregate_mode="auto", ranked_mode="auto",
+                backend="python"):
+        return self._prepare(query, mode, aggregate_mode=aggregate_mode,
+                             ranked_mode=ranked_mode, backend=backend)
+
+    def stream(self, query, mode="auto", aggregate_mode="auto",
+               ranked_mode="auto", backend="python"):
+        return self._prepare(query, mode, aggregate_mode=aggregate_mode,
+                             backend=backend)  # ranked_mode not forwarded
+
+    def execute_many(self, queries, mode="auto", fresh_axis="auto",
+                     aggregate_mode="auto", ranked_mode="auto",
+                     backend="python"):
+        return [self._prepare(q, mode, aggregate_mode=aggregate_mode,
+                              ranked_mode=ranked_mode, backend=backend)
+                for q in queries]

@@ -1,0 +1,25 @@
+"""Clean twin of cachekey_bad: every axis reaches the key everywhere."""
+
+
+class Engine:
+    def _prepare(self, query, mode, aggregate_mode="auto",
+                 ranked_mode="auto", backend="python"):
+        key = (query, mode, aggregate_mode, ranked_mode, backend)
+        return key
+
+    def execute(self, query, mode="auto", limit=None, counter=None,
+                aggregate_mode="auto", ranked_mode="auto",
+                backend="python"):
+        return self._prepare(query, mode, aggregate_mode=aggregate_mode,
+                             ranked_mode=ranked_mode, backend=backend)
+
+    def stream(self, query, mode="auto", aggregate_mode="auto",
+               ranked_mode="auto", backend="python"):
+        return self._prepare(query, mode, aggregate_mode=aggregate_mode,
+                             ranked_mode=ranked_mode, backend=backend)
+
+    def execute_many(self, queries, mode="auto", aggregate_mode="auto",
+                     ranked_mode="auto", backend="python"):
+        return [self._prepare(q, mode, aggregate_mode=aggregate_mode,
+                              ranked_mode=ranked_mode, backend=backend)
+                for q in queries]

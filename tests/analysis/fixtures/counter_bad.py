@@ -1,0 +1,16 @@
+"""Seeded counter-honesty violations: three uncharged tuple walks."""
+
+
+def scan(relation, out):
+    for t in relation.tuples:  # loop, never charges
+        out.append(t)
+    return out
+
+
+def project(rows):
+    return [t[:2] for t in rows]  # comprehension, never charges
+
+
+def fold(sub, np):
+    origins = sub["origins"]
+    return np.bincount(origins)  # vectorized fold, never charges

@@ -1,0 +1,20 @@
+"""Clean twin of counter_bad: every walk charges on its path."""
+
+
+def scan(relation, counter, out):
+    for t in relation.tuples:
+        counter.charge(tuples_scanned=1)
+        out.append(t)
+    return out
+
+
+def project(rows, counter):
+    out = [t[:2] for t in rows]
+    counter.charge(tuples_scanned=len(out))
+    return out
+
+
+def fold(sub, np, counter):
+    origins = sub["origins"]
+    counter.charge(intersection_steps=len(origins))
+    return np.bincount(origins)

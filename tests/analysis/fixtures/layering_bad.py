@@ -1,0 +1,13 @@
+"""Seeded layering violations (scanned as a *low*-layer module).
+
+Upward import plus a numeric-stack import in a non-numeric layer.
+"""
+
+import numpy as np  # numeric stack in a non-numeric layer
+
+from repro.high.engine import run  # upward edge
+
+
+def helper():
+    from repro.high.engine import hot_path  # upward edge, lazy
+    return hot_path(run, np)

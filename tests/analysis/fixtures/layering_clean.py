@@ -1,0 +1,18 @@
+"""Clean twin of layering_bad (scanned as a *high*-layer module).
+
+Downward imports only; numpy is fine because the high layer is numeric.
+The TYPE_CHECKING import of an upper module is exempt by design.
+"""
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.low.util import helper
+
+if TYPE_CHECKING:
+    from repro.apps.cli import App  # erased at runtime: exempt
+
+
+def run(app: "App"):
+    return helper(np, app)

@@ -1,0 +1,32 @@
+"""Seeded semiring-protocol violations.
+
+Dynamic registration, an incomplete monoid, times without one, a
+subclass overriding negate alone, and product derivations gated on
+any(...).
+"""
+
+
+def make_algebra():
+    return object()
+
+
+register_semiring(make_algebra())  # not statically auditable
+
+MISSING_MONOID = Semiring("m", zero=0, plus=max)  # no lift
+register_semiring(MISSING_MONOID)
+
+register_semiring(Semiring("t", zero=0, plus=max, lift=int,
+                           times=max))  # times without one
+
+
+class LopsidedRing(Semiring):
+    def negate(self, value):  # has_inverse not updated to match
+        return -value
+
+
+def product_semiring(factors):
+    times = any(f.has_product for f in factors)  # any: one speaks for all
+    if any(f.has_inverse for f in factors):
+        def negate(value):
+            return tuple(-v for v in value)
+    return times

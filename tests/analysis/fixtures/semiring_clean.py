@@ -1,0 +1,24 @@
+"""Clean twin of semiring_bad: full protocol, all-gated product rules."""
+
+COUNT = Semiring("count", zero=0, plus=sum, lift=int, one=1, times=sum)
+register_semiring(COUNT)
+
+register_semiring(Semiring("max", zero=None, plus=max, lift=float))
+
+
+class HonestRing(Semiring):
+    has_inverse = True
+
+    def negate(self, value):
+        return -value
+
+
+def product_semiring(factors):
+    absorbing = all(f.has_absorbing for f in factors)
+    if all(f.has_product for f in factors):
+        def times(a, b):
+            return tuple(x * y for x, y in zip(a, b))
+    if all(f.has_inverse for f in factors):
+        def negate(value):
+            return tuple(-v for v in value)
+    return absorbing

@@ -1,0 +1,16 @@
+"""Seeded tracer-discipline violations: optional-tracer style guards."""
+
+
+def hot_path(tracer, rows):
+    if tracer is not None:  # identity test outside __init__
+        tracer.event("scan")
+    if isinstance(tracer, Tracer):  # type test outside __init__
+        tracer.event("typed")
+    return rows
+
+
+class Runner:
+    def run(self, rows):
+        if self.tracer is None:  # identity test on an attribute
+            return rows
+        return list(rows)

@@ -1,0 +1,18 @@
+"""Clean twin of tracer_bad: null-object discipline throughout."""
+
+
+class Runner:
+    def __init__(self, tracer=None):
+        # The one allowed seam: constructors map None to the null object.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    def run(self, rows):
+        if self.tracer.enabled:
+            self.tracer.event("scan")
+        return list(rows)
+
+
+def hot_path(tracer, rows):
+    if tracer.enabled:
+        tracer.event("scan")
+    return rows

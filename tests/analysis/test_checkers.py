@@ -1,0 +1,145 @@
+"""Each rule demonstrably fails its seeded fixture and passes the twin.
+
+Fixture sources live in ``fixtures/`` (never imported, only parsed);
+each is wrapped in a :class:`FileContext` under a repo path the checker's
+default prefixes cover, so these tests exercise exactly the
+configuration the CI run uses.
+"""
+
+import os
+
+from tools.analysis.checkers.cache_key import CacheKeyChecker
+from tools.analysis.checkers.counter_honesty import CounterHonestyChecker
+from tools.analysis.checkers.layering import LayeringChecker
+from tools.analysis.checkers.semiring_protocol import SemiringProtocolChecker
+from tools.analysis.checkers.tracer_discipline import TracerDisciplineChecker
+from tools.analysis.core import FileContext, Project
+from tools.analysis.layers import parse_layers
+
+FIXTURES = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        "fixtures")
+
+_LAYERS = parse_layers("""
+[[layer]]
+name = "low"
+modules = ["repro.low"]
+
+[[layer]]
+name = "high"
+modules = ["repro.high"]
+numeric = true
+
+[[layer]]
+name = "apps"
+modules = ["repro.apps"]
+""")
+
+
+def _ctx(fixture: str, relpath: str) -> FileContext:
+    with open(os.path.join(FIXTURES, fixture), encoding="utf-8") as handle:
+        return FileContext(relpath, handle.read())
+
+
+def _messages(findings):
+    return [f.message for f in findings]
+
+
+# -- counter-honesty ----------------------------------------------------
+
+def test_counter_honesty_fails_seeded_fixture():
+    ctx = _ctx("counter_bad.py", "src/repro/joins/fixture.py")
+    findings = list(CounterHonestyChecker().check_file(ctx))
+    assert len(findings) == 3
+    messages = " ".join(_messages(findings))
+    assert "scan" in messages
+    assert "project" in messages
+    assert "vectorized fold" in messages
+
+
+def test_counter_honesty_passes_clean_twin():
+    ctx = _ctx("counter_clean.py", "src/repro/joins/fixture.py")
+    assert list(CounterHonestyChecker().check_file(ctx)) == []
+
+
+def test_counter_honesty_ignores_unmeasured_packages():
+    ctx = _ctx("counter_bad.py", "src/repro/relational/fixture.py")
+    assert list(CounterHonestyChecker().check_file(ctx)) == []
+
+
+# -- import-layering ----------------------------------------------------
+
+def test_layering_fails_seeded_fixture():
+    ctx = _ctx("layering_bad.py", "src/repro/low/bad.py")
+    findings = list(LayeringChecker(_LAYERS).check_file(ctx))
+    messages = _messages(findings)
+    assert any("numpy" in m for m in messages)
+    upward = [m for m in messages if "higher layer 'high'" in m]
+    assert len(upward) == 2
+    assert any("(lazy)" in m for m in upward)
+
+
+def test_layering_passes_clean_twin():
+    ctx = _ctx("layering_clean.py", "src/repro/high/clean.py")
+    assert list(LayeringChecker(_LAYERS).check_file(ctx)) == []
+
+
+def test_layering_skips_modules_outside_the_dag():
+    ctx = _ctx("layering_bad.py", "tests/somewhere/bad.py")
+    assert list(LayeringChecker(_LAYERS).check_file(ctx)) == []
+
+
+# -- cache-key ----------------------------------------------------------
+
+def test_cache_key_fails_seeded_fixture():
+    ctx = _ctx("cachekey_bad.py", "src/repro/engine/session.py")
+    findings = list(CacheKeyChecker().finalize(Project([ctx])))
+    messages = _messages(findings)
+    assert any("'backend'" in m and "plan-cache key" in m for m in messages)
+    assert any("without forwarding dispatch axis 'ranked_mode'" in m
+               for m in messages)
+    assert any("'fresh_axis'" in m and "not a parameter" in m
+               for m in messages)
+
+
+def test_cache_key_passes_clean_twin():
+    ctx = _ctx("cachekey_clean.py", "src/repro/engine/session.py")
+    assert list(CacheKeyChecker().finalize(Project([ctx]))) == []
+
+
+def test_cache_key_silent_when_session_module_absent():
+    ctx = _ctx("cachekey_bad.py", "src/repro/engine/other.py")
+    assert list(CacheKeyChecker().finalize(Project([ctx]))) == []
+
+
+# -- semiring-protocol --------------------------------------------------
+
+def test_semiring_protocol_fails_seeded_fixture():
+    ctx = _ctx("semiring_bad.py", "src/repro/query/fixture.py")
+    messages = _messages(SemiringProtocolChecker().check_file(ctx))
+    assert any("not a statically visible" in m for m in messages)
+    assert any("omits the fold monoid" in m and "lift" in m
+               for m in messages)
+    assert any("declares 'times' without 'one'" in m for m in messages)
+    assert any("LopsidedRing" in m for m in messages)
+    assert any("any(...)" in m for m in messages)
+
+
+def test_semiring_protocol_passes_clean_twin():
+    ctx = _ctx("semiring_clean.py", "src/repro/query/fixture.py")
+    assert list(SemiringProtocolChecker().check_file(ctx)) == []
+
+
+# -- tracer-discipline --------------------------------------------------
+
+def test_tracer_discipline_fails_seeded_fixture():
+    ctx = _ctx("tracer_bad.py", "src/repro/engine/fixture.py")
+    findings = list(TracerDisciplineChecker().check_file(ctx))
+    assert len(findings) == 3
+    messages = _messages(findings)
+    assert any("identity test" in m for m in messages)
+    assert any("isinstance test" in m for m in messages)
+
+
+def test_tracer_discipline_passes_clean_twin():
+    ctx = _ctx("tracer_clean.py", "src/repro/engine/fixture.py")
+    assert list(TracerDisciplineChecker().check_file(ctx)) == []

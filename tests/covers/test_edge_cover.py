@@ -1,6 +1,5 @@
 """Tests for fractional/integral edge covers and rho*."""
 
-import math
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Tests for AGM-tight and skew instances."""
 
-import math
 
 import pytest
 

@@ -9,7 +9,6 @@ from repro.engine.cost import MODES, STRATEGIES
 from repro.errors import QueryError
 from repro.joins.generic_join import generic_join
 from repro.joins.instrumentation import OperationCounter
-from repro.joins.leapfrog import leapfrog_triejoin
 from repro.joins.naive import nested_loop_join
 from repro.query.atoms import path_query, triangle_query
 from repro.relational.database import Database

@@ -1,7 +1,6 @@
 """Integration tests: every experiment module runs and reproduces the paper's
 qualitative claims at small scale."""
 
-import math
 
 import pytest
 

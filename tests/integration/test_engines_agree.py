@@ -6,7 +6,6 @@ PANDA interpreter and the naive nested-loop oracle must agree on every
 instance, random or adversarial.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ from repro.constraints.degree import (
     DegreeConstraintSet,
     cardinality_constraints,
 )
-from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
 from repro.errors import ConstraintError
 from repro.experiments.acyclic_dc import chain_instance
 from repro.joins.backtracking import backtracking_join, backtracking_search

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
+from repro.datagen.worstcase import triangle_skew_instance
 from repro.errors import QueryError
 from repro.joins.binary_plans import (
     all_left_deep_plans,

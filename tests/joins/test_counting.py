@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.datagen.worstcase import triangle_agm_tight_instance, triangle_skew_instance
 from repro.joins.counting import count_join, group_count, sum_product
 from repro.joins.generic_join import generic_join
 from repro.joins.instrumentation import OperationCounter

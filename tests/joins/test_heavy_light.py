@@ -1,6 +1,5 @@
 """Tests for heavy/light partitioning."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,6 +1,5 @@
 """Tests for Leapfrog Triejoin and the leapfrog intersection."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -8,7 +7,7 @@ from repro.joins.generic_join import generic_join
 from repro.joins.instrumentation import OperationCounter
 from repro.joins.leapfrog import LeapfrogIterator, leapfrog_intersect, leapfrog_triejoin
 from repro.joins.naive import nested_loop_join
-from repro.query.atoms import cycle_query, loomis_whitney_query, triangle_query
+from repro.query.atoms import triangle_query
 from repro.datagen.loomis_whitney import loomis_whitney_random_instance
 from repro.relational.database import Database
 from repro.relational.relation import Relation

@@ -2,12 +2,11 @@
 
 import pytest
 
-from repro.datagen.worstcase import triangle_agm_tight_instance
 from repro.joins.generic_join import generic_join
 from repro.joins.instrumentation import OperationCounter
 from repro.joins.naive import nested_loop_join
 from repro.joins.optimizer import choose_strategy, evaluate
-from repro.query.atoms import Atom, ConjunctiveQuery, path_query, triangle_query
+from repro.query.atoms import Atom, ConjunctiveQuery, path_query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 

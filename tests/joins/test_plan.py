@@ -5,7 +5,7 @@ import pytest
 from repro.errors import QueryError
 from repro.joins.naive import nested_loop_join
 from repro.joins.plan import PlanJoin, PlanLeaf, execute_plan, left_deep_plan
-from repro.query.atoms import Atom, ConjunctiveQuery, triangle_query
+from repro.query.atoms import Atom, ConjunctiveQuery
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 

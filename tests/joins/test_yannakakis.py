@@ -9,7 +9,7 @@ from repro.errors import QueryError
 from repro.joins.instrumentation import OperationCounter
 from repro.joins.naive import nested_loop_join
 from repro.joins.yannakakis import semijoin_reduce, yannakakis
-from repro.query.atoms import Atom, ConjunctiveQuery, path_query, triangle_query
+from repro.query.atoms import Atom, ConjunctiveQuery, path_query
 from repro.relational.database import Database
 from repro.relational.relation import Relation
 

@@ -18,7 +18,6 @@ from repro.panda.proof_sequence import (
 )
 from repro.panda.shannon_flow import ShannonFlowInequality
 from repro.panda.terms import ConditionalTerm
-from repro.query.atoms import triangle_query
 
 HALF = Fraction(1, 2)
 f = frozenset

@@ -2,7 +2,6 @@
 
 from fractions import Fraction
 
-import pytest
 
 from repro.constraints.degree import cardinality_constraints
 from repro.datagen.worstcase import triangle_agm_tight_instance

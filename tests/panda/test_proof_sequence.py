@@ -5,7 +5,7 @@ from fractions import Fraction
 import pytest
 
 from repro.errors import ProofError
-from repro.panda.example1 import example1_inequality, example1_proof_sequence
+from repro.panda.example1 import example1_proof_sequence
 from repro.panda.proof_sequence import (
     CompositionStep,
     DecompositionStep,

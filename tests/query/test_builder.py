@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import QueryError
 from repro.query.atoms import triangle_query
-from repro.query.builder import Q, Query, QueryAtom, QueryBuilder, sort_rows
+from repro.query.builder import Q, Query, QueryAtom, sort_rows
 from repro.query.semiring import count, sum_
 from repro.query.terms import Comparison, Constant, comparison
 

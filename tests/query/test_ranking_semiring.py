@@ -1,6 +1,5 @@
 """The ordering (ranking) semiring family behind any-k enumeration."""
 
-import pytest
 
 from repro.query.semiring import (
     RANKING,

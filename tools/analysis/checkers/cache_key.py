@@ -1,0 +1,174 @@
+"""Rule ``cache-key``: every dispatch axis reaches the plan-cache key.
+
+The plan cache serves a cached plan whenever the key matches — so any
+``Engine.execute``/``stream``/``execute_many`` parameter that changes
+*which plan is right* (the strategy ``mode``, ``aggregate_mode``,
+``ranked_mode``, ``backend``) must be part of the key tuple built in
+``Engine._prepare``.  PR 6's counter-isolation bug was this class: an
+axis that influenced execution without reaching a cache key, so two
+differently-configured calls shared state they must not share.
+
+Cross-module, the checker verifies three things for every axis
+parameter (a parameter of the public execution methods that is not in
+the known non-axis set — ``limit`` and ``counter`` deliberately bypass
+the cache instead of keying it):
+
+1. it is a parameter of ``_prepare``;
+2. every ``self._prepare(...)`` call inside the public methods forwards
+   it (an expression mentioning the parameter name);
+3. it appears in the ``key = (...)`` tuple assigned in ``_prepare``.
+
+A new axis parameter added to ``execute`` without threading it through
+all three fails here before it can resurrect that bug class.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.analysis.core import Checker, Finding, Project
+
+
+class CacheKeyChecker(Checker):
+    rule = "cache-key"
+    contract = ("every dispatch-axis parameter of Engine.execute/stream/"
+                "execute_many reaches the plan-cache key in _prepare")
+
+    def __init__(self, session_module: str = "repro.engine.session",
+                 engine_class: str = "Engine",
+                 methods: tuple[str, ...] = ("execute", "stream",
+                                             "execute_many"),
+                 prepare_method: str = "_prepare",
+                 key_name: str = "key",
+                 non_axis: frozenset[str] = frozenset({
+                     "self", "query", "queries", "limit", "counter",
+                 })) -> None:
+        self.session_module = session_module
+        self.engine_class = engine_class
+        self.methods = methods
+        self.prepare_method = prepare_method
+        self.key_name = key_name
+        self.non_axis = non_axis
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        ctx = project.module(self.session_module)
+        if ctx is None:
+            return
+        engine = self._find_class(ctx.tree)
+        if engine is None:
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=1,
+                message=(f"class {self.engine_class} not found in "
+                         f"{self.session_module}; the cache-key contract "
+                         "has nothing to check"),
+            )
+            return
+        methods = {node.name: node for node in engine.body
+                   if isinstance(node, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef))}
+        prepare = methods.get(self.prepare_method)
+        if prepare is None:
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=engine.lineno,
+                message=(f"{self.engine_class}.{self.prepare_method} not "
+                         "found; cannot verify the plan-cache key"),
+            )
+            return
+        prepare_params = _param_names(prepare)
+        key_names = self._key_tuple_names(prepare)
+        if key_names is None:
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=prepare.lineno,
+                message=(f"{self.prepare_method} assigns no tuple to "
+                         f"'{self.key_name}'; the plan-cache key is not "
+                         "statically visible"),
+            )
+            return
+        key_line, key_name_set = key_names
+
+        for method_name in self.methods:
+            method = methods.get(method_name)
+            if method is None:
+                yield Finding(
+                    rule=self.rule, path=ctx.relpath, line=engine.lineno,
+                    message=(f"{self.engine_class}.{method_name} not found; "
+                             "update the cache-key checker's method list"),
+                )
+                continue
+            axes = [p for p in _param_names(method) if p not in self.non_axis]
+            calls = self._prepare_calls(method)
+            for axis in axes:
+                if axis not in prepare_params:
+                    yield Finding(
+                        rule=self.rule, path=ctx.relpath, line=method.lineno,
+                        message=(f"dispatch axis '{axis}' of {method_name} "
+                                 f"is not a parameter of "
+                                 f"{self.prepare_method}"),
+                    )
+                    continue
+                for call in calls:
+                    if axis not in _call_argument_names(call):
+                        yield Finding(
+                            rule=self.rule, path=ctx.relpath,
+                            line=call.lineno,
+                            message=(f"{method_name} calls "
+                                     f"{self.prepare_method} without "
+                                     f"forwarding dispatch axis '{axis}'"),
+                        )
+                if axis not in key_name_set:
+                    yield Finding(
+                        rule=self.rule, path=ctx.relpath, line=key_line,
+                        message=(f"dispatch axis '{axis}' of {method_name} "
+                                 "never reaches the plan-cache key tuple "
+                                 f"in {self.prepare_method}"),
+                    )
+
+    def _find_class(self, tree: ast.AST) -> ast.ClassDef | None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef) and \
+                    node.name == self.engine_class:
+                return node
+        return None
+
+    def _key_tuple_names(self, prepare: ast.AST
+                         ) -> tuple[int, set[str]] | None:
+        for node in ast.walk(prepare):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not any(isinstance(t, ast.Name) and t.id == self.key_name
+                       for t in node.targets):
+                continue
+            if not isinstance(node.value, ast.Tuple):
+                continue
+            names: set[str] = set()
+            for sub in ast.walk(node.value):
+                if isinstance(sub, ast.Name):
+                    names.add(sub.id)
+            return node.lineno, names
+        return None
+
+    def _prepare_calls(self, method: ast.AST) -> list[ast.Call]:
+        calls = []
+        for node in ast.walk(method):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == self.prepare_method:
+                calls.append(node)
+        return calls
+
+
+def _param_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = func.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return names
+
+
+def _call_argument_names(call: ast.Call) -> set[str]:
+    """Identifiers appearing anywhere in a call's arguments."""
+    names: set[str] = set()
+    for expr in list(call.args) + [kw.value for kw in call.keywords]:
+        for sub in ast.walk(expr):
+            if isinstance(sub, ast.Name):
+                names.add(sub.id)
+    return names

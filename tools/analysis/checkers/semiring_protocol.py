@@ -1,0 +1,239 @@
+"""Rule ``semiring-protocol``: registered algebras honor the ring protocol.
+
+PR 7's delta propagation trusts three structural facts about every
+semiring that can reach it:
+
+* **Full protocol at registration.**  Whatever is handed to
+  ``register_semiring`` must be a statically visible ``Semiring(...)``
+  (or ``product_semiring(...)``) construction declaring the whole fold
+  monoid — ``zero``, ``plus``, ``lift``.  A dynamically assembled or
+  partially constructed algebra can't be audited, and a missing monoid
+  member surfaces only deep inside the elimination recursion.
+* **``one`` and ``times`` travel together.**  Declaring a product
+  operation without its identity (or vice versa) produces an algebra
+  the Yannakakis in-pass aggregation will combine incorrectly — the
+  identity annotates tuples of atoms that don't carry the aggregated
+  variable.
+* **``negate`` iff ``has_inverse``.**  ``has_inverse`` is derived from
+  ``negate`` on the dataclass, so the hazard is subclasses overriding
+  one without the other: IVM's delete path consults ``has_inverse``
+  before calling ``negate``, and a disagreement turns deletes into
+  either crashes or silent corruption.
+* **Product absorbing rule.**  ``product_semiring`` may advertise an
+  absorbing element (early-exit license for the eliminator) only when
+  *every* factor declares one — derived with ``all(...)``, never
+  ``any(...)``.  Same for ``negate`` and ``times``: a single
+  non-invertible (or plus-only) coordinate poisons the whole tuple.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from tools.analysis.core import Checker, FileContext, Finding
+
+#: Positional layout of the Semiring dataclass.
+_FIELD_ORDER = ("name", "zero", "plus", "lift", "needs_variable", "one",
+                "times", "finalize", "absorbing", "negate")
+
+_MONOID = ("zero", "plus", "lift")
+
+#: These must be gated on *all* factors inside product_semiring.
+_ALL_GATED = ("times", "negate", "absorbing")
+
+
+class SemiringProtocolChecker(Checker):
+    rule = "semiring-protocol"
+    contract = ("register_semiring receives fully-declared Semiring "
+                "constructions; one/times paired; product rules use all()")
+
+    def __init__(self, prefixes: tuple[str, ...] = ("repro",)) -> None:
+        self.prefixes = prefixes
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if not any(ctx.module_name == p or ctx.module_name.startswith(p + ".")
+                   for p in self.prefixes):
+            return
+        constructions = _semiring_assignments(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                if _is_name_call(node, "register_semiring"):
+                    yield from self._check_registration(ctx, node,
+                                                        constructions)
+                elif _is_name_call(node, "Semiring"):
+                    yield from self._check_construction(ctx, node)
+            elif isinstance(node, ast.ClassDef):
+                yield from self._check_subclass(ctx, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name == "product_semiring":
+                yield from self._check_product(ctx, node)
+
+    # -- registration --------------------------------------------------
+    def _check_registration(self, ctx: FileContext, call: ast.Call,
+                            constructions: dict[str, ast.Call]
+                            ) -> Iterable[Finding]:
+        if len(call.args) != 1:
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=call.lineno,
+                message="register_semiring takes exactly one semiring",
+            )
+            return
+        arg = call.args[0]
+        if isinstance(arg, ast.Call) and (
+                _is_name_call(arg, "Semiring")
+                or _is_name_call(arg, "product_semiring")):
+            return
+        if isinstance(arg, ast.Name) and arg.id in constructions:
+            return
+        yield Finding(
+            rule=self.rule, path=ctx.relpath, line=call.lineno,
+            message=("register_semiring argument is not a statically "
+                     "visible Semiring(...) or product_semiring(...) "
+                     "construction; the protocol cannot be audited"),
+        )
+
+    # -- direct construction -------------------------------------------
+    def _check_construction(self, ctx: FileContext,
+                            call: ast.Call) -> Iterable[Finding]:
+        provided: set[str] = set()
+        for index, _arg in enumerate(call.args):
+            if index < len(_FIELD_ORDER):
+                provided.add(_FIELD_ORDER[index])
+        for kw in call.keywords:
+            if kw.arg is not None:
+                provided.add(kw.arg)
+            else:
+                return  # **kwargs: not statically auditable; registration
+                        # rule already flags dynamic constructions.
+        missing = [f for f in _MONOID if f not in provided]
+        if missing:
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=call.lineno,
+                message=("Semiring construction omits the fold monoid "
+                         f"member(s) {', '.join(missing)}"),
+            )
+        if ("times" in provided) != ("one" in provided):
+            present, absent = (("times", "one") if "times" in provided
+                               else ("one", "times"))
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=call.lineno,
+                message=(f"Semiring construction declares '{present}' "
+                         f"without '{absent}'; the product structure "
+                         "must be declared whole"),
+            )
+
+    # -- subclass overrides --------------------------------------------
+    def _check_subclass(self, ctx: FileContext,
+                        node: ast.ClassDef) -> Iterable[Finding]:
+        if not any(isinstance(b, ast.Name) and b.id == "Semiring"
+                   or isinstance(b, ast.Attribute) and b.attr == "Semiring"
+                   for b in node.bases):
+            return
+        defined = set()
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                defined.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                defined |= {t.id for t in stmt.targets
+                            if isinstance(t, ast.Name)}
+            elif isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                defined.add(stmt.target.id)
+        if ("has_inverse" in defined) != ("negate" in defined):
+            yield Finding(
+                rule=self.rule, path=ctx.relpath, line=node.lineno,
+                message=(f"{node.name} overrides "
+                         f"{'has_inverse' if 'has_inverse' in defined else 'negate'}"
+                         " without the other; negate must be defined iff "
+                         "has_inverse reports a ring"),
+            )
+
+    # -- product semiring derivation rules ------------------------------
+    def _check_product(self, ctx: FileContext,
+                       func: ast.FunctionDef) -> Iterable[Finding]:
+        gated: dict[str, bool] = {}
+        for node in ast.walk(func):
+            if isinstance(node, ast.If):
+                assigned = _assigned_or_defined(node)
+                for name in _ALL_GATED:
+                    if name in assigned:
+                        gated[name] = gated.get(name, True) and \
+                            _gate_uses_all_only(node.test)
+                        if not _gate_uses_all_only(node.test):
+                            yield Finding(
+                                rule=self.rule, path=ctx.relpath,
+                                line=node.lineno,
+                                message=(f"product_semiring derives "
+                                         f"'{name}' behind a gate that is "
+                                         "not all(...) over the factors; "
+                                         "one coordinate must not speak "
+                                         "for the tuple"),
+                            )
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id in _ALL_GATED and \
+                            _contains_call(node.value, "any"):
+                        yield Finding(
+                            rule=self.rule, path=ctx.relpath,
+                            line=node.lineno,
+                            message=(f"product_semiring derives "
+                                     f"'{target.id}' with any(...); the "
+                                     "product has it only when ALL "
+                                     "factors do"),
+                        )
+                    elif isinstance(target, ast.Name) and \
+                            target.id in _ALL_GATED and \
+                            _contains_call(node.value, "all"):
+                        gated[target.id] = True
+        for name in _ALL_GATED:
+            if name not in gated:
+                yield Finding(
+                    rule=self.rule, path=ctx.relpath, line=func.lineno,
+                    message=(f"product_semiring never derives '{name}' "
+                             "behind an all(...) gate over the factors"),
+                )
+
+
+def _semiring_assignments(tree: ast.AST) -> dict[str, ast.Call]:
+    """Names bound (at any scope) to a Semiring/product_semiring call."""
+    result: dict[str, ast.Call] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if isinstance(node.value, ast.Call) and (
+                _is_name_call(node.value, "Semiring")
+                or _is_name_call(node.value, "product_semiring")):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    result[target.id] = node.value
+    return result
+
+
+def _is_name_call(call: ast.Call, name: str) -> bool:
+    func = call.func
+    return (isinstance(func, ast.Name) and func.id == name) or \
+           (isinstance(func, ast.Attribute) and func.attr == name)
+
+
+def _assigned_or_defined(node: ast.If) -> set[str]:
+    names: set[str] = set()
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            names |= {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            names.add(stmt.name)
+    return names
+
+
+def _gate_uses_all_only(test: ast.AST) -> bool:
+    return _contains_call(test, "all") and not _contains_call(test, "any")
+
+
+def _contains_call(expr: ast.AST, name: str) -> bool:
+    for sub in ast.walk(expr):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name) \
+                and sub.func.id == name:
+            return True
+    return False
